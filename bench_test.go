@@ -1,0 +1,460 @@
+// Benchmarks backing the experiment tables of EXPERIMENTS.md. Each
+// Benchmark* group corresponds to one experiment id from DESIGN.md §2; the
+// cmd/ssdbench tool prints the same comparisons as formatted tables with
+// derived columns (speedups, sizes).
+package repro
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/bisim"
+	"repro/internal/dataguide"
+	"repro/internal/datalog"
+	"repro/internal/decomp"
+	"repro/internal/index"
+	"repro/internal/pathexpr"
+	"repro/internal/query"
+	"repro/internal/relstore"
+	"repro/internal/schema"
+	"repro/internal/ssd"
+	"repro/internal/storage"
+	"repro/internal/unql"
+	"repro/internal/workload"
+)
+
+// Shared fixtures, built once.
+var (
+	moviesBySize = map[int]*ssd.Graph{}
+	webBySize    = map[int]*ssd.Graph{}
+)
+
+func movieDB(entries int) *ssd.Graph {
+	if g, ok := moviesBySize[entries]; ok {
+		return g
+	}
+	g := workload.Movies(workload.DefaultMovieConfig(entries))
+	moviesBySize[entries] = g
+	return g
+}
+
+func webDB(pages int) *ssd.Graph {
+	if g, ok := webBySize[pages]; ok {
+		return g
+	}
+	g := workload.Web(workload.WebConfig{Pages: pages, OutLinks: 3, Seed: 7})
+	webBySize[pages] = g
+	return g
+}
+
+var movieSizes = []int{500, 5000, 25000}
+
+// ---------------------------------------------------------------------------
+// E1 / Figure 1: the paper's queries on the figure database.
+
+func BenchmarkFig1Queries(b *testing.B) {
+	g := workload.Fig1(false)
+	queries := map[string]string{
+		"titles":     `select T from DB.Entry.Movie.Title T`,
+		"allen":      `select {Title: T} from DB.Entry.Movie M, M.Title T, M.(!Movie)* A where A = "Allen"`,
+		"both-casts": `select {Name: %N} from DB.Entry._.Cast.(isint|Credit.Actors|Special-Guests)? C, C.%N L where isstring(%N)`,
+	}
+	for name, src := range queries {
+		q := query.MustParse(src)
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := query.Eval(q, g); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// ---------------------------------------------------------------------------
+// E2: browsing queries — scan vs value index.
+
+func BenchmarkBrowsingScan(b *testing.B) {
+	for _, size := range movieSizes {
+		g := movieDB(size)
+		pred := pathexpr.CmpPred{Op: pathexpr.OpGT, Rhs: ssd.Int(65536)}
+		b.Run(fmt.Sprintf("ints-gt-2_16/entries=%d", size), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				index.ScanGraph(g, pred)
+			}
+		})
+	}
+}
+
+func BenchmarkBrowsingIndexed(b *testing.B) {
+	for _, size := range movieSizes {
+		g := movieDB(size)
+		ix := index.BuildValueIndex(g)
+		b.Run(fmt.Sprintf("ints-gt-2_16/entries=%d", size), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				ix.Compare(pathexpr.OpGT, ssd.Int(65536))
+			}
+		})
+	}
+}
+
+func BenchmarkBrowsingIndexBuild(b *testing.B) {
+	for _, size := range movieSizes {
+		g := movieDB(size)
+		b.Run(fmt.Sprintf("entries=%d", size), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				index.BuildValueIndex(g)
+			}
+		})
+	}
+}
+
+// ---------------------------------------------------------------------------
+// E3: path queries — NFA product vs lazy-DFA vs DataGuide.
+
+var e3Queries = map[string]string{
+	"fixed-path": "Entry.Movie.Title._",
+	"deep-value": `_*."Bogart"`,
+	"both-casts": "Entry._.Cast.(isint|Credit.Actors|Special-Guests)._",
+}
+
+func BenchmarkPathQueryNFA(b *testing.B) {
+	for _, size := range movieSizes {
+		g := movieDB(size)
+		for name, src := range e3Queries {
+			b.Run(fmt.Sprintf("%s/entries=%d", name, size), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					au := pathexpr.MustCompile(src)
+					au.EvalNFA(g, g.Root())
+				}
+			})
+		}
+	}
+}
+
+func BenchmarkPathQueryLazyDFA(b *testing.B) {
+	for _, size := range movieSizes {
+		g := movieDB(size)
+		for name, src := range e3Queries {
+			b.Run(fmt.Sprintf("%s/entries=%d", name, size), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					au := pathexpr.MustCompile(src)
+					au.Eval(g, g.Root())
+				}
+			})
+		}
+	}
+}
+
+func BenchmarkPathQueryDataGuide(b *testing.B) {
+	for _, size := range movieSizes {
+		g := movieDB(size)
+		guide := dataguide.MustBuild(g)
+		for name, src := range e3Queries {
+			b.Run(fmt.Sprintf("%s/entries=%d", name, size), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					guide.Eval(pathexpr.MustCompile(src))
+				}
+			})
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// E4: datalog — naive vs semi-naive.
+
+var reachProg = datalog.MustParseProgram(`
+	reach(X) :- root(X).
+	reach(Y) :- reach(X), edge(X, _, Y).`)
+
+func BenchmarkDatalogNaive(b *testing.B) {
+	for _, pages := range []int{200, 1000} {
+		g := webDB(pages)
+		b.Run(fmt.Sprintf("web/pages=%d", pages), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := datalog.NewEngine(g).Run(reachProg, datalog.Naive); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkDatalogSemiNaive(b *testing.B) {
+	for _, pages := range []int{200, 1000} {
+		g := webDB(pages)
+		b.Run(fmt.Sprintf("web/pages=%d", pages), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := datalog.NewEngine(g).Run(reachProg, datalog.SemiNaive); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkDatalogChain(b *testing.B) {
+	chain := ssd.New()
+	cur := chain.Root()
+	for i := 0; i < 300; i++ {
+		cur = chain.AddLeaf(cur, ssd.Sym("next"))
+	}
+	b.Run("naive", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_, _ = datalog.NewEngine(chain).Run(reachProg, datalog.Naive)
+		}
+	})
+	b.Run("seminaive", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_, _ = datalog.NewEngine(chain).Run(reachProg, datalog.SemiNaive)
+		}
+	})
+}
+
+// ---------------------------------------------------------------------------
+// E5: relational algebra vs query language on the encoding.
+
+func BenchmarkRelEquivalence(b *testing.B) {
+	rdb := workload.Relational(1000, 101, 3)
+	g := relstore.EncodeRelational(rdb)
+	movies, directors := rdb["movies"], rdb["directors"]
+	b.Run("ra-select-project", func(b *testing.B) {
+		someDirector := movies.Rows()[0][movies.Col("director")]
+		for i := 0; i < b.N; i++ {
+			relstore.Project(relstore.SelectEq(movies, "director", someDirector), "title")
+		}
+	})
+	b.Run("query-select-project", func(b *testing.B) {
+		someDirector := movies.Rows()[0][movies.Col("director")]
+		s, _ := someDirector.Text()
+		q := query.MustParse(fmt.Sprintf(`
+			select {tuple: {title: T}}
+			from DB.movies.tuple R, R.title T, R.director D
+			where D = %q`, s))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := query.Eval(q, g); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("ra-join", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			relstore.Project(relstore.Join(movies, directors), "title", "born")
+		}
+	})
+	b.Run("query-join", func(b *testing.B) {
+		q := query.MustParse(`
+			select {tuple: {title: T, born: B}}
+			from DB.movies.tuple R, R.title T, R.director D,
+			     DB.directors.tuple S, S.director D2, S.born B
+			where D = D2`)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := query.Eval(q, g); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// ---------------------------------------------------------------------------
+// E6: restructuring — memoized GExt vs tree unfolding.
+
+func relabelDirector(l ssd.Label, _, _ ssd.NodeID, _ *ssd.Graph) unql.Action {
+	if s, ok := l.Symbol(); ok && s == "Director" {
+		return unql.RelabelTo(ssd.Sym("DirectedBy"))
+	}
+	return unql.Keep(l)
+}
+
+func BenchmarkRestructureGExt(b *testing.B) {
+	cfg := workload.DefaultMovieConfig(5000)
+	cfg.RefProb = 0
+	g := workload.Movies(cfg)
+	b.Run("acyclic-5k", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			unql.GExt(g, relabelDirector)
+		}
+	})
+	cyc := movieDB(5000)
+	b.Run("cyclic-5k", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			unql.GExt(cyc, relabelDirector)
+		}
+	})
+}
+
+func BenchmarkRestructureTreeUnfold(b *testing.B) {
+	cfg := workload.DefaultMovieConfig(5000)
+	cfg.RefProb = 0
+	g := workload.Movies(cfg)
+	b.Run("acyclic-5k", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := unql.GExtTree(g, relabelDirector, 64); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// ---------------------------------------------------------------------------
+// E7: decomposition — serial vs parallel site evaluation.
+
+func BenchmarkDecomposition(b *testing.B) {
+	g := movieDB(25000)
+	src := `_*."Bogart"`
+	for _, sites := range []int{1, 2, 4, 8} {
+		p := decomp.PartitionBFS(g, sites)
+		b.Run(fmt.Sprintf("serial/sites=%d", sites), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				decomp.Eval(g, pathexpr.MustCompile(src), p, false)
+			}
+		})
+		b.Run(fmt.Sprintf("parallel/sites=%d", sites), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				decomp.Eval(g, pathexpr.MustCompile(src), p, true)
+			}
+		})
+	}
+}
+
+// ---------------------------------------------------------------------------
+// E8: schema pruning.
+
+const movieSchemaSrc = `
+{Entry: #e{Movie: {Title: {isstring},
+                   Cast: {isint: {isstring},
+                          Credit: {Actors: {isstring}}},
+                   Director: {isstring},
+                   References: #e,
+                   Is-referenced-in: #e},
+           TV-Show: {Title: {isstring},
+                     Cast: {Special-Guests: {isstring}},
+                     Episode: {isint},
+                     References: #e,
+                     Is-referenced-in: #e}}}`
+
+func BenchmarkSchemaPruning(b *testing.B) {
+	g := movieDB(25000)
+	s := schema.MustParse(movieSchemaSrc)
+	queries := map[string]string{
+		"selective":  "Entry.TV-Show.Episode._",
+		"impossible": "Entry.Movie.Budget._",
+	}
+	for name, src := range queries {
+		b.Run("plain/"+name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				pathexpr.MustCompile(src).Eval(g, g.Root())
+			}
+		})
+		b.Run("pruned/"+name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				s.Prune(pathexpr.MustCompile(src)).Eval(g, g.Root())
+			}
+		})
+	}
+}
+
+// ---------------------------------------------------------------------------
+// E9: DataGuide construction.
+
+func BenchmarkDataGuideBuild(b *testing.B) {
+	b.Run("movies-regular-5k", func(b *testing.B) {
+		g := movieDB(5000)
+		for i := 0; i < b.N; i++ {
+			dataguide.MustBuild(g)
+		}
+	})
+	b.Run("acedb-trees", func(b *testing.B) {
+		g := workload.ACeDB(workload.BioConfig{Objects: 200, MaxDepth: 10, Fanout: 3, Seed: 11})
+		for i := 0; i < b.N; i++ {
+			dataguide.MustBuild(g)
+		}
+	})
+	b.Run("web-irregular-300", func(b *testing.B) {
+		g := webDB(300)
+		for i := 0; i < b.N; i++ {
+			if _, ok := dataguide.Build(g, 2_000_000); !ok {
+				b.Fatal("cap hit")
+			}
+		}
+	})
+}
+
+// ---------------------------------------------------------------------------
+// E10: storage clustering (page faults are the figure of merit; this bench
+// reports ns/op for the same traversals so regressions surface).
+
+func BenchmarkStorageScan(b *testing.B) {
+	g := movieDB(5000)
+	for _, c := range []storage.Clustering{storage.ClusterDFS, storage.ClusterRandom} {
+		b.Run(c.String(), func(b *testing.B) {
+			pg := storage.NewPaged(g, c, 64, 32, 1)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				pg.ScanDFS()
+			}
+			b.ReportMetric(float64(pg.Pool.Stats().Misses)/float64(b.N), "faults/op")
+		})
+	}
+}
+
+func BenchmarkStorageCodec(b *testing.B) {
+	g := movieDB(5000)
+	data := storage.Encode(g)
+	b.Run("encode", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			storage.Encode(g)
+		}
+	})
+	b.Run("decode", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := storage.Decode(data); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// ---------------------------------------------------------------------------
+// E11: bisimulation — naive vs incremental refinement.
+
+func BenchmarkBisimNaive(b *testing.B) {
+	b.Run("movies-5k", func(b *testing.B) {
+		g := movieDB(5000)
+		for i := 0; i < b.N; i++ {
+			bisim.ClassesNaive(g)
+		}
+	})
+	b.Run("chain-2k", func(b *testing.B) {
+		g := chainGraph(2000)
+		for i := 0; i < b.N; i++ {
+			bisim.ClassesNaive(g)
+		}
+	})
+}
+
+func BenchmarkBisimIncremental(b *testing.B) {
+	b.Run("movies-5k", func(b *testing.B) {
+		g := movieDB(5000)
+		for i := 0; i < b.N; i++ {
+			bisim.Classes(g)
+		}
+	})
+	b.Run("chain-2k", func(b *testing.B) {
+		g := chainGraph(2000)
+		for i := 0; i < b.N; i++ {
+			bisim.Classes(g)
+		}
+	})
+}
+
+func chainGraph(n int) *ssd.Graph {
+	g := ssd.New()
+	cur := g.Root()
+	for i := 0; i < n; i++ {
+		cur = g.AddLeaf(cur, ssd.Sym("next"))
+	}
+	return g
+}

@@ -1,0 +1,209 @@
+// Command ssdq is the interactive face of the library: it loads a
+// semistructured database (text .ssd or binary .ssdg) and runs queries
+// against it.
+//
+// Usage:
+//
+//	ssdq -db file.ssd stats
+//	ssdq -db file.ssd query  'select T from DB.Entry.Movie.Title T'
+//	ssdq -db file.ssd path   'Entry.Movie.(!Movie)*."Allen"'
+//	ssdq -db file.ssd datalog 'reach(X) :- root(X). reach(Y) :- reach(X), edge(X,_,Y).'
+//	ssdq -db file.ssd browse -depth 3
+//	ssdq -db file.ssd guide
+//	ssdq -db file.ssd schema
+//	ssdq -db file.ssd fmt
+//	ssdq -db in.ssd convert -o out.ssdg   (formats: .ssd text, .ssdg binary, .oem)
+//	ssdq demo            # run the Figure 1 tour without a database file
+//
+// With no -db flag, ssdq uses the built-in Figure 1 database.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/ssd"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		dbPath = flag.String("db", "", "database file (.ssd text or .ssdg binary); default: built-in Figure 1")
+		depth  = flag.Int("depth", 3, "browse: maximum path depth")
+		limit  = flag.Int("limit", 40, "browse: maximum paths listed")
+		out    = flag.String("o", "", "convert: output file (.ssd or .ssdg)")
+	)
+	flag.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: ssdq [flags] <stats|query|path|datalog|browse|guide|schema|fmt|convert|demo> [arg]")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	cmd, rest := args[0], args[1:]
+
+	db, err := load(*dbPath)
+	if err != nil {
+		fatal(err)
+	}
+
+	switch cmd {
+	case "stats":
+		fmt.Println(db.Describe())
+	case "fmt":
+		fmt.Println(db.Format())
+	case "query":
+		res, err := db.Query(arg(rest, "query"))
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(res.Format())
+	case "path":
+		nodes, err := db.PathQuery(arg(rest, "path"))
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%d matching nodes\n", len(nodes))
+		for i, n := range nodes {
+			if i >= *limit {
+				fmt.Printf("... (%d more)\n", len(nodes)-i)
+				break
+			}
+			fmt.Printf("node %d: %s\n", n, clip(ssd.Format(db.Graph(), n), 100))
+		}
+	case "datalog":
+		rels, err := db.Datalog(arg(rest, "datalog"))
+		if err != nil {
+			fatal(err)
+		}
+		names := make([]string, 0, len(rels))
+		for name := range rels {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			fmt.Printf("%s: %d tuples\n", name, rels[name].Len())
+			for i, t := range rels[name].Tuples() {
+				if i >= *limit {
+					fmt.Printf("  ... (%d more)\n", rels[name].Len()-i)
+					break
+				}
+				fmt.Printf("  %s\n", t)
+			}
+		}
+	case "browse":
+		for _, a := range db.Browse(*depth, *limit) {
+			parts := make([]string, len(a.Path))
+			for i, l := range a.Path {
+				parts[i] = l.String()
+			}
+			fmt.Printf("%-60s %d\n", strings.Join(parts, "."), a.ExtentLen)
+		}
+	case "guide":
+		g := db.DataGuide()
+		fmt.Printf("dataguide: %d nodes, %d edges (data: %s)\n",
+			g.NumNodes(), g.G.NumEdges(), db.Describe())
+	case "schema":
+		s := db.InferSchema()
+		nodes, edges := s.Size()
+		fmt.Printf("inferred schema (%d nodes, %d edges):\n%s\n", nodes, edges, s)
+	case "convert":
+		if *out == "" {
+			fatal(fmt.Errorf("convert requires -o"))
+		}
+		if err := save(db, *out); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *out)
+	case "demo":
+		demo(db)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func arg(rest []string, cmd string) string {
+	if len(rest) != 1 {
+		fatal(fmt.Errorf("%s requires exactly one argument", cmd))
+	}
+	return rest[0]
+}
+
+func load(path string) (*core.Database, error) {
+	if path == "" {
+		return core.FromGraph(workload.Fig1(false)), nil
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	switch {
+	case strings.HasSuffix(path, ".ssdg"):
+		return core.Open(path)
+	case strings.HasSuffix(path, ".oem"):
+		return core.ParseOEM(string(data))
+	default:
+		return core.ParseText(string(data))
+	}
+}
+
+func save(db *core.Database, path string) error {
+	switch {
+	case strings.HasSuffix(path, ".ssdg"):
+		return db.Save(path)
+	case strings.HasSuffix(path, ".oem"):
+		return os.WriteFile(path, []byte(db.FormatOEM()), 0o644)
+	default:
+		return os.WriteFile(path, []byte(db.Format()+"\n"), 0o644)
+	}
+}
+
+func clip(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n-3] + "..."
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ssdq:", err)
+	os.Exit(1)
+}
+
+// demo walks through the paper's running examples on the loaded database.
+func demo(db *core.Database) {
+	fmt.Println("database:", db.Describe())
+	steps := []struct{ title, q string }{
+		{"movie titles", `select T from DB.Entry.Movie.Title T`},
+		{"who directed something Allen acted in",
+			`select {Director: D} from DB.Entry.Movie M, M.Director D, M.Cast._* A where A = "Allen"`},
+		{"both cast representations at once",
+			`select {Name: %N} from DB.Entry._.Cast.(isint|Credit.Actors|Special-Guests)? A, A.%N L where isstring(%N)`},
+		{"attribute names starting with 'Act' (§1.3)",
+			`select {%L} from DB._* X, X.%L Y where %L like "Act%"`},
+	}
+	for _, s := range steps {
+		fmt.Printf("\n-- %s\n   %s\n", s.title, s.q)
+		res, err := db.Query(s.q)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println("  ", res.Format())
+	}
+	fmt.Println("\n-- browse (dataguide paths, depth ≤ 2)")
+	for _, a := range db.Browse(2, 12) {
+		parts := make([]string, len(a.Path))
+		for i, l := range a.Path {
+			parts[i] = l.String()
+		}
+		fmt.Printf("   %-40s extent %d\n", strings.Join(parts, "."), a.ExtentLen)
+	}
+}

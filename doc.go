@@ -1,0 +1,13 @@
+// Package repro is a Go reproduction of Peter Buneman's PODS '97 tutorial
+// "Semistructured Data": the edge-labeled graph data model, the
+// select-from-where query language with regular path expressions (the
+// UnQL/Lorel select fragment), structural recursion (UnQL's algebra), graph
+// datalog over the edge relation, graph schemas with simulation-based
+// conformance, strong DataGuides, query decomposition over sites, and a
+// simulated native store.
+//
+// See README.md for a tour, DESIGN.md for the system inventory, and
+// EXPERIMENTS.md for the reproduced results. The root package holds only
+// the benchmark harness (bench_test.go); the library lives under
+// internal/, with internal/core as the public facade.
+package repro

@@ -1,0 +1,58 @@
+// Quickstart: build a small semistructured database from text, query it,
+// and look at it without a schema.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"repro/internal/core"
+)
+
+func main() {
+	// 1. Load data from the text syntax. No schema is declared anywhere —
+	// note the heterogeneous record shapes.
+	db, err := core.ParseText(`
+	{person: {name: "Ada",  born: 1815, interest: "mathematics"},
+	 person: {name: "Alan", born: 1912},
+	 person: {name: "Grace", born: 1906, rank: "rear admiral",
+	          interest: {primary: "compilers", also: "navy"}}}`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("database:", db.Describe())
+
+	// 2. A select-from-where query with a regular path expression. The
+	// `interest` field is sometimes a string and sometimes a record;
+	// `_*` reaches the strings wherever they are.
+	res, err := db.Query(`
+		select {Of: N, Likes: %V}
+		from DB.person P, P.name N, P.interest._* I, I.%V X
+		where isstring(%V)`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\ninterests, however nested:")
+	fmt.Println(" ", res.Format())
+
+	// 3. The §1.3 browsing queries: ask the data what it looks like.
+	fmt.Println("\nintegers > 1900 anywhere:", len(db.IntsGreaterThan(1900)), "hits")
+	fmt.Println(`where is "compilers"?   `, db.FindString("compilers"))
+
+	fmt.Println("\nlabel paths from the root (DataGuide):")
+	for _, a := range db.Browse(3, 15) {
+		parts := make([]string, len(a.Path))
+		for i, l := range a.Path {
+			parts[i] = l.String()
+		}
+		fmt.Printf("  %-30s extent %d\n", strings.Join(parts, "."), a.ExtentLen)
+	}
+
+	// 4. Infer a schema after the fact (§5) and check conformance.
+	s := db.InferSchema()
+	fmt.Println("\ninferred schema:", s)
+	fmt.Println("data conforms:", db.Conforms(s))
+}

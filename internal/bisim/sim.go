@@ -1,0 +1,120 @@
+package bisim
+
+import "repro/internal/ssd"
+
+// LabelMatch decides whether a data label satisfies a pattern label. Graph
+// schemas (§5 of the paper, [8]) label their edges with predicates; a
+// LabelMatch is the predicate evaluation hook, so this package stays
+// independent of the schema package's predicate syntax.
+type LabelMatch func(data, pattern ssd.Label) bool
+
+// ExactMatch matches labels by Label.Equal (numeric overloading included).
+func ExactMatch(data, pattern ssd.Label) bool { return data.Equal(pattern) }
+
+// Relation is a boolean matrix over VA × VB, the result of Simulation.
+type Relation struct {
+	nA, nB int
+	bits   []uint64
+}
+
+// Has reports whether a is simulated by b.
+func (r *Relation) Has(a, b ssd.NodeID) bool {
+	if int(a) >= r.nA || int(b) >= r.nB {
+		return false
+	}
+	i := int(a)*r.nB + int(b)
+	return r.bits[i>>6]&(1<<(uint(i)&63)) != 0
+}
+
+func (r *Relation) set(a, b int)   { i := a*r.nB + b; r.bits[i>>6] |= 1 << (uint(i) & 63) }
+func (r *Relation) clear(a, b int) { i := a*r.nB + b; r.bits[i>>6] &^= 1 << (uint(i) & 63) }
+
+// Count returns the number of pairs in the relation.
+func (r *Relation) Count() int {
+	n := 0
+	for _, w := range r.bits {
+		for ; w != 0; w &= w - 1 {
+			n++
+		}
+	}
+	return n
+}
+
+// Simulation computes the greatest simulation from gA into gB under match:
+// the largest relation R such that a R b implies every edge (l, a′) out of a
+// has a matching edge (l′, b′) out of b with match(l, l′) and a′ R b′.
+//
+// It is a fixpoint computation: start from the full relation and strike out
+// violating pairs until stable. With a worklist over predecessor pairs the
+// cost is O(|VA|·|VB| + |EA|·|EB|) in the worst case, which is fine at the
+// data-versus-schema sizes §5 contemplates (schemas are small).
+func Simulation(gA, gB *ssd.Graph, match LabelMatch) *Relation {
+	nA, nB := gA.NumNodes(), gB.NumNodes()
+	r := &Relation{nA: nA, nB: nB, bits: make([]uint64, (nA*nB+63)/64)}
+	for i := range r.bits {
+		r.bits[i] = ^uint64(0)
+	}
+	// Clear the padding bits beyond nA*nB so Count is exact.
+	if extra := nA * nB % 64; extra != 0 && len(r.bits) > 0 {
+		r.bits[len(r.bits)-1] = (1 << uint(extra)) - 1
+	}
+
+	revA := gA.Reverse()
+	revB := gB.Reverse()
+
+	// ok(a,b) rechecks the simulation condition for one pair.
+	ok := func(a, b int) bool {
+		for _, ea := range gA.Out(ssd.NodeID(a)) {
+			found := false
+			for _, eb := range gB.Out(ssd.NodeID(b)) {
+				if match(ea.Label, eb.Label) && r.Has(ea.To, eb.To) {
+					found = true
+					break
+				}
+			}
+			if !found {
+				return false
+			}
+		}
+		return true
+	}
+
+	type pair struct{ a, b int }
+	var work []pair
+	queued := make(map[pair]bool)
+	for a := 0; a < nA; a++ {
+		for b := 0; b < nB; b++ {
+			work = append(work, pair{a, b})
+		}
+	}
+	for len(work) > 0 {
+		p := work[len(work)-1]
+		work = work[:len(work)-1]
+		delete(queued, p)
+		if !r.Has(ssd.NodeID(p.a), ssd.NodeID(p.b)) {
+			continue
+		}
+		if ok(p.a, p.b) {
+			continue
+		}
+		r.clear(p.a, p.b)
+		// Removing (a,b) can invalidate any (pa, pb) with edges pa→a, pb→b.
+		for _, ea := range revA[p.a] {
+			for _, eb := range revB[p.b] {
+				q := pair{int(ea.To), int(eb.To)}
+				if !queued[q] && r.Has(ssd.NodeID(q.a), ssd.NodeID(q.b)) {
+					queued[q] = true
+					work = append(work, q)
+				}
+			}
+		}
+	}
+	return r
+}
+
+// Simulates reports whether the value rooted at (gA, a) is simulated by the
+// value rooted at (gB, b). For schema conformance, gA is the database, gB is
+// the schema, and match evaluates the schema's edge predicates.
+func Simulates(gA *ssd.Graph, a ssd.NodeID, gB *ssd.Graph, b ssd.NodeID, match LabelMatch) bool {
+	return Simulation(gA, gB, match).Has(a, b)
+}

@@ -1,0 +1,277 @@
+// Package core is the public face of the library: a Database handle over
+// one semistructured graph, exposing the paper's capabilities behind a
+// small API —
+//
+//   - loading/saving (text syntax and binary files) and OEM-style exchange
+//     via the relational codecs (§1.2),
+//   - the select-from-where query language with path expressions (§3),
+//   - graph datalog (§3),
+//   - structural-recursion restructuring (§3),
+//   - the §1.3 browsing queries backed by value indexes,
+//   - DataGuides, graph schemas, conformance and schema inference (§5),
+//   - value equality by bisimulation (§2).
+//
+// A Database is immutable: transformations return new handles, so indexes
+// and DataGuides are computed once, lazily, and never invalidated.
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/bisim"
+	"repro/internal/dataguide"
+	"repro/internal/datalog"
+	"repro/internal/index"
+	"repro/internal/oem"
+	"repro/internal/pathexpr"
+	"repro/internal/query"
+	"repro/internal/relstore"
+	"repro/internal/schema"
+	"repro/internal/ssd"
+	"repro/internal/storage"
+	"repro/internal/unql"
+)
+
+// Database is an immutable handle over one semistructured graph.
+type Database struct {
+	g *ssd.Graph
+
+	labelIx *index.LabelIndex
+	valueIx *index.ValueIndex
+	guide   *dataguide.Guide
+}
+
+// FromGraph wraps an existing graph. The graph must not be mutated
+// afterwards.
+func FromGraph(g *ssd.Graph) *Database { return &Database{g: g} }
+
+// ParseText loads a database from the text syntax.
+func ParseText(src string) (*Database, error) {
+	g, err := ssd.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return FromGraph(g), nil
+}
+
+// Open reads a database from a binary file written by Save.
+func Open(path string) (*Database, error) {
+	g, err := storage.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return FromGraph(g), nil
+}
+
+// Save writes the database to a binary file.
+func (db *Database) Save(path string) error { return storage.WriteFile(path, db.g) }
+
+// Graph exposes the underlying graph (read-only by convention).
+func (db *Database) Graph() *ssd.Graph { return db.g }
+
+// Format renders the database in the text syntax.
+func (db *Database) Format() string { return ssd.FormatRoot(db.g) }
+
+// Stats summarizes the graph.
+func (db *Database) Stats() ssd.Stats { return db.g.ComputeStats() }
+
+// ---------------------------------------------------------------------------
+// Queries
+
+// Query runs a select-from-where query and returns the result database.
+func (db *Database) Query(src string) (*Database, error) {
+	q, err := query.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	res, err := query.Eval(q, db.g)
+	if err != nil {
+		return nil, err
+	}
+	return FromGraph(res), nil
+}
+
+// QueryRows runs the from/where part of a query and returns the binding
+// tuples — programmatic access without building a result tree.
+func (db *Database) QueryRows(src string) ([]query.Env, error) {
+	q, err := query.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return query.EvalRows(q, db.g, 0)
+}
+
+// PathQuery evaluates a regular path expression from the root and returns
+// the matching nodes.
+func (db *Database) PathQuery(src string) ([]ssd.NodeID, error) {
+	au, err := compilePath(src)
+	if err != nil {
+		return nil, err
+	}
+	return au.Eval(db.g, db.g.Root()), nil
+}
+
+// PathQueryIndexed evaluates a path expression through the DataGuide path
+// index (building the guide on first use). Results equal PathQuery.
+func (db *Database) PathQueryIndexed(src string) ([]ssd.NodeID, error) {
+	au, err := compilePath(src)
+	if err != nil {
+		return nil, err
+	}
+	return db.DataGuide().Eval(au), nil
+}
+
+func compilePath(src string) (*pathexpr.Automaton, error) {
+	e, err := pathexpr.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return pathexpr.Compile(e), nil
+}
+
+// Datalog runs a datalog program (semi-naive) and returns its IDB
+// relations.
+func (db *Database) Datalog(src string) (map[string]*datalog.Relation, error) {
+	prog, err := datalog.ParseProgram(src)
+	if err != nil {
+		return nil, err
+	}
+	return datalog.NewEngine(db.g).Run(prog, datalog.SemiNaive)
+}
+
+// ---------------------------------------------------------------------------
+// Browsing (§1.3): the three questions a user can ask without a schema.
+
+// FindString returns the locations of a string anywhere in the database —
+// "Where in the database is the string "Casablanca" to be found?"
+func (db *Database) FindString(s string) []index.EdgeRef {
+	return db.values().Exact(ssd.Str(s))
+}
+
+// IntsGreaterThan returns locations of integers above v — "Are there
+// integers in the database greater than 2^16?"
+func (db *Database) IntsGreaterThan(v int64) []index.EdgeRef {
+	return db.values().Compare(pathexpr.OpGT, ssd.Int(v))
+}
+
+// AttrsLike returns the distinct attribute (symbol) labels matching a
+// %-pattern — "What objects have an attribute name that starts with act?"
+func (db *Database) AttrsLike(pattern string) []ssd.Label {
+	pred := pathexpr.LikePred{Pattern: pattern}
+	var out []ssd.Label
+	for _, l := range db.labels().Labels() {
+		if l.IsSymbol() && pred.Match(l) {
+			out = append(out, l)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
+	return out
+}
+
+// Browse lists label paths from the root with extent sizes, DataGuide-
+// style — browsing without a schema (§1.3, §5).
+func (db *Database) Browse(maxDepth, limit int) []dataguide.Annotation {
+	return db.DataGuide().Summary(maxDepth, limit)
+}
+
+func (db *Database) labels() *index.LabelIndex {
+	if db.labelIx == nil {
+		db.labelIx = index.BuildLabelIndex(db.g)
+	}
+	return db.labelIx
+}
+
+func (db *Database) values() *index.ValueIndex {
+	if db.valueIx == nil {
+		db.valueIx = index.BuildValueIndex(db.g)
+	}
+	return db.valueIx
+}
+
+// ---------------------------------------------------------------------------
+// Structure (§5)
+
+// DataGuide returns the strong DataGuide, building it on first use.
+func (db *Database) DataGuide() *dataguide.Guide {
+	if db.guide == nil {
+		db.guide = dataguide.MustBuild(db.g)
+	}
+	return db.guide
+}
+
+// InferSchema extracts a schema the database conforms to.
+func (db *Database) InferSchema() *schema.Schema { return schema.Infer(db.g) }
+
+// Conforms checks conformance to a schema by simulation.
+func (db *Database) Conforms(s *schema.Schema) bool { return s.Conforms(db.g) }
+
+// ---------------------------------------------------------------------------
+// Restructuring (§3)
+
+// Transform applies a structural-recursion rewriter and returns the new
+// database.
+func (db *Database) Transform(f unql.Rewriter) *Database {
+	return FromGraph(unql.GExt(db.g, f))
+}
+
+// RelabelWhere renames matching edge labels.
+func (db *Database) RelabelWhere(pred pathexpr.Pred, to ssd.Label) *Database {
+	return FromGraph(unql.RelabelWhere(db.g, pred, to))
+}
+
+// DeleteEdges removes matching edges.
+func (db *Database) DeleteEdges(pred pathexpr.Pred) *Database {
+	return FromGraph(unql.DeleteEdges(db.g, pred))
+}
+
+// CollapseEdges short-circuits matching edges.
+func (db *Database) CollapseEdges(pred pathexpr.Pred) *Database {
+	return FromGraph(unql.CollapseEdges(db.g, pred))
+}
+
+// ---------------------------------------------------------------------------
+// Exchange (§1.2) and equality (§2)
+
+// ImportRelational encodes a relational database.
+func ImportRelational(rdb relstore.Database) *Database {
+	return FromGraph(relstore.EncodeRelational(rdb))
+}
+
+// ExportRelational decodes the database back into tables; it errors when
+// the data is not relationally shaped (§5's structured/semistructured
+// boundary).
+func (db *Database) ExportRelational() (relstore.Database, error) {
+	return relstore.DecodeRelational(db.g)
+}
+
+// Equal reports value equality (bisimulation, ignoring object identity).
+func (db *Database) Equal(other *Database) bool { return bisim.Equal(db.g, other.g) }
+
+// Minimize returns the canonical bisimulation quotient.
+func (db *Database) Minimize() *Database { return FromGraph(bisim.Minimize(db.g)) }
+
+// Describe returns a one-line summary for CLI output.
+func (db *Database) Describe() string {
+	s := db.Stats()
+	return fmt.Sprintf("%d nodes, %d edges, %d distinct labels, %d leaves",
+		s.Nodes, s.Edges, s.DistinctLabel, s.Leaves)
+}
+
+// ---------------------------------------------------------------------------
+// OEM exchange (§1.2, [33])
+
+// ParseOEM loads a database from the Tsimmis OEM wire format.
+func ParseOEM(src string) (*Database, error) {
+	d, err := oem.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return FromGraph(oem.ToGraph(d)), nil
+}
+
+// FormatOEM renders the database in the OEM wire format (see the oem
+// package for the conversion's fidelity notes).
+func (db *Database) FormatOEM() string {
+	return oem.FromGraph(db.g).Format()
+}

@@ -1,0 +1,235 @@
+package core
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/internal/pathexpr"
+	"repro/internal/schema"
+	"repro/internal/ssd"
+	"repro/internal/unql"
+	"repro/internal/workload"
+)
+
+func fig1DB(t *testing.T) *Database {
+	t.Helper()
+	return FromGraph(workload.Fig1(false))
+}
+
+func TestParseTextAndFormat(t *testing.T) {
+	db, err := ParseText(`{a: 1, b: "x"}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.Format() == "" {
+		t.Error("empty format")
+	}
+	if _, err := ParseText(`{broken`); err == nil {
+		t.Error("bad text should error")
+	}
+}
+
+func TestSaveOpenRoundTrip(t *testing.T) {
+	db := fig1DB(t)
+	path := filepath.Join(t.TempDir(), "fig1.ssdg")
+	if err := db.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !db.Equal(back) {
+		t.Error("save/open changed the value")
+	}
+}
+
+func TestQueryEndToEnd(t *testing.T) {
+	db := fig1DB(t)
+	res, err := db.Query(`
+		select {Title: T}
+		from DB.Entry.Movie M, M.Title T, M.Cast._* A
+		where A = "Allen"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := ParseText(`{Title: {"Play it again, Sam"}}`)
+	if !res.Equal(want) {
+		t.Errorf("got %s", res.Format())
+	}
+	if _, err := db.Query(`select`); err == nil {
+		t.Error("bad query should error")
+	}
+}
+
+func TestQueryRows(t *testing.T) {
+	db := fig1DB(t)
+	rows, err := db.QueryRows(`select T from DB.Entry.Movie.Title T`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Errorf("rows = %d", len(rows))
+	}
+}
+
+func TestPathQueryAndIndexedAgree(t *testing.T) {
+	db := FromGraph(workload.Movies(workload.DefaultMovieConfig(100)))
+	for _, src := range []string{
+		"Entry.Movie.Title._",
+		`_*."Bogart"`,
+		"Entry._.Cast.(isint|Credit.Actors)._",
+	} {
+		direct, err := db.PathQuery(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		indexed, err := db.PathQueryIndexed(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(direct) != len(indexed) {
+			t.Errorf("%s: direct %d, indexed %d", src, len(direct), len(indexed))
+		}
+	}
+	if _, err := db.PathQuery("(("); err == nil {
+		t.Error("bad path should error")
+	}
+}
+
+func TestDatalogEndToEnd(t *testing.T) {
+	db := fig1DB(t)
+	res, err := db.Datalog(`
+		reach(X) :- root(X).
+		reach(Y) :- reach(X), edge(X, _, Y).`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc, _ := db.Graph().Accessible()
+	if res["reach"].Len() != acc.NumNodes() {
+		t.Errorf("reach = %d, want %d", res["reach"].Len(), acc.NumNodes())
+	}
+	if _, err := db.Datalog(`broken`); err == nil {
+		t.Error("bad program should error")
+	}
+}
+
+func TestBrowsingQueries(t *testing.T) {
+	db := fig1DB(t)
+	// The three §1.3 bullets.
+	if hits := db.FindString("Casablanca"); len(hits) != 1 {
+		t.Errorf("FindString = %d hits", len(hits))
+	}
+	if hits := db.IntsGreaterThan(65536); len(hits) != 1 { // Episode
+		t.Errorf("IntsGreaterThan = %d hits", len(hits))
+	}
+	attrs := db.AttrsLike("Cast%")
+	if len(attrs) != 1 || attrs[0] != ssd.Sym("Cast") {
+		t.Errorf("AttrsLike = %v", attrs)
+	}
+	paths := db.Browse(2, 50)
+	if len(paths) == 0 {
+		t.Error("Browse returned nothing")
+	}
+}
+
+func TestSchemaFlow(t *testing.T) {
+	db := fig1DB(t)
+	s := db.InferSchema()
+	if !db.Conforms(s) {
+		t.Error("database must conform to inferred schema")
+	}
+	other := schema.MustParse(`{Nope: {}}`)
+	if db.Conforms(other) {
+		t.Error("must not conform to unrelated schema")
+	}
+}
+
+func TestRestructuringFlow(t *testing.T) {
+	bad := FromGraph(workload.Fig1(true))
+	good := fig1DB(t)
+	fixed := bad.RelabelWhere(pathexpr.ExactPred{L: ssd.Str("Bacal")}, ssd.Str("Bacall"))
+	if !fixed.Equal(good) {
+		t.Error("Bacall fix failed")
+	}
+	noRefs := good.DeleteEdges(pathexpr.ExactPred{L: ssd.Sym("References")})
+	refs, _ := noRefs.PathQuery("_*.References")
+	if len(refs) != 0 {
+		t.Error("References survived deletion")
+	}
+	collapsed := good.CollapseEdges(pathexpr.ExactPred{L: ssd.Sym("Credit")})
+	hits, _ := collapsed.PathQuery("Entry.Movie.Cast.Actors")
+	if len(hits) != 1 {
+		t.Errorf("collapsed Actors hits = %d, want 1", len(hits))
+	}
+}
+
+func TestRelationalExchange(t *testing.T) {
+	rdb := workload.Relational(20, 5, 3)
+	db := ImportRelational(rdb)
+	back, err := db.ExportRelational()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back["movies"].Len() != 20 || back["directors"].Len() != 5 {
+		t.Errorf("exchange sizes: %d movies, %d directors", back["movies"].Len(), back["directors"].Len())
+	}
+	// Non-relational data does not export.
+	if _, err := fig1DB(t).ExportRelational(); err == nil {
+		t.Error("figure 1 is not relational; export must fail")
+	}
+}
+
+func TestMinimizeAndEqual(t *testing.T) {
+	db, _ := ParseText(`{a: {v: 1}, b: {v: 1}}`)
+	m := db.Minimize()
+	if !db.Equal(m) {
+		t.Error("minimize changed value")
+	}
+	if m.Stats().Nodes >= db.Stats().Nodes {
+		t.Error("minimize should shrink duplicated structure")
+	}
+}
+
+func TestDescribe(t *testing.T) {
+	if fig1DB(t).Describe() == "" {
+		t.Error("empty describe")
+	}
+}
+
+func TestTransformCustom(t *testing.T) {
+	db := fig1DB(t)
+	// Rename all Title edges to TITLE via the raw Transform hook.
+	out := db.Transform(func(l ssd.Label, _, _ ssd.NodeID, _ *ssd.Graph) unql.Action {
+		if s, ok := l.Symbol(); ok && s == "Title" {
+			return unql.RelabelTo(ssd.Sym("TITLE"))
+		}
+		return unql.Keep(l)
+	})
+	hits, _ := out.PathQuery("_*.TITLE")
+	if len(hits) != 3 {
+		t.Errorf("TITLE edges = %d, want 3", len(hits))
+	}
+	gone, _ := out.PathQuery("_*.Title")
+	if len(gone) != 0 {
+		t.Error("Title edges survived")
+	}
+}
+
+func TestOEMExchange(t *testing.T) {
+	db := fig1DB(t)
+	text := db.FormatOEM()
+	back, err := ParseOEM(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Symbol-path behaviour survives (under the synthetic root label).
+	orig, _ := db.PathQuery("Entry.Movie.Title")
+	via, _ := back.PathQuery("root.Entry.Movie.Title")
+	if len(orig) != len(via) {
+		t.Errorf("OEM round trip: %d vs %d title nodes", len(orig), len(via))
+	}
+	if _, err := ParseOEM("not oem"); err == nil {
+		t.Error("bad OEM should error")
+	}
+}

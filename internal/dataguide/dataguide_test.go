@@ -1,0 +1,214 @@
+package dataguide
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/pathexpr"
+	"repro/internal/ssd"
+)
+
+func movieDB(t *testing.T) *ssd.Graph {
+	t.Helper()
+	g, err := ssd.Parse(`
+	{Entry: {Movie: {Title: "Casablanca", Cast: {1: "Bogart", 2: "Bacall"}}},
+	 Entry: {Movie: {Title: "Annie Hall", Cast: {Credit: {Actors: {"Allen"}}}}},
+	 Entry: {Show: {Title: "Retro"}}}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestBuildDeterministic(t *testing.T) {
+	g := movieDB(t)
+	d := MustBuild(g)
+	// Determinism: no guide node has two out-edges with the same label.
+	for v := 0; v < d.G.NumNodes(); v++ {
+		seen := map[ssd.Label]bool{}
+		for _, e := range d.G.Out(ssd.NodeID(v)) {
+			if seen[e.Label] {
+				t.Fatalf("guide node %d has duplicate label %s", v, e.Label)
+			}
+			seen[e.Label] = true
+		}
+	}
+	// The three Entry edges collapse to one guide edge.
+	if got := len(d.G.Lookup(d.G.Root(), ssd.Sym("Entry"))); got != 1 {
+		t.Errorf("guide Entry edges = %d, want 1", got)
+	}
+}
+
+func TestExtents(t *testing.T) {
+	g := movieDB(t)
+	d := MustBuild(g)
+	ext, ok := d.LookupPath([]ssd.Label{ssd.Sym("Entry")})
+	if !ok || len(ext) != 3 {
+		t.Fatalf("Entry extent = %v, %v; want 3 nodes", ext, ok)
+	}
+	ext, ok = d.LookupPath([]ssd.Label{ssd.Sym("Entry"), ssd.Sym("Movie"), ssd.Sym("Title")})
+	if !ok || len(ext) != 2 {
+		t.Fatalf("Entry.Movie.Title extent = %v, want 2 nodes", ext)
+	}
+	if _, ok := d.LookupPath([]ssd.Label{ssd.Sym("Nope")}); ok {
+		t.Error("nonexistent path should not be found")
+	}
+	if ext, ok := d.LookupPath(nil); !ok || len(ext) != 1 || ext[0] != g.Root() {
+		t.Errorf("empty path extent = %v, want {root}", ext)
+	}
+}
+
+func TestGuidePathsCoincide(t *testing.T) {
+	// Strong DataGuide property: evaluating a path query on the guide and
+	// unioning extents equals evaluating it on the data.
+	g := movieDB(t)
+	d := MustBuild(g)
+	for _, src := range []string{
+		"Entry.Movie.Title",
+		"Entry._.Title",
+		`_*."Bogart"`,
+		"Entry.(Movie|Show).Title._",
+		"_*.isstring",
+		"Entry.Movie.Cast.(!Movie)*",
+	} {
+		direct := pathexpr.MustCompile(src).Eval(g, g.Root())
+		viaGuide := d.Eval(pathexpr.MustCompile(src))
+		if !reflect.DeepEqual(direct, viaGuide) {
+			t.Errorf("%s: direct %v, guide %v", src, direct, viaGuide)
+		}
+	}
+}
+
+func TestGuideSmallerOnRegularData(t *testing.T) {
+	// 100 identical entries: the guide stays constant-size.
+	g := ssd.New()
+	for i := 0; i < 100; i++ {
+		e := g.AddLeaf(g.Root(), ssd.Sym("Entry"))
+		ti := g.AddLeaf(e, ssd.Sym("Title"))
+		g.AddLeaf(ti, ssd.Str("same"))
+	}
+	d := MustBuild(g)
+	if d.NumNodes() > 5 {
+		t.Errorf("guide of regular data has %d nodes, want ≤ 5", d.NumNodes())
+	}
+}
+
+func TestBuildCap(t *testing.T) {
+	g := movieDB(t)
+	if _, ok := Build(g, 2); ok {
+		t.Error("tiny cap should fail the build")
+	}
+	if d, ok := Build(g, 1000); !ok || d == nil {
+		t.Error("ample cap should succeed")
+	}
+}
+
+func TestCyclicSource(t *testing.T) {
+	g := ssd.MustParse(`#r{a: {b: #r}, a: {c: 1}}`)
+	d := MustBuild(g)
+	// a-step merges both a-children into one extent of size 2.
+	ext, ok := d.LookupPath([]ssd.Label{ssd.Sym("a")})
+	if !ok || len(ext) != 2 {
+		t.Fatalf("a extent = %v", ext)
+	}
+	// Long path around the cycle still resolves.
+	ext, ok = d.LookupPath([]ssd.Label{ssd.Sym("a"), ssd.Sym("b"), ssd.Sym("a"), ssd.Sym("b")})
+	if !ok || len(ext) != 1 {
+		t.Fatalf("a.b.a.b extent = %v, %v", ext, ok)
+	}
+	// The guide of a cyclic graph is finite (we got here) and cyclic paths
+	// evaluate correctly.
+	direct := pathexpr.MustCompile("(a.b)*").Eval(g, g.Root())
+	viaGuide := d.Eval(pathexpr.MustCompile("(a.b)*"))
+	if !reflect.DeepEqual(direct, viaGuide) {
+		t.Errorf("(a.b)*: direct %v, guide %v", direct, viaGuide)
+	}
+}
+
+func TestPathsAndSummary(t *testing.T) {
+	g := movieDB(t)
+	d := MustBuild(g)
+	paths := d.Paths(2, 0)
+	if len(paths) == 0 {
+		t.Fatal("no paths")
+	}
+	for _, p := range paths {
+		if len(p) == 0 || len(p) > 2 {
+			t.Errorf("path %v out of depth bounds", p)
+		}
+	}
+	sum := d.Summary(1, 10)
+	if len(sum) != 1 || sum[0].ExtentLen != 3 { // only Entry at depth 1
+		t.Fatalf("summary = %+v", sum)
+	}
+	limited := d.Paths(3, 2)
+	if len(limited) != 2 {
+		t.Errorf("limit ignored: %d paths", len(limited))
+	}
+}
+
+// Property: guide evaluation agrees with direct evaluation on random graphs.
+func TestGuideEvalAgreementProperty(t *testing.T) {
+	exprs := []string{"a*", "(a|b).c", "_._", "a.(!b)*"}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := ssd.New()
+		ids := []ssd.NodeID{g.Root()}
+		for i := 0; i < 12; i++ {
+			ids = append(ids, g.AddNode())
+		}
+		labels := []ssd.Label{ssd.Sym("a"), ssd.Sym("b"), ssd.Sym("c")}
+		for i := 0; i < 25; i++ {
+			g.AddEdge(ids[rng.Intn(len(ids))], labels[rng.Intn(len(labels))], ids[rng.Intn(len(ids))])
+		}
+		d, ok := Build(g, 4096)
+		if !ok {
+			return true // cap hit on pathological instance; nothing to check
+		}
+		for _, src := range exprs {
+			direct := pathexpr.MustCompile(src).Eval(g, g.Root())
+			viaGuide := d.Eval(pathexpr.MustCompile(src))
+			if !reflect.DeepEqual(direct, viaGuide) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: every guide is deterministic.
+func TestGuideDeterminismProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := ssd.New()
+		ids := []ssd.NodeID{g.Root()}
+		for i := 0; i < 10; i++ {
+			ids = append(ids, g.AddNode())
+		}
+		for i := 0; i < 20; i++ {
+			g.AddEdge(ids[rng.Intn(len(ids))], ssd.Sym(string(rune('a'+rng.Intn(2)))), ids[rng.Intn(len(ids))])
+		}
+		d, ok := Build(g, 4096)
+		if !ok {
+			return true
+		}
+		for v := 0; v < d.G.NumNodes(); v++ {
+			seen := map[ssd.Label]bool{}
+			for _, e := range d.G.Out(ssd.NodeID(v)) {
+				if seen[e.Label] {
+					return false
+				}
+				seen[e.Label] = true
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,208 @@
+// Package datalog implements the paper's first computational strategy for
+// semistructured data (§3): "model the graph as a relational database" —
+// one ternary relation edge(from, label, to) — "and exploit a relational
+// query language", extended with recursion into the "graph datalog" the
+// paper says unbounded searches require [26, 16].
+//
+// The engine supports:
+//
+//   - the EDB predicates edge/3 (the graph) and root/1 (the distinguished
+//     root, addressing the paper's point 4 — queries concern what is
+//     accessible from the root);
+//   - recursive IDB rules with set semantics;
+//   - stratified negation (`not p(...)`, all arguments bound);
+//   - built-in label filters (isint, isstring, issymbol, isfloat, isbool,
+//     isdata, lt, le, gt, ge, eq, neq, like), addressing point 1 — labels
+//     come from a heterogeneous collection of types;
+//   - naive and semi-naive bottom-up evaluation (experiment E4 measures
+//     the difference).
+//
+// Example — the titles of everything reachable from a movie entry:
+//
+//	movie(M)      :- root(R), edge(R, Entry, E), edge(E, Movie, M).
+//	reach(M, M)   :- movie(M).
+//	reach(M, Y)   :- reach(M, X), edge(X, _, Y).
+//	title(M, T)   :- reach(M, X), edge(X, Title, N), edge(N, T, L), isstring(T).
+package datalog
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"strings"
+
+	"repro/internal/ssd"
+)
+
+// Value is a datalog constant: a graph node or a label.
+type Value struct {
+	IsNode bool
+	Node   ssd.NodeID
+	Label  ssd.Label
+}
+
+// NodeValue wraps a node id.
+func NodeValue(n ssd.NodeID) Value { return Value{IsNode: true, Node: n} }
+
+// LabelValue wraps a label.
+func LabelValue(l ssd.Label) Value { return Value{Label: l} }
+
+// Equal compares values (labels with numeric overloading).
+func (v Value) Equal(w Value) bool {
+	if v.IsNode != w.IsNode {
+		return false
+	}
+	if v.IsNode {
+		return v.Node == w.Node
+	}
+	return v.Label.Equal(w.Label)
+}
+
+func (v Value) String() string {
+	if v.IsNode {
+		return fmt.Sprintf("node(%d)", v.Node)
+	}
+	return v.Label.String()
+}
+
+func (v Value) appendKey(buf []byte) []byte {
+	if v.IsNode {
+		buf = append(buf, 'n')
+		return binary.AppendUvarint(buf, uint64(v.Node))
+	}
+	buf = append(buf, 'l', byte(v.Label.Kind()))
+	switch v.Label.Kind() {
+	case ssd.KindSymbol:
+		s, _ := v.Label.Symbol()
+		buf = append(buf, s...)
+	case ssd.KindString:
+		s, _ := v.Label.Text()
+		buf = append(buf, s...)
+	case ssd.KindOID:
+		s, _ := v.Label.OIDVal()
+		buf = append(buf, s...)
+	case ssd.KindInt:
+		n, _ := v.Label.IntVal()
+		buf = binary.AppendVarint(buf, n)
+	case ssd.KindFloat:
+		f, _ := v.Label.FloatVal()
+		var tmp [8]byte
+		binary.LittleEndian.PutUint64(tmp[:], math.Float64bits(f))
+		buf = append(buf, tmp[:]...)
+	case ssd.KindBool:
+		b, _ := v.Label.BoolVal()
+		if b {
+			buf = append(buf, 1)
+		} else {
+			buf = append(buf, 0)
+		}
+	}
+	return buf
+}
+
+// Tuple is one relation row.
+type Tuple []Value
+
+func (t Tuple) key() string {
+	var buf []byte
+	for _, v := range t {
+		buf = v.appendKey(buf)
+		buf = append(buf, 0)
+	}
+	return string(buf)
+}
+
+func (t Tuple) String() string {
+	parts := make([]string, len(t))
+	for i, v := range t {
+		parts[i] = v.String()
+	}
+	return "(" + strings.Join(parts, ", ") + ")"
+}
+
+// Term is an argument of an atom: a variable or a constant. The anonymous
+// variable `_` parses to a fresh variable per occurrence.
+type Term struct {
+	Var   string // non-empty for variables
+	Const Value  // used when Var == ""
+}
+
+// IsVar reports whether the term is a variable.
+func (t Term) IsVar() bool { return t.Var != "" }
+
+// Atom is pred(t1, ..., tn).
+type Atom struct {
+	Pred string
+	Args []Term
+}
+
+func (a Atom) String() string {
+	parts := make([]string, len(a.Args))
+	for i, t := range a.Args {
+		switch {
+		case t.IsVar():
+			parts[i] = t.Var
+		default:
+			parts[i] = termConstString(t.Const)
+		}
+	}
+	return a.Pred + "(" + strings.Join(parts, ", ") + ")"
+}
+
+// termConstString renders a constant in re-parseable form: capitalized
+// symbols are single-quoted so they do not read back as variables.
+func termConstString(v Value) string {
+	if !v.IsNode {
+		if s, ok := v.Label.Symbol(); ok && s != "" {
+			r := rune(s[0])
+			if r >= 'A' && r <= 'Z' {
+				return "'" + s + "'"
+			}
+		}
+	}
+	return v.String()
+}
+
+// Literal is an atom or its negation.
+type Literal struct {
+	Atom    Atom
+	Negated bool
+}
+
+func (l Literal) String() string {
+	if l.Negated {
+		return "not " + l.Atom.String()
+	}
+	return l.Atom.String()
+}
+
+// Rule is head :- body. An empty body is a fact.
+type Rule struct {
+	Head Atom
+	Body []Literal
+}
+
+func (r Rule) String() string {
+	if len(r.Body) == 0 {
+		return r.Head.String() + "."
+	}
+	parts := make([]string, len(r.Body))
+	for i, l := range r.Body {
+		parts[i] = l.String()
+	}
+	return r.Head.String() + " :- " + strings.Join(parts, ", ") + "."
+}
+
+// Program is a list of rules.
+type Program struct {
+	Rules []Rule
+}
+
+func (p *Program) String() string {
+	var b strings.Builder
+	for _, r := range p.Rules {
+		b.WriteString(r.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,246 @@
+// Package decomp implements query decomposition for regular path queries
+// over a distributed graph, after Suciu's VLDB '96 algorithm the paper
+// cites in §4: "an analysis of the query, combined with some segmentation
+// of the graph into local sites, can be used to decompose a query into
+// independent, parallel sub-queries".
+//
+// The graph is segmented into sites. Each site computes, independently and
+// in parallel, a partial product-automaton evaluation: for every entry
+// point of the site (the root, or the target of a cross-site edge) and
+// every automaton state, which result nodes are accepted locally and which
+// (cross-edge target, state) continuations leave the site. A cheap global
+// assembly phase then stitches the partial answers together. The number of
+// communication "rounds" is one — each site's work never depends on another
+// site's answers — which is the property the original algorithm optimizes
+// for.
+package decomp
+
+import (
+	"sort"
+	"sync"
+
+	"repro/internal/pathexpr"
+	"repro/internal/ssd"
+)
+
+// Partition assigns every node to one of NumSites sites.
+type Partition struct {
+	Site     []int
+	NumSites int
+}
+
+// PartitionHash spreads nodes round-robin — a worst case for locality, with
+// many cross edges.
+func PartitionHash(g *ssd.Graph, k int) *Partition {
+	p := &Partition{Site: make([]int, g.NumNodes()), NumSites: k}
+	for v := range p.Site {
+		p.Site[v] = v % k
+	}
+	return p
+}
+
+// PartitionBFS assigns contiguous BFS regions of roughly equal size — the
+// locality-preserving segmentation a real distribution would use.
+func PartitionBFS(g *ssd.Graph, k int) *Partition {
+	p := &Partition{Site: make([]int, g.NumNodes()), NumSites: k}
+	per := (g.NumNodes() + k - 1) / k
+	seen := make([]bool, g.NumNodes())
+	assigned := 0
+	site := 0
+	var bfs func(start ssd.NodeID)
+	bfs = func(start ssd.NodeID) {
+		queue := []ssd.NodeID{start}
+		seen[start] = true
+		for len(queue) > 0 {
+			n := queue[0]
+			queue = queue[1:]
+			p.Site[n] = site
+			assigned++
+			if assigned%per == 0 && site < k-1 {
+				site++
+			}
+			for _, e := range g.Out(n) {
+				if !seen[e.To] {
+					seen[e.To] = true
+					queue = append(queue, e.To)
+				}
+			}
+		}
+	}
+	bfs(g.Root())
+	for v := 0; v < g.NumNodes(); v++ {
+		if !seen[v] {
+			bfs(ssd.NodeID(v))
+		}
+	}
+	return p
+}
+
+// CrossEdges counts edges whose endpoints live on different sites.
+func (p *Partition) CrossEdges(g *ssd.Graph) int {
+	n := 0
+	for v := 0; v < g.NumNodes(); v++ {
+		for _, e := range g.Out(ssd.NodeID(v)) {
+			if p.Site[v] != p.Site[e.To] {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// cont is a continuation leaving a site: re-enter the global search at
+// (node, state).
+type cont struct {
+	node  ssd.NodeID
+	state int
+}
+
+// partial is one site's answer for one (entry, state) pair.
+type partial struct {
+	results []ssd.NodeID
+	conts   []cont
+}
+
+// siteAnswers maps (entry node, state) to the partial answer.
+type siteAnswers map[cont]partial
+
+// Eval evaluates a compiled path query over the partitioned graph. When
+// parallel is true, site computations run concurrently (one goroutine per
+// site); the assembly phase is sequential either way. The result equals
+// au.Eval(g, g.Root()) — tests enforce this.
+func Eval(g *ssd.Graph, au *pathexpr.Automaton, p *Partition, parallel bool) []ssd.NodeID {
+	entries := entryPoints(g, p)
+	answers := make([]siteAnswers, p.NumSites)
+	if parallel {
+		var wg sync.WaitGroup
+		for s := 0; s < p.NumSites; s++ {
+			wg.Add(1)
+			go func(s int) {
+				defer wg.Done()
+				answers[s] = evalSite(g, au, p, s, entries[s])
+			}(s)
+		}
+		wg.Wait()
+	} else {
+		for s := 0; s < p.NumSites; s++ {
+			answers[s] = evalSite(g, au, p, s, entries[s])
+		}
+	}
+
+	// Global assembly: BFS over continuations.
+	resultSet := map[ssd.NodeID]bool{}
+	seen := map[cont]bool{}
+	queue := []cont{{g.Root(), au.Start()}}
+	seen[queue[0]] = true
+	for len(queue) > 0 {
+		c := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		ans, ok := answers[p.Site[c.node]][c]
+		if !ok {
+			continue
+		}
+		for _, r := range ans.results {
+			resultSet[r] = true
+		}
+		for _, nc := range ans.conts {
+			if !seen[nc] {
+				seen[nc] = true
+				queue = append(queue, nc)
+			}
+		}
+	}
+	out := make([]ssd.NodeID, 0, len(resultSet))
+	for n := range resultSet {
+		out = append(out, n)
+	}
+	sortNodes(out)
+	return out
+}
+
+// entryPoints returns, per site, the nodes at which the global search can
+// enter: the root and every target of a cross-site edge.
+func entryPoints(g *ssd.Graph, p *Partition) [][]ssd.NodeID {
+	entries := make([][]ssd.NodeID, p.NumSites)
+	isEntry := make([]bool, g.NumNodes())
+	add := func(n ssd.NodeID) {
+		if !isEntry[n] {
+			isEntry[n] = true
+			entries[p.Site[n]] = append(entries[p.Site[n]], n)
+		}
+	}
+	add(g.Root())
+	for v := 0; v < g.NumNodes(); v++ {
+		for _, e := range g.Out(ssd.NodeID(v)) {
+			if p.Site[v] != p.Site[e.To] {
+				add(e.To)
+			}
+		}
+	}
+	return entries
+}
+
+// evalSite computes the partial answers of one site for every (entry,
+// state) pair. The computation touches only edges inside the site plus the
+// cross edges leaving it, so sites are independent.
+func evalSite(g *ssd.Graph, au *pathexpr.Automaton, p *Partition, site int, entries []ssd.NodeID) siteAnswers {
+	answers := siteAnswers{}
+	S := au.NumStates()
+	for _, entry := range entries {
+		for q := 0; q < S; q++ {
+			answers[cont{entry, q}] = evalSiteFrom(g, au, p, site, entry, q)
+		}
+	}
+	return answers
+}
+
+func evalSiteFrom(g *ssd.Graph, au *pathexpr.Automaton, p *Partition, site int, entry ssd.NodeID, q0 int) partial {
+	var pt partial
+	type item struct {
+		node  ssd.NodeID
+		state int
+	}
+	seen := map[item]bool{}
+	var queue []item
+	push := func(n ssd.NodeID, q int) {
+		for _, c := range au.Closure(q) {
+			it := item{n, c}
+			if !seen[it] {
+				seen[it] = true
+				queue = append(queue, it)
+			}
+		}
+	}
+	push(entry, q0)
+	resultSeen := map[ssd.NodeID]bool{}
+	contSeen := map[cont]bool{}
+	for len(queue) > 0 {
+		it := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		if it.state == au.Accept() && !resultSeen[it.node] {
+			resultSeen[it.node] = true
+			pt.results = append(pt.results, it.node)
+		}
+		for _, arc := range au.Arcs(it.state) {
+			for _, e := range g.Out(it.node) {
+				if !arc.Pred.Match(e.Label) {
+					continue
+				}
+				if p.Site[e.To] == site {
+					push(e.To, arc.To)
+					continue
+				}
+				c := cont{e.To, arc.To}
+				if !contSeen[c] {
+					contSeen[c] = true
+					pt.conts = append(pt.conts, c)
+				}
+			}
+		}
+	}
+	return pt
+}
+
+func sortNodes(ns []ssd.NodeID) {
+	sort.Slice(ns, func(i, j int) bool { return ns[i] < ns[j] })
+}

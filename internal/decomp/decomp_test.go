@@ -1,0 +1,136 @@
+package decomp
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/pathexpr"
+	"repro/internal/ssd"
+)
+
+func randGraph(seed int64, nodes, edges int) *ssd.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	g := ssd.New()
+	ids := []ssd.NodeID{g.Root()}
+	for i := 1; i < nodes; i++ {
+		ids = append(ids, g.AddNode())
+	}
+	labels := []ssd.Label{ssd.Sym("a"), ssd.Sym("b"), ssd.Sym("c"), ssd.Str("v"), ssd.Int(7)}
+	for i := 0; i < edges; i++ {
+		g.AddEdge(ids[rng.Intn(len(ids))], labels[rng.Intn(len(labels))], ids[rng.Intn(len(ids))])
+	}
+	return g
+}
+
+var testExprs = []string{
+	"a.b",
+	"(a|b)*",
+	"_*.isint",
+	"a.(!b)*.c",
+	"_*",
+}
+
+func TestDistributedMatchesCentralized(t *testing.T) {
+	g := randGraph(42, 60, 160)
+	for _, k := range []int{1, 2, 4, 7} {
+		for _, partFn := range []func(*ssd.Graph, int) *Partition{PartitionHash, PartitionBFS} {
+			p := partFn(g, k)
+			for _, src := range testExprs {
+				want := pathexpr.MustCompile(src).Eval(g, g.Root())
+				gotSeq := Eval(g, pathexpr.MustCompile(src), p, false)
+				gotPar := Eval(g, pathexpr.MustCompile(src), p, true)
+				if !reflect.DeepEqual(want, gotSeq) {
+					t.Errorf("k=%d %s: sequential %v, want %v", k, src, gotSeq, want)
+				}
+				if !reflect.DeepEqual(want, gotPar) {
+					t.Errorf("k=%d %s: parallel %v, want %v", k, src, gotPar, want)
+				}
+			}
+		}
+	}
+}
+
+func TestSingleSiteIsCentralized(t *testing.T) {
+	g := randGraph(7, 30, 80)
+	p := PartitionHash(g, 1)
+	if p.CrossEdges(g) != 0 {
+		t.Fatal("single site cannot have cross edges")
+	}
+	for _, src := range testExprs {
+		want := pathexpr.MustCompile(src).Eval(g, g.Root())
+		got := Eval(g, pathexpr.MustCompile(src), p, false)
+		if !reflect.DeepEqual(want, got) {
+			t.Errorf("%s: %v != %v", src, got, want)
+		}
+	}
+}
+
+func TestPartitionShapes(t *testing.T) {
+	g := randGraph(9, 40, 100)
+	hash := PartitionHash(g, 4)
+	bfs := PartitionBFS(g, 4)
+	if len(hash.Site) != g.NumNodes() || len(bfs.Site) != g.NumNodes() {
+		t.Fatal("partition size wrong")
+	}
+	for _, p := range []*Partition{hash, bfs} {
+		for _, s := range p.Site {
+			if s < 0 || s >= 4 {
+				t.Fatalf("site %d out of range", s)
+			}
+		}
+	}
+	// BFS partitioning should produce no more cross edges than round-robin
+	// on a locally-generated graph... this is a heuristic, so only sanity
+	// check both are positive for k>1 on a connected-ish graph.
+	if hash.CrossEdges(g) == 0 {
+		t.Error("hash partition of 40 nodes into 4 sites should cross")
+	}
+}
+
+func TestCyclicAcrossSites(t *testing.T) {
+	// A cycle that crosses sites: root -> a -> b -> root, nodes forced onto
+	// different sites by round-robin.
+	g := ssd.MustParse(`#r{a: {b: {c: #r}, v: 1}}`)
+	p := PartitionHash(g, 2)
+	want := pathexpr.MustCompile("(a.b.c)*.a.v").Eval(g, g.Root())
+	got := Eval(g, pathexpr.MustCompile("(a.b.c)*.a.v"), p, true)
+	if !reflect.DeepEqual(want, got) {
+		t.Errorf("cycle across sites: %v, want %v", got, want)
+	}
+	if len(got) != 1 {
+		t.Errorf("hits = %d, want 1", len(got))
+	}
+}
+
+func TestEmptyResult(t *testing.T) {
+	g := randGraph(3, 20, 50)
+	p := PartitionBFS(g, 3)
+	got := Eval(g, pathexpr.MustCompile("zz.yy"), p, true)
+	if len(got) != 0 {
+		t.Errorf("expected empty, got %v", got)
+	}
+}
+
+func TestDistributedProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		g := randGraph(seed, 25, 60)
+		k := int(seed%4) + 1
+		if k < 1 {
+			k = 1
+		}
+		p := PartitionHash(g, k)
+		for _, src := range []string{"(a|b)+", "_._._"} {
+			want := pathexpr.MustCompile(src).Eval(g, g.Root())
+			got := Eval(g, pathexpr.MustCompile(src), p, true)
+			if !reflect.DeepEqual(want, got) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,363 @@
+// Package oem implements the Object Exchange Model of the Tsimmis project
+// (§1.2 of the paper, [33]): "a highly flexible data structure that may be
+// used to capture most kinds of data and provides a substrate in which
+// almost any other data structure may be represented".
+//
+// An OEM object is (oid, label, type, value): the value is either atomic
+// (int, real, str, bool) or a set of oids. OEM is the node-labeled variant
+// the paper discusses in §2 — each *object* carries the label — so the
+// conversion to the package's edge-labeled model is exactly the paper's
+// "introduce extra edges" mapping: the object's label becomes the label of
+// every edge pointing at it.
+//
+// The wire format is line-based, one object per line:
+//
+//	&o1 entry set &o2 &o3
+//	&o2 title str "Casablanca"
+//	&o3 year int 1942
+//
+// The first object is the root. Comments run from # to end of line.
+package oem
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/ssd"
+)
+
+// Type is an OEM value type tag.
+type Type int
+
+// OEM value types.
+const (
+	TypeSet Type = iota
+	TypeInt
+	TypeReal
+	TypeStr
+	TypeBool
+)
+
+func (t Type) String() string {
+	return [...]string{"set", "int", "real", "str", "bool"}[t]
+}
+
+func parseType(s string) (Type, error) {
+	switch s {
+	case "set":
+		return TypeSet, nil
+	case "int":
+		return TypeInt, nil
+	case "real":
+		return TypeReal, nil
+	case "str":
+		return TypeStr, nil
+	case "bool":
+		return TypeBool, nil
+	}
+	return 0, fmt.Errorf("oem: unknown type %q", s)
+}
+
+// Object is one OEM object.
+type Object struct {
+	OID     string
+	Label   string
+	Type    Type
+	Atom    ssd.Label // for atomic types
+	Members []string  // oids, for TypeSet
+}
+
+// Document is a parsed OEM database: objects in definition order, the first
+// being the root.
+type Document struct {
+	Objects []Object
+	byOID   map[string]int
+}
+
+// Root returns the root object.
+func (d *Document) Root() *Object { return &d.Objects[0] }
+
+// Lookup finds an object by oid.
+func (d *Document) Lookup(oid string) (*Object, bool) {
+	i, ok := d.byOID[oid]
+	if !ok {
+		return nil, false
+	}
+	return &d.Objects[i], true
+}
+
+// Parse reads the line-based OEM format.
+func Parse(src string) (*Document, error) {
+	d := &Document{byOID: map[string]int{}}
+	for lineNo, raw := range strings.Split(src, "\n") {
+		line := raw
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		obj, err := parseLine(line)
+		if err != nil {
+			return nil, fmt.Errorf("oem: line %d: %w", lineNo+1, err)
+		}
+		if _, dup := d.byOID[obj.OID]; dup {
+			return nil, fmt.Errorf("oem: line %d: duplicate oid %s", lineNo+1, obj.OID)
+		}
+		d.byOID[obj.OID] = len(d.Objects)
+		d.Objects = append(d.Objects, obj)
+	}
+	if len(d.Objects) == 0 {
+		return nil, fmt.Errorf("oem: empty document")
+	}
+	// Referential integrity.
+	for _, o := range d.Objects {
+		for _, m := range o.Members {
+			if _, ok := d.byOID[m]; !ok {
+				return nil, fmt.Errorf("oem: object %s references undefined oid %s", o.OID, m)
+			}
+		}
+	}
+	return d, nil
+}
+
+func parseLine(line string) (Object, error) {
+	fields, err := splitFields(line)
+	if err != nil {
+		return Object{}, err
+	}
+	if len(fields) < 3 {
+		return Object{}, fmt.Errorf("want `&oid label type value...`, got %q", line)
+	}
+	oid, ok := strings.CutPrefix(fields[0], "&")
+	if !ok || oid == "" {
+		return Object{}, fmt.Errorf("oid must start with &: %q", fields[0])
+	}
+	typ, err := parseType(fields[2])
+	if err != nil {
+		return Object{}, err
+	}
+	obj := Object{OID: oid, Label: fields[1], Type: typ}
+	vals := fields[3:]
+	switch typ {
+	case TypeSet:
+		for _, v := range vals {
+			m, ok := strings.CutPrefix(v, "&")
+			if !ok {
+				return Object{}, fmt.Errorf("set member %q is not an oid", v)
+			}
+			obj.Members = append(obj.Members, m)
+		}
+	case TypeInt:
+		if len(vals) != 1 {
+			return Object{}, fmt.Errorf("int needs one value")
+		}
+		n, err := strconv.ParseInt(vals[0], 10, 64)
+		if err != nil {
+			return Object{}, err
+		}
+		obj.Atom = ssd.Int(n)
+	case TypeReal:
+		if len(vals) != 1 {
+			return Object{}, fmt.Errorf("real needs one value")
+		}
+		f, err := strconv.ParseFloat(vals[0], 64)
+		if err != nil {
+			return Object{}, err
+		}
+		obj.Atom = ssd.Float(f)
+	case TypeStr:
+		if len(vals) != 1 {
+			return Object{}, fmt.Errorf("str needs one (quoted) value")
+		}
+		s, err := strconv.Unquote(vals[0])
+		if err != nil {
+			return Object{}, fmt.Errorf("bad string %q: %v", vals[0], err)
+		}
+		obj.Atom = ssd.Str(s)
+	case TypeBool:
+		if len(vals) != 1 || (vals[0] != "true" && vals[0] != "false") {
+			return Object{}, fmt.Errorf("bool needs true or false")
+		}
+		obj.Atom = ssd.Bool(vals[0] == "true")
+	}
+	return obj, nil
+}
+
+// splitFields splits on whitespace but keeps quoted strings intact.
+func splitFields(line string) ([]string, error) {
+	var out []string
+	i := 0
+	for i < len(line) {
+		for i < len(line) && (line[i] == ' ' || line[i] == '\t') {
+			i++
+		}
+		if i >= len(line) {
+			break
+		}
+		if line[i] == '"' {
+			j := i + 1
+			for j < len(line) {
+				if line[j] == '\\' {
+					j += 2
+					continue
+				}
+				if line[j] == '"' {
+					break
+				}
+				j++
+			}
+			if j >= len(line) {
+				return nil, fmt.Errorf("unterminated string")
+			}
+			out = append(out, line[i:j+1])
+			i = j + 1
+			continue
+		}
+		j := i
+		for j < len(line) && line[j] != ' ' && line[j] != '\t' {
+			j++
+		}
+		out = append(out, line[i:j])
+		i = j
+	}
+	return out, nil
+}
+
+// Format renders the document in the wire format, root first, the rest in
+// oid order.
+func (d *Document) Format() string {
+	var b strings.Builder
+	writeObj := func(o *Object) {
+		fmt.Fprintf(&b, "&%s %s %s", o.OID, o.Label, o.Type)
+		switch o.Type {
+		case TypeSet:
+			for _, m := range o.Members {
+				b.WriteString(" &" + m)
+			}
+		case TypeStr:
+			s, _ := o.Atom.Text()
+			b.WriteString(" " + strconv.Quote(s))
+		default:
+			b.WriteString(" " + o.Atom.String())
+		}
+		b.WriteByte('\n')
+	}
+	writeObj(&d.Objects[0])
+	rest := make([]*Object, 0, len(d.Objects)-1)
+	for i := range d.Objects[1:] {
+		rest = append(rest, &d.Objects[i+1])
+	}
+	sort.Slice(rest, func(i, j int) bool { return rest[i].OID < rest[j].OID })
+	for _, o := range rest {
+		writeObj(o)
+	}
+	return b.String()
+}
+
+// ---------------------------------------------------------------------------
+// Conversion to/from the edge-labeled model
+
+// ToGraph converts an OEM document to an edge-labeled graph: object o with
+// label ℓ becomes a node reached by edges labeled ℓ (the §2 node-labeled →
+// edge-labeled mapping); atomic objects additionally carry a data edge with
+// their value; object identities are preserved as node oids. The graph root
+// is a fresh node with one edge (the root object's label) to the root
+// object.
+func ToGraph(d *Document) *ssd.Graph {
+	g := ssd.New()
+	nodes := make(map[string]ssd.NodeID, len(d.Objects))
+	for _, o := range d.Objects {
+		n := g.AddNode()
+		g.SetOID(n, o.OID)
+		nodes[o.OID] = n
+	}
+	for _, o := range d.Objects {
+		n := nodes[o.OID]
+		if o.Type == TypeSet {
+			for _, m := range o.Members {
+				mo, _ := d.Lookup(m)
+				g.AddEdge(n, ssd.Sym(mo.Label), nodes[m])
+			}
+			continue
+		}
+		g.AddLeaf(n, o.Atom)
+	}
+	root := d.Root()
+	g.AddEdge(g.Root(), ssd.Sym(root.Label), nodes[root.OID])
+	return g
+}
+
+// FromGraph converts an edge-labeled graph into an OEM document. Each
+// reachable node becomes an object whose label is the label of the edge the
+// BFS first reached it through (the root gets label "root"); a node whose
+// only edge is a single data edge to a leaf becomes an atomic object;
+// everything else becomes a set. Existing node oids are kept; others are
+// generated as o0, o1, …. The conversion loses edge-label multiplicity the
+// same way any edge→node label move does (§2), but ToGraph∘FromGraph
+// preserves query behaviour for symbol-labeled data, which tests verify.
+func FromGraph(g *ssd.Graph) *Document {
+	d := &Document{byOID: map[string]int{}}
+	type qitem struct {
+		node  ssd.NodeID
+		label string
+	}
+	oidOf := make(map[ssd.NodeID]string)
+	next := 0
+	genOID := func(n ssd.NodeID) string {
+		if id, ok := g.OIDOf(n); ok {
+			return id
+		}
+		id := fmt.Sprintf("o%d", next)
+		next++
+		return id
+	}
+	visited := map[ssd.NodeID]bool{g.Root(): true}
+	queue := []qitem{{g.Root(), "root"}}
+	var order []qitem
+	for len(queue) > 0 {
+		it := queue[0]
+		queue = queue[1:]
+		order = append(order, it)
+		oidOf[it.node] = genOID(it.node)
+		for _, e := range g.Out(it.node) {
+			if visited[e.To] {
+				continue
+			}
+			visited[e.To] = true
+			lbl := "item"
+			if s, ok := e.Label.Symbol(); ok {
+				lbl = s
+			}
+			queue = append(queue, qitem{e.To, lbl})
+		}
+	}
+	for _, it := range order {
+		obj := Object{OID: oidOf[it.node], Label: it.label}
+		es := g.Out(it.node)
+		if len(es) == 1 && es[0].Label.IsData() && g.IsLeaf(es[0].To) {
+			obj.Atom = es[0].Label
+			switch es[0].Label.Kind() {
+			case ssd.KindInt:
+				obj.Type = TypeInt
+			case ssd.KindFloat:
+				obj.Type = TypeReal
+			case ssd.KindString:
+				obj.Type = TypeStr
+			case ssd.KindBool:
+				obj.Type = TypeBool
+			}
+		} else {
+			obj.Type = TypeSet
+			for _, e := range es {
+				obj.Members = append(obj.Members, oidOf[e.To])
+			}
+		}
+		d.byOID[obj.OID] = len(d.Objects)
+		d.Objects = append(d.Objects, obj)
+	}
+	return d
+}

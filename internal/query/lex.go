@@ -1,0 +1,274 @@
+package query
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+	"unicode/utf8"
+)
+
+type qToken int
+
+const (
+	qEOF qToken = iota
+	qIdent
+	qString
+	qInt
+	qFloat
+	qLBrace
+	qRBrace
+	qLParen
+	qRParen
+	qColon
+	qComma
+	qDot
+	qPercent
+	qAt
+	qPipe
+	qStar
+	qPlus
+	qQuest
+	qBang
+	qUnder
+	qLT
+	qLE
+	qGT
+	qGE
+	qEQ
+	qNE
+	qError
+)
+
+// Keywords are recognized case-insensitively so `SELECT` and `select` both
+// work; they are reserved and cannot be variable names.
+var qKeywords = map[string]bool{
+	"select": true, "from": true, "where": true,
+	"and": true, "or": true, "not": true, "exists": true, "like": true,
+}
+
+type qLexer struct {
+	src  string
+	pos  int
+	tok  qToken
+	text string
+	err  error
+}
+
+func newQLexer(src string) *qLexer { return &qLexer{src: src} }
+
+func (lx *qLexer) errorf(format string, args ...interface{}) {
+	if lx.err == nil {
+		lx.err = fmt.Errorf("query: offset %d: "+format, append([]interface{}{lx.pos}, args...)...)
+	}
+	lx.tok = qError
+}
+
+// keyword reports whether the current token is the given keyword.
+func (lx *qLexer) keyword(kw string) bool {
+	return lx.tok == qIdent && strings.EqualFold(lx.text, kw)
+}
+
+func (lx *qLexer) next() {
+	for lx.pos < len(lx.src) {
+		c := lx.src[lx.pos]
+		if c == ' ' || c == '\t' || c == '\n' || c == '\r' {
+			lx.pos++
+			continue
+		}
+		if c == '-' && lx.pos+1 < len(lx.src) && lx.src[lx.pos+1] == '-' {
+			for lx.pos < len(lx.src) && lx.src[lx.pos] != '\n' {
+				lx.pos++
+			}
+			continue
+		}
+		break
+	}
+	if lx.pos >= len(lx.src) {
+		lx.tok, lx.text = qEOF, ""
+		return
+	}
+	c := lx.src[lx.pos]
+	two := ""
+	if lx.pos+1 < len(lx.src) {
+		two = lx.src[lx.pos : lx.pos+2]
+	}
+	switch {
+	case two == "<=":
+		lx.pos += 2
+		lx.tok = qLE
+	case two == ">=":
+		lx.pos += 2
+		lx.tok = qGE
+	case two == "!=":
+		lx.pos += 2
+		lx.tok = qNE
+	case c == '<':
+		lx.pos++
+		lx.tok = qLT
+	case c == '>':
+		lx.pos++
+		lx.tok = qGT
+	case c == '=':
+		lx.pos++
+		lx.tok = qEQ
+	case c == '!':
+		lx.pos++
+		lx.tok = qBang
+	case c == '{':
+		lx.pos++
+		lx.tok = qLBrace
+	case c == '}':
+		lx.pos++
+		lx.tok = qRBrace
+	case c == '(':
+		lx.pos++
+		lx.tok = qLParen
+	case c == ')':
+		lx.pos++
+		lx.tok = qRParen
+	case c == ':':
+		lx.pos++
+		lx.tok = qColon
+	case c == ',':
+		lx.pos++
+		lx.tok = qComma
+	case c == '.':
+		lx.pos++
+		lx.tok = qDot
+	case c == '%':
+		lx.pos++
+		lx.tok = qPercent
+	case c == '@':
+		lx.pos++
+		lx.tok = qAt
+	case c == '|':
+		lx.pos++
+		lx.tok = qPipe
+	case c == '*':
+		lx.pos++
+		lx.tok = qStar
+	case c == '+':
+		lx.pos++
+		lx.tok = qPlus
+	case c == '?':
+		lx.pos++
+		lx.tok = qQuest
+	case c == '"':
+		lx.lexString()
+	case c == '-' || c >= '0' && c <= '9':
+		lx.lexNumber()
+	case c == '_' && !qFollowsIdent(lx.src, lx.pos):
+		lx.pos++
+		lx.tok = qUnder
+	case qIdentStart(rune(c)):
+		lx.lexIdent()
+	default:
+		lx.errorf("unexpected character %q", c)
+	}
+}
+
+func qFollowsIdent(src string, pos int) bool {
+	if pos+1 >= len(src) {
+		return false
+	}
+	r, _ := utf8.DecodeRuneInString(src[pos+1:])
+	return qIdentCont(r)
+}
+
+func (lx *qLexer) lexString() {
+	lx.pos++
+	var b strings.Builder
+	for lx.pos < len(lx.src) {
+		c := lx.src[lx.pos]
+		if c == '"' {
+			lx.pos++
+			lx.tok, lx.text = qString, b.String()
+			return
+		}
+		if c == '\\' && lx.pos+1 < len(lx.src) {
+			esc := lx.src[lx.pos+1]
+			lx.pos += 2
+			switch esc {
+			case 'n':
+				b.WriteByte('\n')
+			case 't':
+				b.WriteByte('\t')
+			case '"':
+				b.WriteByte('"')
+			case '\\':
+				b.WriteByte('\\')
+			default:
+				lx.errorf("unknown escape \\%c", esc)
+				return
+			}
+			continue
+		}
+		b.WriteByte(c)
+		lx.pos++
+	}
+	lx.errorf("unterminated string")
+}
+
+func (lx *qLexer) lexNumber() {
+	start := lx.pos
+	if lx.src[lx.pos] == '-' {
+		lx.pos++
+	}
+	digits := 0
+	for lx.pos < len(lx.src) && lx.src[lx.pos] >= '0' && lx.src[lx.pos] <= '9' {
+		lx.pos++
+		digits++
+	}
+	if digits == 0 {
+		lx.errorf("malformed number")
+		return
+	}
+	isFloat := false
+	if lx.pos+1 < len(lx.src) && lx.src[lx.pos] == '.' &&
+		lx.src[lx.pos+1] >= '0' && lx.src[lx.pos+1] <= '9' {
+		isFloat = true
+		lx.pos++
+		for lx.pos < len(lx.src) && lx.src[lx.pos] >= '0' && lx.src[lx.pos] <= '9' {
+			lx.pos++
+		}
+	}
+	if lx.pos < len(lx.src) && (lx.src[lx.pos] == 'e' || lx.src[lx.pos] == 'E') {
+		mark := lx.pos
+		lx.pos++
+		if lx.pos < len(lx.src) && (lx.src[lx.pos] == '+' || lx.src[lx.pos] == '-') {
+			lx.pos++
+		}
+		if lx.pos < len(lx.src) && lx.src[lx.pos] >= '0' && lx.src[lx.pos] <= '9' {
+			isFloat = true
+			for lx.pos < len(lx.src) && lx.src[lx.pos] >= '0' && lx.src[lx.pos] <= '9' {
+				lx.pos++
+			}
+		} else {
+			lx.pos = mark
+		}
+	}
+	lx.text = lx.src[start:lx.pos]
+	if isFloat {
+		lx.tok = qFloat
+	} else {
+		lx.tok = qInt
+	}
+}
+
+func (lx *qLexer) lexIdent() {
+	start := lx.pos
+	for lx.pos < len(lx.src) {
+		r, size := utf8.DecodeRuneInString(lx.src[lx.pos:])
+		if !qIdentCont(r) {
+			break
+		}
+		lx.pos += size
+	}
+	lx.tok, lx.text = qIdent, lx.src[start:lx.pos]
+}
+
+func qIdentStart(r rune) bool { return r == '_' || unicode.IsLetter(r) }
+
+func qIdentCont(r rune) bool {
+	return r == '_' || r == '-' || unicode.IsLetter(r) || unicode.IsDigit(r)
+}

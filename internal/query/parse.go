@@ -1,0 +1,793 @@
+package query
+
+import (
+	"fmt"
+	"strconv"
+
+	"repro/internal/pathexpr"
+	"repro/internal/ssd"
+)
+
+// Parse parses a select-from-where query and statically validates variable
+// scoping: binding sources must be DB or an earlier variable, variable names
+// must be unique and non-reserved, and variables used in select/where must
+// be bound in from.
+func Parse(src string) (*Query, error) {
+	p := &qParser{lex: newQLexer(src)}
+	p.lex.next()
+	q, err := p.parseQuery()
+	if err != nil {
+		return nil, err
+	}
+	if err := resolve(q); err != nil {
+		return nil, err
+	}
+	return q, nil
+}
+
+// MustParse is Parse but panics on error; for tests and examples.
+func MustParse(src string) *Query {
+	q, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
+type qParser struct {
+	lex *qLexer
+}
+
+func (p *qParser) parseQuery() (*Query, error) {
+	lx := p.lex
+	if !lx.keyword("select") {
+		return nil, fmt.Errorf("query: expected 'select', got %q", lx.text)
+	}
+	lx.next()
+	sel, err := p.parseTemplate()
+	if err != nil {
+		return nil, err
+	}
+	if !lx.keyword("from") {
+		return nil, fmt.Errorf("query: expected 'from' at offset %d", lx.pos)
+	}
+	lx.next()
+	var from []Binding
+	for {
+		b, err := p.parseBinding()
+		if err != nil {
+			return nil, err
+		}
+		from = append(from, b)
+		if lx.tok == qComma {
+			lx.next()
+			continue
+		}
+		break
+	}
+	q := &Query{Select: sel, From: from}
+	if lx.keyword("where") {
+		lx.next()
+		cond, err := p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+		q.Where = cond
+	}
+	if lx.tok == qError {
+		return nil, lx.err
+	}
+	if lx.tok != qEOF {
+		return nil, fmt.Errorf("query: trailing input at offset %d: %q", lx.pos, lx.text)
+	}
+	return q, nil
+}
+
+// ---------------------------------------------------------------------------
+// Templates
+
+// identTemplate is a provisional template for a bare identifier; resolve()
+// rewrites it to VarRef (if bound) or LitTree (symbol literal).
+type identTemplate struct{ name string }
+
+func (identTemplate) isTemplate() {}
+
+func (p *qParser) parseTemplate() (Template, error) {
+	lx := p.lex
+	switch lx.tok {
+	case qPercent:
+		lx.next()
+		if lx.tok != qIdent {
+			return nil, fmt.Errorf("query: offset %d: expected label variable name after %%", lx.pos)
+		}
+		name := lx.text
+		lx.next()
+		return LabelTree{name}, nil
+	case qAt:
+		lx.next()
+		if lx.tok != qIdent {
+			return nil, fmt.Errorf("query: offset %d: expected path variable name after @", lx.pos)
+		}
+		name := lx.text
+		lx.next()
+		return PathTree{name}, nil
+	case qLBrace:
+		lx.next()
+		var fields []Field
+		if lx.tok == qRBrace {
+			lx.next()
+			return Struct{}, nil
+		}
+		for {
+			le, err := p.parseLabelExpr()
+			if err != nil {
+				return nil, err
+			}
+			var val Template = Struct{}
+			if lx.tok == qColon {
+				lx.next()
+				val, err = p.parseTemplate()
+				if err != nil {
+					return nil, err
+				}
+			}
+			fields = append(fields, Field{Label: le, Value: val})
+			if lx.tok == qComma {
+				lx.next()
+				continue
+			}
+			if lx.tok != qRBrace {
+				return nil, fmt.Errorf("query: offset %d: expected ',' or '}' in template", lx.pos)
+			}
+			lx.next()
+			return Struct{Fields: fields}, nil
+		}
+	case qIdent:
+		if qKeywords[lx.text] {
+			return nil, fmt.Errorf("query: offset %d: unexpected keyword %q in template", lx.pos, lx.text)
+		}
+		name := lx.text
+		lx.next()
+		switch name {
+		case "true":
+			return LitTree{ssd.Bool(true)}, nil
+		case "false":
+			return LitTree{ssd.Bool(false)}, nil
+		}
+		return identTemplate{name}, nil
+	case qString:
+		l := ssd.Str(lx.text)
+		lx.next()
+		return LitTree{l}, nil
+	case qInt, qFloat:
+		l, err := p.numberLabel()
+		if err != nil {
+			return nil, err
+		}
+		return LitTree{l}, nil
+	case qError:
+		return nil, lx.err
+	default:
+		return nil, fmt.Errorf("query: offset %d: expected select template", lx.pos)
+	}
+}
+
+func (p *qParser) parseLabelExpr() (LabelExpr, error) {
+	lx := p.lex
+	switch lx.tok {
+	case qPercent:
+		lx.next()
+		if lx.tok != qIdent {
+			return nil, fmt.Errorf("query: offset %d: expected label variable name after %%", lx.pos)
+		}
+		name := lx.text
+		lx.next()
+		return LabelVarRef{name}, nil
+	case qIdent:
+		var l ssd.Label
+		switch lx.text {
+		case "true":
+			l = ssd.Bool(true)
+		case "false":
+			l = ssd.Bool(false)
+		default:
+			l = ssd.Sym(lx.text)
+		}
+		lx.next()
+		return LitLabel{l}, nil
+	case qString:
+		l := ssd.Str(lx.text)
+		lx.next()
+		return LitLabel{l}, nil
+	case qInt, qFloat:
+		l, err := p.numberLabel()
+		if err != nil {
+			return nil, err
+		}
+		return LitLabel{l}, nil
+	default:
+		return nil, fmt.Errorf("query: offset %d: expected output label", lx.pos)
+	}
+}
+
+func (p *qParser) numberLabel() (ssd.Label, error) {
+	lx := p.lex
+	if lx.tok == qInt {
+		v, err := strconv.ParseInt(lx.text, 10, 64)
+		if err != nil {
+			return ssd.Label{}, fmt.Errorf("query: bad integer %q: %v", lx.text, err)
+		}
+		lx.next()
+		return ssd.Int(v), nil
+	}
+	v, err := strconv.ParseFloat(lx.text, 64)
+	if err != nil {
+		return ssd.Label{}, fmt.Errorf("query: bad float %q: %v", lx.text, err)
+	}
+	lx.next()
+	return ssd.Float(v), nil
+}
+
+// ---------------------------------------------------------------------------
+// From bindings and paths
+
+func (p *qParser) parseBinding() (Binding, error) {
+	lx := p.lex
+	if lx.tok != qIdent {
+		return Binding{}, fmt.Errorf("query: offset %d: expected binding source", lx.pos)
+	}
+	source := lx.text
+	lx.next()
+	steps, err := p.parsePathSteps()
+	if err != nil {
+		return Binding{}, err
+	}
+	if lx.tok != qIdent || qKeywords[lx.text] {
+		return Binding{}, fmt.Errorf("query: offset %d: expected variable name after path", lx.pos)
+	}
+	v := lx.text
+	lx.next()
+	return Binding{Source: source, Path: steps, Var: v}, nil
+}
+
+// parsePathSteps parses zero or more '.'-prefixed path steps.
+func (p *qParser) parsePathSteps() ([]PathStep, error) {
+	lx := p.lex
+	var steps []PathStep
+	for lx.tok == qDot {
+		lx.next()
+		if lx.tok == qPercent {
+			lx.next()
+			if lx.tok != qIdent {
+				return nil, fmt.Errorf("query: offset %d: expected label variable name after %%", lx.pos)
+			}
+			steps = append(steps, LabelVarStep{lx.text})
+			lx.next()
+			continue
+		}
+		if lx.tok == qAt {
+			lx.next()
+			if lx.tok != qIdent {
+				return nil, fmt.Errorf("query: offset %d: expected path variable name after @", lx.pos)
+			}
+			steps = append(steps, PathVarStep{lx.text})
+			lx.next()
+			continue
+		}
+		e, err := p.parsePathPostfix()
+		if err != nil {
+			return nil, err
+		}
+		steps = append(steps, &RegexStep{Expr: e})
+	}
+	return steps, nil
+}
+
+// parsePathPostfix parses one top-level path element: a primary with
+// optional postfix operators. Parenthesized groups may contain full
+// alternation/concatenation.
+func (p *qParser) parsePathPostfix() (pathexpr.Expr, error) {
+	e, err := p.parsePathPrimary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch p.lex.tok {
+		case qStar:
+			e = pathexpr.Star{Sub: e}
+			p.lex.next()
+		case qPlus:
+			e = pathexpr.Plus{Sub: e}
+			p.lex.next()
+		case qQuest:
+			e = pathexpr.Opt{Sub: e}
+			p.lex.next()
+		default:
+			return e, nil
+		}
+	}
+}
+
+func (p *qParser) parsePathAlt() (pathexpr.Expr, error) {
+	first, err := p.parsePathSeq()
+	if err != nil {
+		return nil, err
+	}
+	alts := []pathexpr.Expr{first}
+	for p.lex.tok == qPipe {
+		p.lex.next()
+		e, err := p.parsePathSeq()
+		if err != nil {
+			return nil, err
+		}
+		alts = append(alts, e)
+	}
+	if len(alts) == 1 {
+		return first, nil
+	}
+	return pathexpr.Alt{Alts: alts}, nil
+}
+
+func (p *qParser) parsePathSeq() (pathexpr.Expr, error) {
+	first, err := p.parsePathPostfix()
+	if err != nil {
+		return nil, err
+	}
+	parts := []pathexpr.Expr{first}
+	for p.lex.tok == qDot {
+		p.lex.next()
+		e, err := p.parsePathPostfix()
+		if err != nil {
+			return nil, err
+		}
+		parts = append(parts, e)
+	}
+	if len(parts) == 1 {
+		return first, nil
+	}
+	return pathexpr.Seq{Parts: parts}, nil
+}
+
+var qTypePreds = map[string]pathexpr.Pred{
+	"isint":    pathexpr.TypePred{Kind: ssd.KindInt},
+	"isfloat":  pathexpr.TypePred{Kind: ssd.KindFloat},
+	"isstring": pathexpr.TypePred{Kind: ssd.KindString},
+	"issymbol": pathexpr.TypePred{Kind: ssd.KindSymbol},
+	"isbool":   pathexpr.TypePred{Kind: ssd.KindBool},
+	"isoid":    pathexpr.TypePred{Kind: ssd.KindOID},
+	"isdata":   pathexpr.TypePred{IsData: true},
+}
+
+func (p *qParser) parsePathPrimary() (pathexpr.Expr, error) {
+	lx := p.lex
+	switch lx.tok {
+	case qLParen:
+		lx.next()
+		e, err := p.parsePathAlt()
+		if err != nil {
+			return nil, err
+		}
+		if lx.tok != qRParen {
+			return nil, fmt.Errorf("query: offset %d: expected ')' in path", lx.pos)
+		}
+		lx.next()
+		return e, nil
+	default:
+		pred, err := p.parsePathPred()
+		if err != nil {
+			return nil, err
+		}
+		return pathexpr.Atom{Pred: pred}, nil
+	}
+}
+
+func (p *qParser) parsePathPred() (pathexpr.Pred, error) {
+	lx := p.lex
+	switch lx.tok {
+	case qUnder:
+		lx.next()
+		return pathexpr.AnyPred{}, nil
+	case qBang:
+		lx.next()
+		sub, err := p.parsePathPred()
+		if err != nil {
+			return nil, err
+		}
+		return pathexpr.NotPred{Sub: sub}, nil
+	case qLT, qLE, qGT, qGE, qEQ, qNE:
+		op := map[qToken]pathexpr.CmpOp{
+			qLT: pathexpr.OpLT, qLE: pathexpr.OpLE, qGT: pathexpr.OpGT,
+			qGE: pathexpr.OpGE, qEQ: pathexpr.OpEQ, qNE: pathexpr.OpNE,
+		}[lx.tok]
+		lx.next()
+		rhs, err := p.parsePathLiteral()
+		if err != nil {
+			return nil, err
+		}
+		return pathexpr.CmpPred{Op: op, Rhs: rhs}, nil
+	case qIdent:
+		if tp, ok := qTypePreds[lx.text]; ok {
+			lx.next()
+			return tp, nil
+		}
+		if lx.keyword("like") {
+			lx.next()
+			if lx.tok != qString {
+				return nil, fmt.Errorf("query: offset %d: like requires a string pattern", lx.pos)
+			}
+			pat := lx.text
+			lx.next()
+			return pathexpr.LikePred{Pattern: pat}, nil
+		}
+		fallthrough
+	case qString, qInt, qFloat:
+		l, err := p.parsePathLiteral()
+		if err != nil {
+			return nil, err
+		}
+		return pathexpr.ExactPred{L: l}, nil
+	case qError:
+		return nil, lx.err
+	default:
+		return nil, fmt.Errorf("query: offset %d: expected path atom", lx.pos)
+	}
+}
+
+func (p *qParser) parsePathLiteral() (ssd.Label, error) {
+	lx := p.lex
+	switch lx.tok {
+	case qIdent:
+		var l ssd.Label
+		switch lx.text {
+		case "true":
+			l = ssd.Bool(true)
+		case "false":
+			l = ssd.Bool(false)
+		default:
+			l = ssd.Sym(lx.text)
+		}
+		lx.next()
+		return l, nil
+	case qString:
+		l := ssd.Str(lx.text)
+		lx.next()
+		return l, nil
+	case qInt, qFloat:
+		return p.numberLabel()
+	case qError:
+		return ssd.Label{}, lx.err
+	default:
+		return ssd.Label{}, fmt.Errorf("query: offset %d: expected literal in path", lx.pos)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Where conditions
+
+func (p *qParser) parseOr() (Cond, error) {
+	l, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.lex.keyword("or") {
+		p.lex.next()
+		r, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		l = Or{l, r}
+	}
+	return l, nil
+}
+
+func (p *qParser) parseAnd() (Cond, error) {
+	l, err := p.parseUnaryCond()
+	if err != nil {
+		return nil, err
+	}
+	for p.lex.keyword("and") {
+		p.lex.next()
+		r, err := p.parseUnaryCond()
+		if err != nil {
+			return nil, err
+		}
+		l = And{l, r}
+	}
+	return l, nil
+}
+
+func (p *qParser) parseUnaryCond() (Cond, error) {
+	lx := p.lex
+	switch {
+	case lx.keyword("not"):
+		lx.next()
+		sub, err := p.parseUnaryCond()
+		if err != nil {
+			return nil, err
+		}
+		return Not{sub}, nil
+	case lx.tok == qLParen:
+		lx.next()
+		c, err := p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+		if lx.tok != qRParen {
+			return nil, fmt.Errorf("query: offset %d: expected ')' in condition", lx.pos)
+		}
+		lx.next()
+		return c, nil
+	case lx.keyword("exists"):
+		lx.next()
+		if lx.tok != qIdent || qKeywords[lx.text] {
+			return nil, fmt.Errorf("query: offset %d: exists requires a variable", lx.pos)
+		}
+		source := lx.text
+		lx.next()
+		steps, err := p.parsePathSteps()
+		if err != nil {
+			return nil, err
+		}
+		return Exists{Source: source, Path: steps}, nil
+	default:
+		return p.parsePrimaryCond()
+	}
+}
+
+func (p *qParser) parsePrimaryCond() (Cond, error) {
+	lx := p.lex
+	// Type tests look like isstring(T).
+	if lx.tok == qIdent {
+		if tp, ok := qTypePreds[lx.text]; ok {
+			lx.next()
+			if lx.tok != qLParen {
+				return nil, fmt.Errorf("query: offset %d: expected '(' after type test", lx.pos)
+			}
+			lx.next()
+			term, err := p.parseTerm()
+			if err != nil {
+				return nil, err
+			}
+			if lx.tok != qRParen {
+				return nil, fmt.Errorf("query: offset %d: expected ')' after type test", lx.pos)
+			}
+			lx.next()
+			return TypeTest{Pred: tp, T: term}, nil
+		}
+	}
+	l, err := p.parseTerm()
+	if err != nil {
+		return nil, err
+	}
+	if lx.keyword("like") {
+		lx.next()
+		if lx.tok != qString {
+			return nil, fmt.Errorf("query: offset %d: like requires a string pattern", lx.pos)
+		}
+		pat := lx.text
+		lx.next()
+		return LikeCond{T: l, Pattern: pat}, nil
+	}
+	var op pathexpr.CmpOp
+	switch lx.tok {
+	case qLT:
+		op = pathexpr.OpLT
+	case qLE:
+		op = pathexpr.OpLE
+	case qGT:
+		op = pathexpr.OpGT
+	case qGE:
+		op = pathexpr.OpGE
+	case qEQ:
+		op = pathexpr.OpEQ
+	case qNE:
+		op = pathexpr.OpNE
+	default:
+		return nil, fmt.Errorf("query: offset %d: expected comparison operator", lx.pos)
+	}
+	lx.next()
+	r, err := p.parseTerm()
+	if err != nil {
+		return nil, err
+	}
+	return Cmp{Op: op, L: l, R: r}, nil
+}
+
+func (p *qParser) parseTerm() (Term, error) {
+	lx := p.lex
+	if lx.tok == qIdent && lx.text == "pathlen" {
+		lx.next()
+		if lx.tok != qLParen {
+			return nil, fmt.Errorf("query: offset %d: expected '(' after pathlen", lx.pos)
+		}
+		lx.next()
+		if lx.tok != qAt {
+			return nil, fmt.Errorf("query: offset %d: pathlen takes a @path variable", lx.pos)
+		}
+		lx.next()
+		if lx.tok != qIdent {
+			return nil, fmt.Errorf("query: offset %d: expected path variable name after @", lx.pos)
+		}
+		name := lx.text
+		lx.next()
+		if lx.tok != qRParen {
+			return nil, fmt.Errorf("query: offset %d: expected ')' after pathlen", lx.pos)
+		}
+		lx.next()
+		return PathLenTerm{name}, nil
+	}
+	switch lx.tok {
+	case qPercent:
+		lx.next()
+		if lx.tok != qIdent {
+			return nil, fmt.Errorf("query: offset %d: expected label variable name after %%", lx.pos)
+		}
+		name := lx.text
+		lx.next()
+		return LabelTerm{name}, nil
+	case qIdent:
+		if qKeywords[lx.text] {
+			return nil, fmt.Errorf("query: offset %d: unexpected keyword %q in term", lx.pos, lx.text)
+		}
+		name := lx.text
+		lx.next()
+		switch name {
+		case "true":
+			return LitTerm{ssd.Bool(true)}, nil
+		case "false":
+			return LitTerm{ssd.Bool(false)}, nil
+		}
+		// Resolution to VarTerm vs symbol literal happens in resolve().
+		return VarTerm{name}, nil
+	case qString:
+		l := ssd.Str(lx.text)
+		lx.next()
+		return LitTerm{l}, nil
+	case qInt, qFloat:
+		l, err := p.numberLabel()
+		if err != nil {
+			return nil, err
+		}
+		return LitTerm{l}, nil
+	case qError:
+		return nil, lx.err
+	default:
+		return nil, fmt.Errorf("query: offset %d: expected term", lx.pos)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Static resolution and validation
+
+func resolve(q *Query) error {
+	treeVars := map[string]bool{}
+	labelVars := map[string]bool{}
+	pathVars := map[string]bool{}
+	for i, b := range q.From {
+		if b.Source != "DB" && !treeVars[b.Source] {
+			return fmt.Errorf("query: binding %d: source %q is neither DB nor an earlier variable", i+1, b.Source)
+		}
+		if treeVars[b.Var] || b.Var == "DB" {
+			return fmt.Errorf("query: duplicate variable %q", b.Var)
+		}
+		for _, st := range b.Path {
+			switch t := st.(type) {
+			case LabelVarStep:
+				labelVars[t.Name] = true
+			case PathVarStep:
+				pathVars[t.Name] = true
+			}
+		}
+		treeVars[b.Var] = true
+	}
+	sc := scopes{trees: treeVars, labels: labelVars, paths: pathVars}
+	var err error
+	q.Select = resolveTemplate(q.Select, sc, &err)
+	if err != nil {
+		return err
+	}
+	if q.Where != nil {
+		q.Where = resolveCond(q.Where, sc, &err)
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// scopes carries the variable sets of a query during resolution.
+type scopes struct {
+	trees, labels, paths map[string]bool
+}
+
+func resolveTemplate(t Template, sc scopes, err *error) Template {
+	switch tt := t.(type) {
+	case identTemplate:
+		if sc.trees[tt.name] {
+			return VarRef{tt.name}
+		}
+		return LitTree{ssd.Sym(tt.name)}
+	case LabelTree:
+		if !sc.labels[tt.Name] {
+			setErr(err, fmt.Errorf("query: label variable %%%s not bound in from clause", tt.Name))
+		}
+		return tt
+	case PathTree:
+		if !sc.paths[tt.Name] {
+			setErr(err, fmt.Errorf("query: path variable @%s not bound in from clause", tt.Name))
+		}
+		return tt
+	case Struct:
+		for i, f := range tt.Fields {
+			if lv, ok := f.Label.(LabelVarRef); ok && !sc.labels[lv.Name] {
+				setErr(err, fmt.Errorf("query: label variable %%%s not bound in from clause", lv.Name))
+			}
+			tt.Fields[i].Value = resolveTemplate(f.Value, sc, err)
+		}
+		return tt
+	default:
+		return t
+	}
+}
+
+func resolveCond(c Cond, sc scopes, err *error) Cond {
+	switch t := c.(type) {
+	case And:
+		t.L = resolveCond(t.L, sc, err)
+		t.R = resolveCond(t.R, sc, err)
+		return t
+	case Or:
+		t.L = resolveCond(t.L, sc, err)
+		t.R = resolveCond(t.R, sc, err)
+		return t
+	case Not:
+		t.Sub = resolveCond(t.Sub, sc, err)
+		return t
+	case Cmp:
+		t.L = resolveTerm(t.L, sc, err)
+		t.R = resolveTerm(t.R, sc, err)
+		return t
+	case TypeTest:
+		t.T = resolveTerm(t.T, sc, err)
+		return t
+	case LikeCond:
+		t.T = resolveTerm(t.T, sc, err)
+		return t
+	case Exists:
+		if !sc.trees[t.Source] {
+			setErr(err, fmt.Errorf("query: exists source %q not bound", t.Source))
+		}
+		return t
+	default:
+		return c
+	}
+}
+
+func resolveTerm(t Term, sc scopes, err *error) Term {
+	switch tt := t.(type) {
+	case VarTerm:
+		if sc.trees[tt.Name] {
+			return tt
+		}
+		// Unbound identifier: a symbol literal.
+		return LitTerm{ssd.Sym(tt.Name)}
+	case LabelTerm:
+		if !sc.labels[tt.Name] {
+			setErr(err, fmt.Errorf("query: label variable %%%s not bound in from clause", tt.Name))
+		}
+		return tt
+	case PathLenTerm:
+		if !sc.paths[tt.Name] {
+			setErr(err, fmt.Errorf("query: path variable @%s not bound in from clause", tt.Name))
+		}
+		return tt
+	default:
+		return t
+	}
+}
+
+func setErr(dst *error, e error) {
+	if *dst == nil {
+		*dst = e
+	}
+}

@@ -1,0 +1,213 @@
+package relstore
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/ssd"
+)
+
+// This file implements the encodings §2 and §3 describe.
+//
+// Relational → graph ("it is straightforward to encode relational ...
+// databases in this model"):
+//
+//	{table: {tuple: {col: value, ...}, tuple: {...}}, ...}
+//
+// Graph → triples (§3: "we can take the database as a large relation of
+// type (node-id, label, node-id)"), with one relation per label kind
+// (complication 1) plus a unary root relation (complication 4).
+
+// Tuple and column marker symbols used by the relational encoding.
+const (
+	TupleMarker = "tuple"
+)
+
+// EncodeRelational encodes a relational database as a graph, one edge per
+// table name, one `tuple` edge per row, one column edge per attribute, and
+// a data edge per value.
+func EncodeRelational(db Database) *ssd.Graph {
+	g := ssd.New()
+	names := make([]string, 0, len(db))
+	for name := range db {
+		names = append(names, name)
+	}
+	sort.Strings(names) // deterministic construction
+	for _, name := range names {
+		rel := db[name]
+		tnode := g.AddLeaf(g.Root(), ssd.Sym(name))
+		for _, row := range rel.Sorted() {
+			rnode := g.AddLeaf(tnode, ssd.Sym(TupleMarker))
+			for i, col := range rel.Cols {
+				cnode := g.AddLeaf(rnode, ssd.Sym(col))
+				g.AddLeaf(cnode, row[i])
+			}
+		}
+	}
+	return g
+}
+
+// DecodeRelational inverts EncodeRelational. Tables and columns are
+// discovered from the graph; every tuple of a table must carry exactly one
+// value per discovered column, or an error is returned (the graph was not a
+// relational encoding — the passage back from semistructured to structured
+// data needs real structure, §5).
+func DecodeRelational(g *ssd.Graph) (Database, error) {
+	db := Database{}
+	for _, te := range g.Out(g.Root()) {
+		tname, ok := te.Label.Symbol()
+		if !ok {
+			return nil, fmt.Errorf("relstore: table edge %s is not a symbol", te.Label)
+		}
+		// Discover columns from the first tuple, then verify the rest.
+		var cols []string
+		var rel *Relation
+		for _, re := range g.Out(te.To) {
+			if s, _ := re.Label.Symbol(); s != TupleMarker {
+				return nil, fmt.Errorf("relstore: table %s has non-tuple edge %s", tname, re.Label)
+			}
+			rowVals := map[string]ssd.Label{}
+			for _, ce := range g.Out(re.To) {
+				col, ok := ce.Label.Symbol()
+				if !ok {
+					return nil, fmt.Errorf("relstore: table %s: column edge %s is not a symbol", tname, ce.Label)
+				}
+				vals := g.Out(ce.To)
+				if len(vals) != 1 {
+					return nil, fmt.Errorf("relstore: table %s column %s has %d values, want 1", tname, col, len(vals))
+				}
+				if _, dup := rowVals[col]; dup {
+					return nil, fmt.Errorf("relstore: table %s: duplicate column %s in one tuple", tname, col)
+				}
+				rowVals[col] = vals[0].Label
+			}
+			if cols == nil {
+				cols = make([]string, 0, len(rowVals))
+				for c := range rowVals {
+					cols = append(cols, c)
+				}
+				sort.Strings(cols)
+				rel = NewRelation(cols...)
+			}
+			if len(rowVals) != len(cols) {
+				return nil, fmt.Errorf("relstore: table %s: ragged tuple (%d vs %d columns)", tname, len(rowVals), len(cols))
+			}
+			row := make([]ssd.Label, len(cols))
+			for i, c := range cols {
+				v, ok := rowVals[c]
+				if !ok {
+					return nil, fmt.Errorf("relstore: table %s: tuple missing column %s", tname, c)
+				}
+				row[i] = v
+			}
+			rel.Add(row...)
+		}
+		if rel == nil {
+			rel = NewRelation()
+		}
+		if _, dup := db[tname]; dup {
+			// Two edges with the same table name: merge tuples (set
+			// semantics of the graph model).
+			for _, row := range rel.Rows() {
+				db[tname].Add(row...)
+			}
+			continue
+		}
+		db[tname] = rel
+	}
+	return db, nil
+}
+
+// ---------------------------------------------------------------------------
+// Triple-store encoding of arbitrary graphs
+
+// Triple relation names by label kind.
+const (
+	TriplesSym    = "edges_sym"
+	TriplesString = "edges_str"
+	TriplesInt    = "edges_int"
+	TriplesFloat  = "edges_float"
+	TriplesBool   = "edges_bool"
+	TriplesOID    = "edges_oid"
+	RootRel       = "graph_root"
+)
+
+func tripleRelName(k ssd.Kind) string {
+	switch k {
+	case ssd.KindSymbol:
+		return TriplesSym
+	case ssd.KindString:
+		return TriplesString
+	case ssd.KindInt:
+		return TriplesInt
+	case ssd.KindFloat:
+		return TriplesFloat
+	case ssd.KindBool:
+		return TriplesBool
+	default:
+		return TriplesOID
+	}
+}
+
+// GraphToTriples shreds a graph into per-kind triple relations
+// (from, label, to), node ids stored as int labels, plus graph_root(node).
+func GraphToTriples(g *ssd.Graph) Database {
+	db := Database{
+		TriplesSym:    NewRelation("from", "label", "to"),
+		TriplesString: NewRelation("from", "label", "to"),
+		TriplesInt:    NewRelation("from", "label", "to"),
+		TriplesFloat:  NewRelation("from", "label", "to"),
+		TriplesBool:   NewRelation("from", "label", "to"),
+		TriplesOID:    NewRelation("from", "label", "to"),
+		RootRel:       NewRelation("node"),
+	}
+	for v := 0; v < g.NumNodes(); v++ {
+		for _, e := range g.Out(ssd.NodeID(v)) {
+			db[tripleRelName(e.Label.Kind())].Add(ssd.Int(int64(v)), e.Label, ssd.Int(int64(e.To)))
+		}
+	}
+	db[RootRel].Add(ssd.Int(int64(g.Root())))
+	return db
+}
+
+// TriplesToGraph rebuilds a graph from the triple relations. Node ids in
+// the triples become dense node ids in the result.
+func TriplesToGraph(db Database) (*ssd.Graph, error) {
+	rootRel, ok := db[RootRel]
+	if !ok || rootRel.Len() != 1 {
+		return nil, fmt.Errorf("relstore: triples need exactly one %s row", RootRel)
+	}
+	rootID, ok := rootRel.Rows()[0][0].IntVal()
+	if !ok {
+		return nil, fmt.Errorf("relstore: %s value is not an int", RootRel)
+	}
+	g := ssd.New()
+	remap := map[int64]ssd.NodeID{rootID: g.Root()}
+	node := func(id int64) ssd.NodeID {
+		if n, ok := remap[id]; ok {
+			return n
+		}
+		n := g.AddNode()
+		remap[id] = n
+		return n
+	}
+	for _, name := range []string{TriplesSym, TriplesString, TriplesInt, TriplesFloat, TriplesBool, TriplesOID} {
+		rel, ok := db[name]
+		if !ok {
+			continue
+		}
+		fi, li, ti := rel.Col("from"), rel.Col("label"), rel.Col("to")
+		if fi < 0 || li < 0 || ti < 0 {
+			return nil, fmt.Errorf("relstore: %s must have from/label/to columns", name)
+		}
+		for _, row := range rel.Rows() {
+			from, ok1 := row[fi].IntVal()
+			to, ok2 := row[ti].IntVal()
+			if !ok1 || !ok2 {
+				return nil, fmt.Errorf("relstore: %s node ids must be ints", name)
+			}
+			g.AddEdge(node(from), row[li], node(to))
+		}
+	}
+	return g, nil
+}

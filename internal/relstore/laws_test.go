@@ -1,0 +1,155 @@
+package relstore
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/ssd"
+)
+
+// Property tests for the algebraic laws the relational substrate must obey
+// (set semantics makes these exact identities).
+
+func randRel(rng *rand.Rand, cols []string, rows int) *Relation {
+	r := NewRelation(cols...)
+	for i := 0; i < rows; i++ {
+		row := make([]ssd.Label, len(cols))
+		for j := range cols {
+			switch rng.Intn(3) {
+			case 0:
+				row[j] = ssd.Int(int64(rng.Intn(5)))
+			case 1:
+				row[j] = ssd.Str(string(rune('a' + rng.Intn(4))))
+			default:
+				row[j] = ssd.Bool(rng.Intn(2) == 0)
+			}
+		}
+		r.Add(row...)
+	}
+	return r
+}
+
+func TestUnionLaws(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := randRel(rng, []string{"x", "y"}, 12)
+		b := randRel(rng, []string{"x", "y"}, 12)
+		// Commutativity and idempotence.
+		if !Union(a, b).Equal(Union(b, a)) {
+			return false
+		}
+		if !Union(a, a).Equal(a) {
+			return false
+		}
+		// A ⊆ A ∪ B.
+		u := Union(a, b)
+		for _, row := range a.Rows() {
+			if !u.Has(row) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDiffLaws(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := randRel(rng, []string{"x"}, 10)
+		b := randRel(rng, []string{"x"}, 10)
+		// (A − B) ∪ (A ∩ B) = A, with A ∩ B = A − (A − B).
+		diff := Diff(a, b)
+		inter := Diff(a, diff)
+		if !Union(diff, inter).Equal(a) {
+			return false
+		}
+		// A − A = ∅.
+		return Diff(a, a).Len() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestJoinCommutesUpToColumnOrder(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := randRel(rng, []string{"x", "y"}, 10)
+		b := randRel(rng, []string{"y", "z"}, 10)
+		ab := Join(a, b)
+		ba := Join(b, a)
+		// Same tuples once projected to a common column order.
+		cols := []string{"x", "y", "z"}
+		return Project(ab, cols...).Equal(Project(ba, cols...))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestJoinSubsetOfProduct(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := randRel(rng, []string{"x", "y"}, 8)
+		b := randRel(rng, []string{"y", "z"}, 8)
+		join := Join(a, b)
+		// |A ⋈ B| ≤ |A × B|, and selecting the equality from the product
+		// gives the same count.
+		prod := Product(a, b)
+		yi, yj := prod.Col("y"), prod.Col("s.y")
+		sel := Select(prod, func(row []ssd.Label) bool { return row[yi].Equal(row[yj]) })
+		return join.Len() == sel.Len() && join.Len() <= prod.Len()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestProjectIdempotent(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := randRel(rng, []string{"x", "y", "z"}, 15)
+		p := Project(a, "x", "y")
+		return Project(p, "x", "y").Equal(p)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSelectDistributesOverUnion(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := randRel(rng, []string{"x"}, 10)
+		b := randRel(rng, []string{"x"}, 10)
+		pred := func(row []ssd.Label) bool {
+			v, ok := row[0].IntVal()
+			return ok && v >= 2
+		}
+		lhs := Select(Union(a, b), pred)
+		rhs := Union(Select(a, pred), Select(b, pred))
+		return lhs.Equal(rhs)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEncodeDecodeStableUnderRowOrder(t *testing.T) {
+	// Encoding is deterministic regardless of insertion order.
+	a := NewRelation("x", "y")
+	a.Add(ssd.Int(1), ssd.Str("a"))
+	a.Add(ssd.Int(2), ssd.Str("b"))
+	b := NewRelation("x", "y")
+	b.Add(ssd.Int(2), ssd.Str("b"))
+	b.Add(ssd.Int(1), ssd.Str("a"))
+	ga := EncodeRelational(Database{"t": a})
+	gb := EncodeRelational(Database{"t": b})
+	if ssd.FormatRoot(ga) != ssd.FormatRoot(gb) {
+		t.Error("encoding depends on insertion order")
+	}
+}

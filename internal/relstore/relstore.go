@@ -1,0 +1,293 @@
+// Package relstore is the relational substrate the paper leans on twice:
+// §2 notes it is "straightforward to encode relational and object-oriented
+// databases in this model", and §3's first computational strategy models
+// the graph itself as a relation of (node-id, label, node-id) triples. The
+// package provides a small set-semantics relational algebra (select,
+// project, rename, natural join, union, difference, product), the
+// relational↔graph codecs, and the triple-store encoding of graphs with
+// one relation per label kind (the paper's complication 1: "labels are
+// drawn from a heterogeneous collection of types, so it may be appropriate
+// to use more than one relation").
+//
+// Experiment E5 uses this package to check the paper's claim that the
+// query language restricted to relationally-encoded data expresses exactly
+// the relational algebra: both sides of each equivalence are executed and
+// compared.
+package relstore
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/ssd"
+)
+
+// Relation is a named-column set of tuples over label values.
+type Relation struct {
+	Cols []string
+	rows [][]ssd.Label
+	seen map[string]bool
+}
+
+// NewRelation returns an empty relation with the given columns.
+func NewRelation(cols ...string) *Relation {
+	return &Relation{Cols: cols, seen: map[string]bool{}}
+}
+
+// Arity returns the number of columns.
+func (r *Relation) Arity() int { return len(r.Cols) }
+
+// Len returns the number of tuples.
+func (r *Relation) Len() int { return len(r.rows) }
+
+// Rows returns the tuples (callers must not mutate).
+func (r *Relation) Rows() [][]ssd.Label { return r.rows }
+
+// Add inserts a tuple (set semantics); it reports whether it was new and
+// panics if the arity is wrong.
+func (r *Relation) Add(row ...ssd.Label) bool {
+	if len(row) != len(r.Cols) {
+		panic(fmt.Sprintf("relstore: arity mismatch: %d values for %d columns", len(row), len(r.Cols)))
+	}
+	k := rowKey(row)
+	if r.seen[k] {
+		return false
+	}
+	r.seen[k] = true
+	r.rows = append(r.rows, append([]ssd.Label(nil), row...))
+	return true
+}
+
+// Has reports membership.
+func (r *Relation) Has(row []ssd.Label) bool { return r.seen[rowKey(row)] }
+
+func rowKey(row []ssd.Label) string {
+	var b strings.Builder
+	for _, l := range row {
+		b.WriteByte(byte(l.Kind()))
+		b.WriteString(l.String())
+		b.WriteByte(0)
+	}
+	return b.String()
+}
+
+// Col returns the index of a column, or -1.
+func (r *Relation) Col(name string) int {
+	for i, c := range r.Cols {
+		if c == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Equal reports set equality of two relations with identical column lists.
+func (r *Relation) Equal(s *Relation) bool {
+	if len(r.Cols) != len(s.Cols) || r.Len() != s.Len() {
+		return false
+	}
+	for i := range r.Cols {
+		if r.Cols[i] != s.Cols[i] {
+			return false
+		}
+	}
+	for _, row := range r.rows {
+		if !s.Has(row) {
+			return false
+		}
+	}
+	return true
+}
+
+// Sorted returns rows in a canonical order for printing.
+func (r *Relation) Sorted() [][]ssd.Label {
+	out := append([][]ssd.Label(nil), r.rows...)
+	sort.Slice(out, func(i, j int) bool { return rowKey(out[i]) < rowKey(out[j]) })
+	return out
+}
+
+// String renders the relation as a small table.
+func (r *Relation) String() string {
+	var b strings.Builder
+	b.WriteString(strings.Join(r.Cols, "\t"))
+	b.WriteByte('\n')
+	for _, row := range r.Sorted() {
+		parts := make([]string, len(row))
+		for i, l := range row {
+			parts[i] = l.String()
+		}
+		b.WriteString(strings.Join(parts, "\t"))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// ---------------------------------------------------------------------------
+// Relational algebra (set semantics)
+
+// Select keeps tuples satisfying pred.
+func Select(r *Relation, pred func(row []ssd.Label) bool) *Relation {
+	out := NewRelation(r.Cols...)
+	for _, row := range r.rows {
+		if pred(row) {
+			out.Add(row...)
+		}
+	}
+	return out
+}
+
+// SelectEq keeps tuples whose column equals a constant.
+func SelectEq(r *Relation, col string, v ssd.Label) *Relation {
+	i := r.Col(col)
+	if i < 0 {
+		return NewRelation(r.Cols...)
+	}
+	return Select(r, func(row []ssd.Label) bool { return row[i].Equal(v) })
+}
+
+// Project keeps the named columns (deduplicating).
+func Project(r *Relation, cols ...string) *Relation {
+	idx := make([]int, len(cols))
+	for k, c := range cols {
+		idx[k] = r.Col(c)
+		if idx[k] < 0 {
+			return NewRelation(cols...)
+		}
+	}
+	out := NewRelation(cols...)
+	row2 := make([]ssd.Label, len(cols))
+	for _, row := range r.rows {
+		for k, i := range idx {
+			row2[k] = row[i]
+		}
+		out.Add(row2...)
+	}
+	return out
+}
+
+// Rename renames a column.
+func Rename(r *Relation, from, to string) *Relation {
+	cols := append([]string(nil), r.Cols...)
+	for i, c := range cols {
+		if c == from {
+			cols[i] = to
+		}
+	}
+	out := NewRelation(cols...)
+	for _, row := range r.rows {
+		out.Add(row...)
+	}
+	return out
+}
+
+// Union unions two union-compatible relations.
+func Union(r, s *Relation) *Relation {
+	out := NewRelation(r.Cols...)
+	for _, row := range r.rows {
+		out.Add(row...)
+	}
+	for _, row := range s.rows {
+		out.Add(row...)
+	}
+	return out
+}
+
+// Diff returns r − s (union-compatible).
+func Diff(r, s *Relation) *Relation {
+	out := NewRelation(r.Cols...)
+	for _, row := range r.rows {
+		if !s.Has(row) {
+			out.Add(row...)
+		}
+	}
+	return out
+}
+
+// Join computes the natural join on shared column names, using a hash join
+// on the shared columns.
+func Join(r, s *Relation) *Relation {
+	var shared []string
+	for _, c := range r.Cols {
+		if s.Col(c) >= 0 {
+			shared = append(shared, c)
+		}
+	}
+	var extraCols []string
+	var extraIdx []int
+	for i, c := range s.Cols {
+		if r.Col(c) < 0 {
+			extraCols = append(extraCols, c)
+			extraIdx = append(extraIdx, i)
+		}
+	}
+	out := NewRelation(append(append([]string(nil), r.Cols...), extraCols...)...)
+
+	sharedR := make([]int, len(shared))
+	sharedS := make([]int, len(shared))
+	for k, c := range shared {
+		sharedR[k] = r.Col(c)
+		sharedS[k] = s.Col(c)
+	}
+	key := func(row []ssd.Label, idx []int) string {
+		var b strings.Builder
+		for _, i := range idx {
+			b.WriteByte(byte(row[i].Kind()))
+			b.WriteString(row[i].String())
+			b.WriteByte(0)
+		}
+		return b.String()
+	}
+	// Build on the smaller side.
+	build, probe := s, r
+	buildIdx, probeIdx := sharedS, sharedR
+	swapped := false
+	if r.Len() < s.Len() {
+		build, probe = r, s
+		buildIdx, probeIdx = sharedR, sharedS
+		swapped = true
+	}
+	table := make(map[string][]int, build.Len())
+	for i, row := range build.rows {
+		table[key(row, buildIdx)] = append(table[key(row, buildIdx)], i)
+	}
+	for _, prow := range probe.rows {
+		for _, bi := range table[key(prow, probeIdx)] {
+			brow := build.rows[bi]
+			var rrow, srow []ssd.Label
+			if swapped {
+				rrow, srow = brow, prow
+			} else {
+				rrow, srow = prow, brow
+			}
+			merged := append([]ssd.Label(nil), rrow...)
+			for _, i := range extraIdx {
+				merged = append(merged, srow[i])
+			}
+			out.Add(merged...)
+		}
+	}
+	return out
+}
+
+// Product computes the cross product; column collisions in s are prefixed.
+func Product(r, s *Relation) *Relation {
+	cols := append([]string(nil), r.Cols...)
+	for _, c := range s.Cols {
+		name := c
+		if r.Col(c) >= 0 {
+			name = "s." + c
+		}
+		cols = append(cols, name)
+	}
+	out := NewRelation(cols...)
+	for _, a := range r.rows {
+		for _, b := range s.rows {
+			out.Add(append(append([]ssd.Label(nil), a...), b...)...)
+		}
+	}
+	return out
+}
+
+// Database is a named collection of relations.
+type Database map[string]*Relation

@@ -1,0 +1,235 @@
+package ssd
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestLabelConstructorsAndAccessors(t *testing.T) {
+	cases := []struct {
+		l    Label
+		kind Kind
+		str  string
+	}{
+		{Sym("Movie"), KindSymbol, "Movie"},
+		{Str("Casablanca"), KindString, `"Casablanca"`},
+		{Int(1942), KindInt, "1942"},
+		{Int(-7), KindInt, "-7"},
+		{Float(1.2e6), KindFloat, "1.2e+06"},
+		{Bool(true), KindBool, "true"},
+		{Bool(false), KindBool, "false"},
+		{OID("o17"), KindOID, "&o17"},
+	}
+	for _, c := range cases {
+		if c.l.Kind() != c.kind {
+			t.Errorf("%v: kind = %v, want %v", c.l, c.l.Kind(), c.kind)
+		}
+		if got := c.l.String(); got != c.str {
+			t.Errorf("String() = %q, want %q", got, c.str)
+		}
+	}
+	if s, ok := Sym("x").Symbol(); !ok || s != "x" {
+		t.Errorf("Symbol() = %q, %v", s, ok)
+	}
+	if _, ok := Str("x").Symbol(); ok {
+		t.Error("Str.Symbol() should not be ok")
+	}
+	if v, ok := Int(3).IntVal(); !ok || v != 3 {
+		t.Errorf("IntVal() = %d, %v", v, ok)
+	}
+	if v, ok := Float(2.5).FloatVal(); !ok || v != 2.5 {
+		t.Errorf("FloatVal() = %g, %v", v, ok)
+	}
+	if v, ok := Bool(true).BoolVal(); !ok || !v {
+		t.Errorf("BoolVal() = %v, %v", v, ok)
+	}
+	if id, ok := OID("a").OIDVal(); !ok || id != "a" {
+		t.Errorf("OIDVal() = %q, %v", id, ok)
+	}
+}
+
+func TestLabelZeroValue(t *testing.T) {
+	var l Label
+	if l.Kind() != KindSymbol {
+		t.Fatalf("zero label kind = %v, want symbol", l.Kind())
+	}
+	if s, ok := l.Symbol(); !ok || s != "" {
+		t.Fatalf("zero label = %q, %v", s, ok)
+	}
+}
+
+func TestLabelEqualCrossNumeric(t *testing.T) {
+	if !Int(2).Equal(Float(2.0)) {
+		t.Error("Int(2) should equal Float(2.0)")
+	}
+	if !Float(2.0).Equal(Int(2)) {
+		t.Error("Float(2.0) should equal Int(2)")
+	}
+	if Int(2).Equal(Float(2.5)) {
+		t.Error("Int(2) should not equal Float(2.5)")
+	}
+	if Int(2).Equal(Str("2")) {
+		t.Error("Int(2) should not equal Str(\"2\")")
+	}
+	if Sym("x").Equal(Str("x")) {
+		t.Error("Sym should not equal Str of same payload")
+	}
+	if !Sym("x").Equal(Sym("x")) {
+		t.Error("identical symbols should be equal")
+	}
+	if OID("a").Equal(OID("b")) {
+		t.Error("distinct oids should differ")
+	}
+}
+
+func TestLabelCompareTotalOrder(t *testing.T) {
+	ls := []Label{
+		Sym("A"), Sym("B"), Str("A"), Str("B"),
+		Int(-1), Int(0), Int(65536), Float(0.5), Float(1e9),
+		Bool(false), Bool(true), OID("a"), OID("b"),
+	}
+	for _, a := range ls {
+		if a.Compare(a) != 0 {
+			t.Errorf("Compare(%v,%v) != 0", a, a)
+		}
+		for _, b := range ls {
+			if a.Compare(b) != -b.Compare(a) {
+				t.Errorf("Compare(%v,%v) not antisymmetric", a, b)
+			}
+			for _, c := range ls {
+				if a.Compare(b) <= 0 && b.Compare(c) <= 0 && a.Compare(c) > 0 {
+					t.Errorf("Compare not transitive on %v ≤ %v ≤ %v", a, b, c)
+				}
+			}
+		}
+	}
+}
+
+func TestLabelCompareNumeric(t *testing.T) {
+	if Int(2).Compare(Float(2.5)) != -1 {
+		t.Error("2 < 2.5 across kinds")
+	}
+	if Float(3.5).Compare(Int(3)) != 1 {
+		t.Error("3.5 > 3 across kinds")
+	}
+	if Int(2).Compare(Float(2.0)) == 0 {
+		t.Error("tie between Int(2) and Float(2.0) must break by kind for total order")
+	}
+}
+
+func TestLabelSortStable(t *testing.T) {
+	ls := []Label{Int(3), Sym("z"), Str("a"), Int(1), Sym("a"), Float(2.5)}
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Less(ls[j]) })
+	want := []Label{Sym("a"), Sym("z"), Str("a"), Int(1), Float(2.5), Int(3)}
+	for i := range want {
+		if ls[i] != want[i] {
+			t.Fatalf("sorted[%d] = %v, want %v (full: %v)", i, ls[i], want[i], ls)
+		}
+	}
+}
+
+func TestLabelHashDistinguishes(t *testing.T) {
+	pairs := [][2]Label{
+		{Sym("a"), Str("a")},
+		{Sym("a"), Sym("b")},
+		{Int(1), Int(2)},
+		{Int(1), Bool(true)},
+		{Float(1.5), Float(2.5)},
+		{OID("x"), Str("x")},
+	}
+	for _, p := range pairs {
+		if p[0].Hash() == p[1].Hash() {
+			t.Errorf("hash collision between %v and %v", p[0], p[1])
+		}
+	}
+}
+
+func TestLabelHashEqualImpliesSameHash(t *testing.T) {
+	f := func(s string, n int64, fl float64, b bool) bool {
+		ls := []Label{Sym(s), Str(s), Int(n), Float(fl), Bool(b), OID(s)}
+		for _, l := range ls {
+			m := l // copy
+			if l.Hash() != m.Hash() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLabelNumeric(t *testing.T) {
+	if v, ok := Int(7).Numeric(); !ok || v != 7 {
+		t.Errorf("Numeric(Int 7) = %g, %v", v, ok)
+	}
+	if v, ok := Float(2.25).Numeric(); !ok || v != 2.25 {
+		t.Errorf("Numeric(Float) = %g, %v", v, ok)
+	}
+	if _, ok := Str("7").Numeric(); ok {
+		t.Error("strings are not numeric")
+	}
+	if _, ok := Bool(true).Numeric(); ok {
+		t.Error("bools are not numeric")
+	}
+}
+
+func TestFloatFormatting(t *testing.T) {
+	if got := Float(2).String(); got != "2.0" {
+		t.Errorf("Float(2).String() = %q, want 2.0 (must stay distinct from int)", got)
+	}
+	if got := Float(math.Inf(1)).String(); got != "inf" {
+		t.Errorf("inf formatting = %q", got)
+	}
+	if got := Float(math.Inf(-1)).String(); got != "-inf" {
+		t.Errorf("-inf formatting = %q", got)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	want := map[Kind]string{
+		KindSymbol: "symbol", KindString: "string", KindInt: "int",
+		KindFloat: "float", KindBool: "bool", KindOID: "oid",
+	}
+	for k, s := range want {
+		if k.String() != s {
+			t.Errorf("Kind(%d).String() = %q, want %q", k, k.String(), s)
+		}
+	}
+}
+
+func TestIsDataIsSymbol(t *testing.T) {
+	if !Sym("a").IsSymbol() || Sym("a").IsData() {
+		t.Error("Sym classification wrong")
+	}
+	for _, l := range []Label{Str("x"), Int(1), Float(1), Bool(true)} {
+		if !l.IsData() || l.IsSymbol() {
+			t.Errorf("%v classification wrong", l)
+		}
+	}
+	if OID("x").IsData() || OID("x").IsSymbol() {
+		t.Error("OID is neither data nor symbol")
+	}
+}
+
+// Property: Compare is consistent with Equal for same-kind labels, and
+// cross-kind numeric equality implies Compare breaks the tie by kind only.
+func TestCompareEqualConsistency(t *testing.T) {
+	f := func(a, b int64) bool {
+		ia, ib := Int(a), Int(b)
+		if ia.Equal(ib) != (ia.Compare(ib) == 0) {
+			return false
+		}
+		fa := Float(float64(a))
+		if !ia.Equal(fa) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,602 @@
+package ssd
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"unicode"
+	"unicode/utf8"
+)
+
+// This file implements a concrete text syntax for the model, in the style of
+// the UnQL/OEM literals used throughout the paper:
+//
+//	{Entry: {Movie: {Title: "Casablanca",
+//	                 Cast: {1: "Bogart", 2: "Bacall"},
+//	                 Director: {...}}}}
+//
+// Grammar:
+//
+//	tree  := literal                    (sugar for {literal: {}})
+//	       | tag? '{' [pair (',' pair)*] '}'
+//	       | tag                        (reference to a tagged node)
+//	pair  := label ':' tree | label     (bare label: edge to empty tree)
+//	label := ident | string | int | float | true | false
+//	tag   := '#' ident                  (local sharing/cycles)
+//	       | '&' ident                  (persistent OEM object identity)
+//
+// Tags make sharing and cycles expressible: `#x{Next: #x}` is a one-node
+// cycle. `&o7{...}` additionally records "o7" as the node's OEM oid.
+// Line comments start with //.
+
+// Parse parses a complete database in text syntax and returns a fresh graph
+// whose root is the parsed tree.
+func Parse(src string) (*Graph, error) {
+	g := New()
+	p := &parser{lex: newLexer(src), g: g, tags: map[string]NodeID{}}
+	p.lex.next()
+	n, err := p.parseTreeAt(g.Root())
+	if err != nil {
+		return nil, err
+	}
+	p.lex.next()
+	if p.lex.tok == tokError {
+		return nil, p.lex.err
+	}
+	if p.lex.tok != tokEOF {
+		return nil, fmt.Errorf("ssd: trailing input at offset %d: %q", p.lex.pos, p.lex.text)
+	}
+	if err := p.resolve(); err != nil {
+		return nil, err
+	}
+	if n != g.Root() {
+		g.SetRoot(n)
+	}
+	return g, nil
+}
+
+// MustParse is Parse but panics on error; intended for tests and examples.
+func MustParse(src string) *Graph {
+	g, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// ParseTree parses one tree term into an existing graph and returns its node.
+// Tags are scoped to the single call.
+func ParseTree(g *Graph, src string) (NodeID, error) {
+	p := &parser{lex: newLexer(src), g: g, tags: map[string]NodeID{}}
+	p.lex.next()
+	n, err := p.parseTreeAt(g.AddNode())
+	if err != nil {
+		return InvalidNode, err
+	}
+	p.lex.next()
+	if p.lex.tok == tokError {
+		return InvalidNode, p.lex.err
+	}
+	if p.lex.tok != tokEOF {
+		return InvalidNode, fmt.Errorf("ssd: trailing input at offset %d: %q", p.lex.pos, p.lex.text)
+	}
+	if err := p.resolve(); err != nil {
+		return InvalidNode, err
+	}
+	return n, nil
+}
+
+// ParseLabel parses a single label literal (symbol, string, number, bool).
+func ParseLabel(src string) (Label, error) {
+	lx := newLexer(src)
+	lx.next()
+	l, err := labelOf(lx)
+	if err != nil {
+		return Label{}, err
+	}
+	lx.next()
+	if lx.tok != tokEOF {
+		return Label{}, fmt.Errorf("ssd: trailing input after label: %q", lx.text)
+	}
+	return l, nil
+}
+
+// Format renders the subgraph reachable from n in the text syntax. Shared
+// and cyclic nodes receive #tN tags; nodes with OEM oids are rendered with
+// &oid tags. Edges are printed in sorted label order for determinism.
+func Format(g *Graph, n NodeID) string {
+	f := &formatter{g: g, shared: sharedNodes(g, n), tag: map[NodeID]string{}}
+	var b strings.Builder
+	f.write(&b, n)
+	return b.String()
+}
+
+// FormatRoot renders the whole database from its root.
+func FormatRoot(g *Graph) string { return Format(g, g.Root()) }
+
+// sharedNodes returns nodes reachable from start that are reachable via more
+// than one path or participate in a cycle — exactly the nodes needing tags.
+func sharedNodes(g *Graph, start NodeID) map[NodeID]bool {
+	visits := map[NodeID]int{}
+	onStack := map[NodeID]bool{}
+	shared := map[NodeID]bool{}
+	type frame struct {
+		n NodeID
+		i int
+	}
+	visits[start]++
+	stack := []frame{{start, 0}}
+	onStack[start] = true
+	for len(stack) > 0 {
+		f := &stack[len(stack)-1]
+		es := g.Out(f.n)
+		if f.i >= len(es) {
+			onStack[f.n] = false
+			stack = stack[:len(stack)-1]
+			continue
+		}
+		to := es[f.i].To
+		f.i++
+		visits[to]++
+		if onStack[to] {
+			shared[to] = true // back edge: cycle
+			continue
+		}
+		if visits[to] > 1 {
+			shared[to] = true // cross edge: sharing
+			continue
+		}
+		onStack[to] = true
+		stack = append(stack, frame{to, 0})
+	}
+	return shared
+}
+
+type formatter struct {
+	g      *Graph
+	shared map[NodeID]bool
+	tag    map[NodeID]string
+	nextID int
+}
+
+func (f *formatter) write(b *strings.Builder, n NodeID) {
+	if t, ok := f.tag[n]; ok {
+		b.WriteString(t) // already emitted: reference
+		return
+	}
+	prefix := ""
+	if oid, ok := f.g.OIDOf(n); ok {
+		prefix = "&" + oid
+	} else if f.shared[n] {
+		prefix = "#t" + strconv.Itoa(f.nextID)
+		f.nextID++
+	}
+	if prefix != "" {
+		f.tag[n] = prefix
+		b.WriteString(prefix)
+	}
+	es := append([]Edge(nil), f.g.Out(n)...)
+	sort.Slice(es, func(i, j int) bool {
+		if c := es[i].Label.Compare(es[j].Label); c != 0 {
+			return c < 0
+		}
+		return es[i].To < es[j].To
+	})
+	b.WriteByte('{')
+	for i, e := range es {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(e.Label.String())
+		if f.plainLeaf(e.To) {
+			continue // bare-label shorthand for edge to empty tree
+		}
+		b.WriteString(": ")
+		f.write(b, e.To)
+	}
+	b.WriteByte('}')
+}
+
+// plainLeaf reports whether a node prints as nothing at all (empty tree with
+// no tag), allowing the bare-label shorthand. Shared empty leaves print bare
+// too: sharing an empty tree is semantically invisible, so no tag is needed.
+func (f *formatter) plainLeaf(n NodeID) bool {
+	if !f.g.IsLeaf(n) {
+		return false
+	}
+	_, hasOID := f.g.OIDOf(n)
+	return !hasOID
+}
+
+// ---------------------------------------------------------------------------
+// Lexer
+
+type token int
+
+const (
+	tokEOF token = iota
+	tokLBrace
+	tokRBrace
+	tokColon
+	tokComma
+	tokHash   // #
+	tokAmp    // &
+	tokIdent  // symbol, true, false
+	tokString // "..."
+	tokInt
+	tokFloat
+	tokError
+)
+
+type lexer struct {
+	src  string
+	pos  int
+	tok  token
+	text string // token payload (unquoted for strings)
+	err  error
+
+	// One-token pushback: when pending is set, the next call to next()
+	// re-delivers the current token instead of scanning.
+	pending bool
+}
+
+func newLexer(src string) *lexer { return &lexer{src: src} }
+
+// push arranges for the current token to be delivered again by the next
+// call to next(). Used after one-token lookahead past a tag name.
+func (lx *lexer) push() { lx.pending = true }
+
+func (lx *lexer) errorf(format string, args ...interface{}) {
+	if lx.err == nil {
+		lx.err = fmt.Errorf("ssd: offset %d: "+format, append([]interface{}{lx.pos}, args...)...)
+	}
+	lx.tok = tokError
+}
+
+func (lx *lexer) next() {
+	if lx.pending {
+		lx.pending = false
+		return
+	}
+	lx.skipSpace()
+	if lx.err != nil {
+		lx.tok = tokError
+		return
+	}
+	if lx.pos >= len(lx.src) {
+		lx.tok, lx.text = tokEOF, ""
+		return
+	}
+	c := lx.src[lx.pos]
+	switch {
+	case c == '{':
+		lx.pos++
+		lx.tok = tokLBrace
+	case c == '}':
+		lx.pos++
+		lx.tok = tokRBrace
+	case c == ':':
+		lx.pos++
+		lx.tok = tokColon
+	case c == ',':
+		lx.pos++
+		lx.tok = tokComma
+	case c == '#':
+		lx.pos++
+		lx.tok = tokHash
+	case c == '&':
+		lx.pos++
+		lx.tok = tokAmp
+	case c == '"':
+		lx.lexString()
+	case c == '-' || c >= '0' && c <= '9':
+		lx.lexNumber()
+	case isIdentStart(rune(c)):
+		lx.lexIdent()
+	default:
+		lx.errorf("unexpected character %q", c)
+	}
+}
+
+func (lx *lexer) skipSpace() {
+	for lx.pos < len(lx.src) {
+		c := lx.src[lx.pos]
+		if c == ' ' || c == '\t' || c == '\n' || c == '\r' {
+			lx.pos++
+			continue
+		}
+		if c == '/' && lx.pos+1 < len(lx.src) && lx.src[lx.pos+1] == '/' {
+			for lx.pos < len(lx.src) && lx.src[lx.pos] != '\n' {
+				lx.pos++
+			}
+			continue
+		}
+		break
+	}
+}
+
+func (lx *lexer) lexString() {
+	start := lx.pos
+	lx.pos++ // opening quote
+	var b strings.Builder
+	for lx.pos < len(lx.src) {
+		c := lx.src[lx.pos]
+		if c == '"' {
+			lx.pos++
+			lx.tok, lx.text = tokString, b.String()
+			return
+		}
+		if c == '\\' {
+			if lx.pos+1 >= len(lx.src) {
+				break
+			}
+			esc := lx.src[lx.pos+1]
+			lx.pos += 2
+			switch esc {
+			case 'n':
+				b.WriteByte('\n')
+			case 't':
+				b.WriteByte('\t')
+			case 'r':
+				b.WriteByte('\r')
+			case '"':
+				b.WriteByte('"')
+			case '\\':
+				b.WriteByte('\\')
+			case 'u':
+				if lx.pos+4 > len(lx.src) {
+					lx.errorf("truncated \\u escape")
+					return
+				}
+				v, err := strconv.ParseUint(lx.src[lx.pos:lx.pos+4], 16, 32)
+				if err != nil {
+					lx.errorf("bad \\u escape: %v", err)
+					return
+				}
+				b.WriteRune(rune(v))
+				lx.pos += 4
+			default:
+				lx.errorf("unknown escape \\%c", esc)
+				return
+			}
+			continue
+		}
+		b.WriteByte(c)
+		lx.pos++
+	}
+	lx.pos = start
+	lx.errorf("unterminated string")
+}
+
+func (lx *lexer) lexNumber() {
+	start := lx.pos
+	if lx.src[lx.pos] == '-' {
+		lx.pos++
+	}
+	digits := 0
+	for lx.pos < len(lx.src) && lx.src[lx.pos] >= '0' && lx.src[lx.pos] <= '9' {
+		lx.pos++
+		digits++
+	}
+	if digits == 0 {
+		lx.errorf("malformed number")
+		return
+	}
+	isFloat := false
+	if lx.pos < len(lx.src) && lx.src[lx.pos] == '.' {
+		isFloat = true
+		lx.pos++
+		for lx.pos < len(lx.src) && lx.src[lx.pos] >= '0' && lx.src[lx.pos] <= '9' {
+			lx.pos++
+		}
+	}
+	if lx.pos < len(lx.src) && (lx.src[lx.pos] == 'e' || lx.src[lx.pos] == 'E') {
+		isFloat = true
+		lx.pos++
+		if lx.pos < len(lx.src) && (lx.src[lx.pos] == '+' || lx.src[lx.pos] == '-') {
+			lx.pos++
+		}
+		for lx.pos < len(lx.src) && lx.src[lx.pos] >= '0' && lx.src[lx.pos] <= '9' {
+			lx.pos++
+		}
+	}
+	lx.text = lx.src[start:lx.pos]
+	if isFloat {
+		lx.tok = tokFloat
+	} else {
+		lx.tok = tokInt
+	}
+}
+
+func (lx *lexer) lexIdent() {
+	start := lx.pos
+	for lx.pos < len(lx.src) {
+		r, size := utf8.DecodeRuneInString(lx.src[lx.pos:])
+		if !isIdentCont(r) {
+			break
+		}
+		lx.pos += size
+	}
+	lx.tok, lx.text = tokIdent, lx.src[start:lx.pos]
+}
+
+func isIdentStart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r)
+}
+
+func isIdentCont(r rune) bool {
+	return r == '_' || r == '-' || unicode.IsLetter(r) || unicode.IsDigit(r)
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+//
+// Convention: every parse method is entered with the current token being the
+// FIRST token of its production and returns with the current token being the
+// LAST token of its production. The caller advances.
+
+type parser struct {
+	lex  *lexer
+	g    *Graph
+	tags map[string]NodeID   // defined tag → node
+	fwd  map[string][]NodeID // forward-referenced tag → placeholder nodes
+}
+
+// parseTreeAt parses a tree term. If the term is a braces-node it is built
+// into `into` and `into` is returned; references return the referenced node
+// instead (leaving `into` unused).
+func (p *parser) parseTreeAt(into NodeID) (NodeID, error) {
+	lx := p.lex
+	switch lx.tok {
+	case tokHash, tokAmp:
+		isOID := lx.tok == tokAmp
+		lx.next()
+		if lx.tok != tokIdent && lx.tok != tokInt {
+			return InvalidNode, fmt.Errorf("ssd: offset %d: expected tag name after # or &", lx.pos)
+		}
+		name := lx.text
+		lx.next() // lookahead: definition or reference?
+		if lx.tok == tokLBrace {
+			if _, dup := p.tags[name]; dup {
+				return InvalidNode, fmt.Errorf("ssd: duplicate tag %q", name)
+			}
+			p.tags[name] = into
+			if isOID {
+				p.g.SetOID(into, name)
+			}
+			if err := p.parseBraces(into); err != nil {
+				return InvalidNode, err
+			}
+			return into, nil
+		}
+		// Reference: un-consume the lookahead token.
+		lx.push()
+		if n, ok := p.tags[name]; ok {
+			return n, nil
+		}
+		ph := p.g.AddNode()
+		if p.fwd == nil {
+			p.fwd = map[string][]NodeID{}
+		}
+		p.fwd[name] = append(p.fwd[name], ph)
+		if isOID {
+			p.g.SetOID(ph, name) // keep oid even if definition never appears
+		}
+		return ph, nil
+	case tokLBrace:
+		if err := p.parseBraces(into); err != nil {
+			return InvalidNode, err
+		}
+		return into, nil
+	case tokIdent, tokString, tokInt, tokFloat:
+		l, err := labelOf(lx)
+		if err != nil {
+			return InvalidNode, err
+		}
+		p.g.AddLeaf(into, l) // literal tree: {lit: {}}
+		return into, nil
+	case tokError:
+		return InvalidNode, lx.err
+	default:
+		return InvalidNode, fmt.Errorf("ssd: offset %d: expected tree term", lx.pos)
+	}
+}
+
+// parseBraces parses '{ pairs }'; current token is '{' on entry, '}' on exit.
+func (p *parser) parseBraces(into NodeID) error {
+	lx := p.lex
+	lx.next()
+	if lx.tok == tokRBrace {
+		return nil
+	}
+	for {
+		l, err := labelOf(lx)
+		if err != nil {
+			return err
+		}
+		lx.next()
+		if lx.tok == tokColon {
+			lx.next()
+			child, err := p.parseTreeAt(p.g.AddNode())
+			if err != nil {
+				return err
+			}
+			p.g.AddEdge(into, l, child)
+			lx.next()
+		} else {
+			p.g.AddLeaf(into, l) // bare label: edge to empty tree
+		}
+		switch lx.tok {
+		case tokComma:
+			lx.next()
+		case tokRBrace:
+			return nil
+		case tokError:
+			return lx.err
+		default:
+			return fmt.Errorf("ssd: offset %d: expected ',' or '}'", lx.pos)
+		}
+	}
+}
+
+// resolve rewires forward references to their defined nodes.
+func (p *parser) resolve() error {
+	if len(p.fwd) == 0 {
+		return nil
+	}
+	redirect := map[NodeID]NodeID{}
+	for name, phs := range p.fwd {
+		target, ok := p.tags[name]
+		if !ok {
+			return fmt.Errorf("ssd: undefined tag reference #%s", name)
+		}
+		for _, ph := range phs {
+			redirect[ph] = target
+			delete(p.g.oid, ph)
+		}
+	}
+	for n := range p.g.out {
+		es := p.g.out[n]
+		for i := range es {
+			if t, ok := redirect[es[i].To]; ok {
+				es[i].To = t
+			}
+		}
+	}
+	if t, ok := redirect[p.g.root]; ok {
+		p.g.root = t
+	}
+	return nil
+}
+
+func labelOf(lx *lexer) (Label, error) {
+	switch lx.tok {
+	case tokIdent:
+		switch lx.text {
+		case "true":
+			return Bool(true), nil
+		case "false":
+			return Bool(false), nil
+		}
+		return Sym(lx.text), nil
+	case tokString:
+		return Str(lx.text), nil
+	case tokInt:
+		v, err := strconv.ParseInt(lx.text, 10, 64)
+		if err != nil {
+			return Label{}, fmt.Errorf("ssd: bad integer %q: %v", lx.text, err)
+		}
+		return Int(v), nil
+	case tokFloat:
+		v, err := strconv.ParseFloat(lx.text, 64)
+		if err != nil {
+			return Label{}, fmt.Errorf("ssd: bad float %q: %v", lx.text, err)
+		}
+		return Float(v), nil
+	case tokError:
+		return Label{}, lx.err
+	default:
+		return Label{}, fmt.Errorf("ssd: offset %d: expected label", lx.pos)
+	}
+}

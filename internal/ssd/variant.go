@@ -1,0 +1,247 @@
+package ssd
+
+import "fmt"
+
+// This file implements the model variants §2 of the paper reviews and the
+// mappings between them, which the paper asserts are "easy to define in both
+// directions".
+//
+// Variant A (the package default, from UnQL [10]):
+//
+//	type label = int | string | ... | symbol
+//	type tree  = set(label × tree)
+//
+// Variant B (from Lorel/OEM [5]): leaf nodes carry base values, edges carry
+// symbols only:
+//
+//	type base = int | string | ...
+//	type tree = base | set(symbol × tree)
+//
+// Variant C: labels on internal nodes:
+//
+//	type tree = label × set(label × tree)
+//
+// The paper notes Variant C makes tree union hard to define and that it can
+// be converted to an edge-labeled form "by introducing extra edges"; the
+// conversions below do exactly that.
+
+// Marker symbols used by the lossless A↔B encoding. A data-labeled edge to
+// an empty tree becomes a symbol edge VariantData to a value leaf; a
+// data-labeled edge to a non-empty tree (legal in Variant A, inexpressible
+// directly in Variant B) is wrapped in an VariantEdge record with
+// VariantLabel and VariantTo fields.
+const (
+	VariantData  = "@data"
+	VariantEdge  = "@edge"
+	VariantLabel = "@label"
+	VariantTo    = "@to"
+)
+
+// LeafGraph is Variant B: a rooted graph whose edges are symbol-labeled and
+// whose leaves may carry one base value.
+type LeafGraph struct {
+	G   *Graph
+	Val map[NodeID]Label
+}
+
+// NewLeafGraph returns an empty Variant B graph.
+func NewLeafGraph() *LeafGraph {
+	return &LeafGraph{G: New(), Val: map[NodeID]Label{}}
+}
+
+// Check validates the Variant B invariants: every edge label is a symbol,
+// and values appear only on leaves.
+func (lg *LeafGraph) Check() error {
+	for n := 0; n < lg.G.NumNodes(); n++ {
+		es := lg.G.Out(NodeID(n))
+		if _, hasVal := lg.Val[NodeID(n)]; hasVal && len(es) > 0 {
+			return fmt.Errorf("ssd: variant B violation: node %d has both a value and %d children", n, len(es))
+		}
+		for _, e := range es {
+			if !e.Label.IsSymbol() {
+				return fmt.Errorf("ssd: variant B violation: edge label %s out of node %d is not a symbol", e.Label, n)
+			}
+		}
+	}
+	for n, v := range lg.Val {
+		if v.IsSymbol() {
+			return fmt.Errorf("ssd: variant B violation: node %d carries symbol value %s", n, v)
+		}
+	}
+	return nil
+}
+
+// ToLeafModel converts a Variant A graph into Variant B. The conversion is
+// lossless: FromLeafModel inverts it up to bisimulation. Symbol edges map
+// directly; a data edge d→t maps to
+//
+//	{@data: leaf(d)}                        if t is the empty tree
+//	{@edge: {@label: leaf(d), @to: conv(t)}} otherwise
+//
+// OIDs on nodes are preserved.
+func ToLeafModel(g *Graph) *LeafGraph {
+	lg := &LeafGraph{G: NewWithCapacity(g.NumNodes()), Val: map[NodeID]Label{}}
+	remap := make([]NodeID, g.NumNodes())
+	for i := range remap {
+		remap[i] = InvalidNode
+	}
+	var conv func(n NodeID) NodeID
+	conv = func(n NodeID) NodeID {
+		if remap[n] != InvalidNode {
+			return remap[n]
+		}
+		var nn NodeID
+		if n == g.Root() {
+			nn = lg.G.Root()
+		} else {
+			nn = lg.G.AddNode()
+		}
+		remap[n] = nn
+		if id, ok := g.OIDOf(n); ok {
+			lg.G.SetOID(nn, id)
+		}
+		for _, e := range g.Out(n) {
+			switch {
+			case e.Label.IsSymbol():
+				lg.G.AddEdge(nn, e.Label, conv(e.To))
+			case g.IsLeaf(e.To):
+				leaf := lg.G.AddLeaf(nn, Sym(VariantData))
+				lg.Val[leaf] = e.Label
+			default:
+				rec := lg.G.AddLeaf(nn, Sym(VariantEdge))
+				lleaf := lg.G.AddLeaf(rec, Sym(VariantLabel))
+				lg.Val[lleaf] = e.Label
+				lg.G.AddEdge(rec, Sym(VariantTo), conv(e.To))
+			}
+		}
+		return nn
+	}
+	conv(g.Root())
+	return lg
+}
+
+// FromLeafModel converts Variant B back to Variant A, inverting ToLeafModel.
+// Value leaves become data edges to the empty tree; @edge records are
+// unwrapped. Symbol edges whose target carries a value v become a data edge
+// only when produced by the @data marker; otherwise the value leaf is
+// encoded as an outgoing data edge from the converted node, which is the
+// standard [5]→[10] mapping the paper sketches.
+func FromLeafModel(lg *LeafGraph) *Graph {
+	g := NewWithCapacity(lg.G.NumNodes())
+	remap := make([]NodeID, lg.G.NumNodes())
+	for i := range remap {
+		remap[i] = InvalidNode
+	}
+	var conv func(n NodeID) NodeID
+	conv = func(n NodeID) NodeID {
+		if remap[n] != InvalidNode {
+			return remap[n]
+		}
+		var nn NodeID
+		if n == lg.G.Root() {
+			nn = g.Root()
+		} else {
+			nn = g.AddNode()
+		}
+		remap[n] = nn
+		if id, ok := lg.G.OIDOf(n); ok {
+			g.SetOID(nn, id)
+		}
+		if v, ok := lg.Val[n]; ok {
+			g.AddLeaf(nn, v)
+		}
+		for _, e := range lg.G.Out(n) {
+			sym, _ := e.Label.Symbol()
+			switch sym {
+			case VariantData:
+				if v, ok := lg.Val[e.To]; ok {
+					g.AddLeaf(nn, v)
+					continue
+				}
+				g.AddEdge(nn, e.Label, conv(e.To))
+			case VariantEdge:
+				lab, to, ok := decodeEdgeRecord(lg, e.To)
+				if ok {
+					g.AddEdge(nn, lab, conv(to))
+					continue
+				}
+				g.AddEdge(nn, e.Label, conv(e.To))
+			default:
+				g.AddEdge(nn, e.Label, conv(e.To))
+			}
+		}
+		return nn
+	}
+	conv(lg.G.Root())
+	return g
+}
+
+func decodeEdgeRecord(lg *LeafGraph, rec NodeID) (Label, NodeID, bool) {
+	var lab Label
+	var to NodeID = InvalidNode
+	haveLab := false
+	for _, e := range lg.G.Out(rec) {
+		switch sym, _ := e.Label.Symbol(); sym {
+		case VariantLabel:
+			if v, ok := lg.Val[e.To]; ok {
+				lab, haveLab = v, true
+			}
+		case VariantTo:
+			to = e.To
+		}
+	}
+	return lab, to, haveLab && to != InvalidNode
+}
+
+// NodeLabeledGraph is Variant C: every node carries a label in addition to
+// its labeled out-edges.
+type NodeLabeledGraph struct {
+	G         *Graph
+	NodeLabel map[NodeID]Label
+}
+
+// NewNodeLabeled returns an empty Variant C graph whose root is labeled l.
+func NewNodeLabeled(rootLabel Label) *NodeLabeledGraph {
+	nl := &NodeLabeledGraph{G: New(), NodeLabel: map[NodeID]Label{}}
+	nl.NodeLabel[nl.G.Root()] = rootLabel
+	return nl
+}
+
+// FromNodeLabeled converts Variant C into the edge-labeled Variant A by
+// "introducing extra edges": each node's label becomes an edge interposed
+// above its children, so a node ℓ with children (l₁:t₁, …) becomes
+// {ℓ: {l₁: conv(t₁), …}}. The result's root has a single edge carrying the
+// old root's label.
+func FromNodeLabeled(nl *NodeLabeledGraph) *Graph {
+	g := New()
+	// inner[n] is the node holding n's children; outer edges carry labels.
+	inner := make([]NodeID, nl.G.NumNodes())
+	for i := range inner {
+		inner[i] = InvalidNode
+	}
+	var conv func(n NodeID) NodeID
+	conv = func(n NodeID) NodeID {
+		if inner[n] != InvalidNode {
+			return inner[n]
+		}
+		in := g.AddNode()
+		inner[n] = in
+		for _, e := range nl.G.Out(n) {
+			childInner := conv(e.To)
+			wrap := g.AddNode()
+			g.AddEdge(wrap, nl.label(e.To), childInner)
+			g.AddEdge(in, e.Label, wrap)
+		}
+		return in
+	}
+	rootInner := conv(nl.G.Root())
+	g.AddEdge(g.Root(), nl.label(nl.G.Root()), rootInner)
+	return g
+}
+
+func (nl *NodeLabeledGraph) label(n NodeID) Label {
+	if l, ok := nl.NodeLabel[n]; ok {
+		return l
+	}
+	return Sym("")
+}

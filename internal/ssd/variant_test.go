@@ -1,0 +1,177 @@
+package ssd
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestToLeafModelSimple(t *testing.T) {
+	g := MustParse(`{Movie: {Title: "Casablanca", Year: 1942}}`)
+	lg := ToLeafModel(g)
+	if err := lg.Check(); err != nil {
+		t.Fatal(err)
+	}
+	movie := lg.G.LookupFirst(lg.G.Root(), Sym("Movie"))
+	title := lg.G.LookupFirst(movie, Sym("Title"))
+	data := lg.G.LookupFirst(title, Sym(VariantData))
+	if data == InvalidNode {
+		t.Fatal("@data edge missing")
+	}
+	if v, ok := lg.Val[data]; !ok || v != Str("Casablanca") {
+		t.Fatalf("leaf value = %v, %v", v, ok)
+	}
+}
+
+func TestLeafModelRoundTrip(t *testing.T) {
+	srcs := []string{
+		`{Movie: {Title: "Casablanca", Year: 1942}}`,
+		`{a: {b: 1, c: 2.5}, d: true}`,
+		`{}`,
+		`{deep: {deep: {deep: "bottom"}}}`,
+	}
+	for _, src := range srcs {
+		g := MustParse(src)
+		back := FromLeafModel(ToLeafModel(g))
+		if got, want := FormatRoot(back), FormatRoot(g); got != want {
+			t.Errorf("round trip of %s:\n got %s\nwant %s", src, got, want)
+		}
+	}
+}
+
+func TestLeafModelDataEdgeWithChildren(t *testing.T) {
+	// Variant A allows a data label above a non-empty subtree; Variant B
+	// cannot express that directly, so the codec wraps it in an @edge record.
+	g := New()
+	mid := g.AddLeaf(g.Root(), Str("weird"))
+	g.AddLeaf(mid, Sym("child"))
+	lg := ToLeafModel(g)
+	if err := lg.Check(); err != nil {
+		t.Fatal(err)
+	}
+	rec := lg.G.LookupFirst(lg.G.Root(), Sym(VariantEdge))
+	if rec == InvalidNode {
+		t.Fatal("@edge record missing")
+	}
+	back := FromLeafModel(lg)
+	if got, want := FormatRoot(back), FormatRoot(g); got != want {
+		t.Fatalf("got %s want %s", got, want)
+	}
+}
+
+func TestLeafModelPreservesCycles(t *testing.T) {
+	g := MustParse(`#r{a: {next: #r}}`)
+	lg := ToLeafModel(g)
+	back := FromLeafModel(lg)
+	a := back.LookupFirst(back.Root(), Sym("a"))
+	if got := back.LookupFirst(a, Sym("next")); got != back.Root() {
+		t.Fatalf("cycle broken: next = %d, want root %d", got, back.Root())
+	}
+}
+
+func TestLeafModelPreservesOIDs(t *testing.T) {
+	g := MustParse(`{a: &o1{v: 1}}`)
+	back := FromLeafModel(ToLeafModel(g))
+	a := back.LookupFirst(back.Root(), Sym("a"))
+	if id, ok := back.OIDOf(a); !ok || id != "o1" {
+		t.Fatalf("oid lost: %q %v", id, ok)
+	}
+}
+
+func TestLeafGraphCheckRejectsBadGraphs(t *testing.T) {
+	lg := NewLeafGraph()
+	n := lg.G.AddLeaf(lg.G.Root(), Str("not a symbol"))
+	_ = n
+	if err := lg.Check(); err == nil {
+		t.Error("Check should reject data edge labels")
+	}
+
+	lg2 := NewLeafGraph()
+	n2 := lg2.G.AddLeaf(lg2.G.Root(), Sym("a"))
+	lg2.Val[n2] = Int(1)
+	lg2.G.AddLeaf(n2, Sym("b"))
+	if err := lg2.Check(); err == nil {
+		t.Error("Check should reject value on internal node")
+	}
+
+	lg3 := NewLeafGraph()
+	n3 := lg3.G.AddLeaf(lg3.G.Root(), Sym("a"))
+	lg3.Val[n3] = Sym("sym")
+	if err := lg3.Check(); err == nil {
+		t.Error("Check should reject symbol values")
+	}
+}
+
+func TestFromNodeLabeled(t *testing.T) {
+	// Node-labeled tree: root "db" with child edge "has" to node "movie".
+	nl := NewNodeLabeled(Sym("db"))
+	child := nl.G.AddLeaf(nl.G.Root(), Sym("has"))
+	nl.NodeLabel[child] = Sym("movie")
+	g := FromNodeLabeled(nl)
+	// Expect root --db--> inner --has--> wrap --movie--> {}
+	db := g.LookupFirst(g.Root(), Sym("db"))
+	if db == InvalidNode {
+		t.Fatal("db edge missing")
+	}
+	has := g.LookupFirst(db, Sym("has"))
+	if has == InvalidNode {
+		t.Fatal("has edge missing")
+	}
+	if g.LookupFirst(has, Sym("movie")) == InvalidNode {
+		t.Fatal("movie node label not converted to edge")
+	}
+}
+
+func TestFromNodeLabeledCycle(t *testing.T) {
+	nl := NewNodeLabeled(Sym("r"))
+	nl.G.AddEdge(nl.G.Root(), Sym("self"), nl.G.Root())
+	g := FromNodeLabeled(nl)
+	if g.NumEdges() == 0 {
+		t.Fatal("conversion dropped edges")
+	}
+	// Must terminate (it did, since we got here) and preserve reachability.
+	r := g.LookupFirst(g.Root(), Sym("r"))
+	if r == InvalidNode {
+		t.Fatal("root label edge missing")
+	}
+}
+
+// Property: leaf-model round trip preserves the formatted value for random
+// acyclic generated trees.
+func TestLeafModelRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := New()
+		randomTree(g, g.Root(), rng, 3)
+		back := FromLeafModel(ToLeafModel(g))
+		return FormatRoot(back) == FormatRoot(g)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// randomTree attaches a random acyclic subtree below n.
+func randomTree(g *Graph, n NodeID, rng *rand.Rand, depth int) {
+	if depth == 0 {
+		return
+	}
+	k := rng.Intn(4)
+	for i := 0; i < k; i++ {
+		var l Label
+		switch rng.Intn(4) {
+		case 0:
+			l = Sym([]string{"a", "b", "c"}[rng.Intn(3)])
+		case 1:
+			l = Str([]string{"x", "y"}[rng.Intn(2)])
+		case 2:
+			l = Int(int64(rng.Intn(10)))
+		default:
+			l = Float(float64(rng.Intn(5)) + 0.5)
+		}
+		child := g.AddLeaf(n, l)
+		if l.IsSymbol() {
+			randomTree(g, child, rng, depth-1)
+		}
+	}
+}

@@ -1,0 +1,263 @@
+// Package storage addresses §4's second implementation setting: "one is
+// building a data structure to represent semistructured data directly",
+// where "disk layout and clustering, together with appropriate indexing, is
+// also important" [28]. It provides a compact binary codec for graphs, a
+// simulated page store with an LRU buffer pool that counts I/Os, and two
+// clustering policies (DFS-locality vs. random placement) whose page-fault
+// behaviour under path scans is experiment E10.
+package storage
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"os"
+
+	"repro/internal/ssd"
+)
+
+// Binary format:
+//
+//	magic "SSDG" | version u8 | root uvarint | numNodes uvarint
+//	per node: degree uvarint, then per edge: label, to uvarint
+//	label: kind u8 + payload (uvarint length + bytes, varint, 8-byte float,
+//	or 1-byte bool)
+//	oid section: count uvarint, then (node uvarint, len+bytes) pairs
+
+const (
+	magic   = "SSDG"
+	version = 1
+)
+
+// Encode serializes a graph.
+func Encode(g *ssd.Graph) []byte {
+	buf := make([]byte, 0, 16+g.NumEdges()*8)
+	buf = append(buf, magic...)
+	buf = append(buf, version)
+	buf = binary.AppendUvarint(buf, uint64(g.Root()))
+	buf = binary.AppendUvarint(buf, uint64(g.NumNodes()))
+	for v := 0; v < g.NumNodes(); v++ {
+		es := g.Out(ssd.NodeID(v))
+		buf = binary.AppendUvarint(buf, uint64(len(es)))
+		for _, e := range es {
+			buf = appendLabel(buf, e.Label)
+			buf = binary.AppendUvarint(buf, uint64(e.To))
+		}
+	}
+	// OID section.
+	var oids []struct {
+		n  ssd.NodeID
+		id string
+	}
+	for v := 0; v < g.NumNodes(); v++ {
+		if id, ok := g.OIDOf(ssd.NodeID(v)); ok {
+			oids = append(oids, struct {
+				n  ssd.NodeID
+				id string
+			}{ssd.NodeID(v), id})
+		}
+	}
+	buf = binary.AppendUvarint(buf, uint64(len(oids)))
+	for _, o := range oids {
+		buf = binary.AppendUvarint(buf, uint64(o.n))
+		buf = binary.AppendUvarint(buf, uint64(len(o.id)))
+		buf = append(buf, o.id...)
+	}
+	return buf
+}
+
+// Decode parses a serialized graph.
+func Decode(data []byte) (*ssd.Graph, error) {
+	r := &reader{data: data}
+	if len(data) < 5 || string(data[:4]) != magic {
+		return nil, fmt.Errorf("storage: bad magic")
+	}
+	if data[4] != version {
+		return nil, fmt.Errorf("storage: unsupported version %d", data[4])
+	}
+	r.pos = 5
+	root, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	n, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if n == 0 {
+		return nil, fmt.Errorf("storage: graph must have at least one node")
+	}
+	if n > uint64(len(data)) { // degree-1 lower bound sanity check
+		return nil, fmt.Errorf("storage: implausible node count %d", n)
+	}
+	g := ssd.NewWithCapacity(int(n))
+	if n > 1 {
+		g.AddNodes(int(n) - 1)
+	}
+	for v := uint64(0); v < n; v++ {
+		deg, err := r.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		for i := uint64(0); i < deg; i++ {
+			l, err := r.label()
+			if err != nil {
+				return nil, err
+			}
+			to, err := r.uvarint()
+			if err != nil {
+				return nil, err
+			}
+			if to >= n {
+				return nil, fmt.Errorf("storage: edge target %d out of range", to)
+			}
+			g.AddEdge(ssd.NodeID(v), l, ssd.NodeID(to))
+		}
+	}
+	nOids, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	for i := uint64(0); i < nOids; i++ {
+		node, err := r.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		id, err := r.str()
+		if err != nil {
+			return nil, err
+		}
+		if node >= n {
+			return nil, fmt.Errorf("storage: oid node %d out of range", node)
+		}
+		g.SetOID(ssd.NodeID(node), id)
+	}
+	if root >= n {
+		return nil, fmt.Errorf("storage: root %d out of range", root)
+	}
+	g.SetRoot(ssd.NodeID(root))
+	return g, nil
+}
+
+// WriteFile encodes g to path.
+func WriteFile(path string, g *ssd.Graph) error {
+	return os.WriteFile(path, Encode(g), 0o644)
+}
+
+// ReadFile decodes a graph from path.
+func ReadFile(path string) (*ssd.Graph, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return Decode(data)
+}
+
+func appendLabel(buf []byte, l ssd.Label) []byte {
+	buf = append(buf, byte(l.Kind()))
+	switch l.Kind() {
+	case ssd.KindSymbol:
+		s, _ := l.Symbol()
+		buf = binary.AppendUvarint(buf, uint64(len(s)))
+		buf = append(buf, s...)
+	case ssd.KindString:
+		s, _ := l.Text()
+		buf = binary.AppendUvarint(buf, uint64(len(s)))
+		buf = append(buf, s...)
+	case ssd.KindOID:
+		s, _ := l.OIDVal()
+		buf = binary.AppendUvarint(buf, uint64(len(s)))
+		buf = append(buf, s...)
+	case ssd.KindInt:
+		v, _ := l.IntVal()
+		buf = binary.AppendVarint(buf, v)
+	case ssd.KindFloat:
+		f, _ := l.FloatVal()
+		var tmp [8]byte
+		binary.LittleEndian.PutUint64(tmp[:], math.Float64bits(f))
+		buf = append(buf, tmp[:]...)
+	case ssd.KindBool:
+		b, _ := l.BoolVal()
+		if b {
+			buf = append(buf, 1)
+		} else {
+			buf = append(buf, 0)
+		}
+	}
+	return buf
+}
+
+type reader struct {
+	data []byte
+	pos  int
+}
+
+func (r *reader) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(r.data[r.pos:])
+	if n <= 0 {
+		return 0, io.ErrUnexpectedEOF
+	}
+	r.pos += n
+	return v, nil
+}
+
+func (r *reader) varint() (int64, error) {
+	v, n := binary.Varint(r.data[r.pos:])
+	if n <= 0 {
+		return 0, io.ErrUnexpectedEOF
+	}
+	r.pos += n
+	return v, nil
+}
+
+func (r *reader) str() (string, error) {
+	n, err := r.uvarint()
+	if err != nil {
+		return "", err
+	}
+	if r.pos+int(n) > len(r.data) {
+		return "", io.ErrUnexpectedEOF
+	}
+	s := string(r.data[r.pos : r.pos+int(n)])
+	r.pos += int(n)
+	return s, nil
+}
+
+func (r *reader) label() (ssd.Label, error) {
+	if r.pos >= len(r.data) {
+		return ssd.Label{}, io.ErrUnexpectedEOF
+	}
+	kind := ssd.Kind(r.data[r.pos])
+	r.pos++
+	switch kind {
+	case ssd.KindSymbol:
+		s, err := r.str()
+		return ssd.Sym(s), err
+	case ssd.KindString:
+		s, err := r.str()
+		return ssd.Str(s), err
+	case ssd.KindOID:
+		s, err := r.str()
+		return ssd.OID(s), err
+	case ssd.KindInt:
+		v, err := r.varint()
+		return ssd.Int(v), err
+	case ssd.KindFloat:
+		if r.pos+8 > len(r.data) {
+			return ssd.Label{}, io.ErrUnexpectedEOF
+		}
+		bits := binary.LittleEndian.Uint64(r.data[r.pos:])
+		r.pos += 8
+		return ssd.Float(math.Float64frombits(bits)), nil
+	case ssd.KindBool:
+		if r.pos >= len(r.data) {
+			return ssd.Label{}, io.ErrUnexpectedEOF
+		}
+		b := r.data[r.pos] != 0
+		r.pos++
+		return ssd.Bool(b), nil
+	default:
+		return ssd.Label{}, fmt.Errorf("storage: unknown label kind %d", kind)
+	}
+}

@@ -1,0 +1,197 @@
+package storage
+
+import (
+	"math/rand"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/bisim"
+	"repro/internal/pathexpr"
+	"repro/internal/ssd"
+)
+
+func sample(t *testing.T) *ssd.Graph {
+	t.Helper()
+	g, err := ssd.Parse(`
+	{Entry: #e{Movie: {Title: "Casablanca", Year: 1942, Rating: 8.5,
+	                   Classic: true, Self: #e, ID: &obj1{}}}}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestCodecRoundTrip(t *testing.T) {
+	g := sample(t)
+	data := Encode(g)
+	back, err := Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumNodes() != g.NumNodes() || back.NumEdges() != g.NumEdges() {
+		t.Fatalf("size changed: %d/%d vs %d/%d nodes/edges",
+			back.NumNodes(), back.NumEdges(), g.NumNodes(), g.NumEdges())
+	}
+	if !bisim.Equal(g, back) {
+		t.Error("value changed in round trip")
+	}
+	// OIDs survive.
+	found := false
+	for v := 0; v < back.NumNodes(); v++ {
+		if id, ok := back.OIDOf(ssd.NodeID(v)); ok && id == "obj1" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("oid lost in round trip")
+	}
+}
+
+func TestCodecRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := ssd.New()
+		ids := []ssd.NodeID{g.Root()}
+		for i := 0; i < 20; i++ {
+			ids = append(ids, g.AddNode())
+		}
+		labels := []ssd.Label{
+			ssd.Sym("a"), ssd.Str("s"), ssd.Int(-42), ssd.Float(2.5),
+			ssd.Bool(true), ssd.OID("x"),
+		}
+		for i := 0; i < 50; i++ {
+			g.AddEdge(ids[rng.Intn(len(ids))], labels[rng.Intn(len(labels))], ids[rng.Intn(len(ids))])
+		}
+		back, err := Decode(Encode(g))
+		if err != nil {
+			return false
+		}
+		return back.NumEdges() == g.NumEdges() && bisim.Equal(g, back)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		[]byte("XXXX"),
+		[]byte("SSDG\x02"),         // bad version
+		[]byte("SSDG\x01"),         // truncated
+		[]byte("SSDG\x01\x00\xff"), // truncated varint
+	}
+	for _, data := range cases {
+		if _, err := Decode(data); err == nil {
+			t.Errorf("Decode(%q) should fail", data)
+		}
+	}
+	// Corrupt a valid encoding by chopping bytes.
+	g := sample(t)
+	data := Encode(g)
+	for _, cut := range []int{len(data) / 4, len(data) / 2, len(data) - 1} {
+		if _, err := Decode(data[:cut]); err == nil {
+			t.Errorf("truncation at %d accepted", cut)
+		}
+	}
+}
+
+func TestFileRoundTrip(t *testing.T) {
+	g := sample(t)
+	path := filepath.Join(t.TempDir(), "db.ssdg")
+	if err := WriteFile(path, g); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bisim.Equal(g, back) {
+		t.Error("file round trip changed value")
+	}
+	if _, err := ReadFile(filepath.Join(t.TempDir(), "missing")); err == nil {
+		t.Error("missing file should error")
+	}
+}
+
+func TestBufferPoolLRU(t *testing.T) {
+	bp := NewBufferPool(2)
+	bp.Touch(1) // miss
+	bp.Touch(2) // miss
+	bp.Touch(1) // hit
+	bp.Touch(3) // miss, evicts 2 (LRU)
+	bp.Touch(1) // hit
+	bp.Touch(2) // miss (was evicted)
+	s := bp.Stats()
+	if s.Hits != 2 || s.Misses != 4 {
+		t.Errorf("stats = %+v, want 2 hits 4 misses", s)
+	}
+	bp.Reset()
+	if bp.Stats() != (PoolStats{}) {
+		t.Error("reset failed")
+	}
+}
+
+func chainGraph(n int) *ssd.Graph {
+	g := ssd.New()
+	cur := g.Root()
+	for i := 0; i < n; i++ {
+		cur = g.AddLeaf(cur, ssd.Sym("next"))
+	}
+	return g
+}
+
+func TestPagedEvalMatchesInMemory(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	g := ssd.New()
+	ids := []ssd.NodeID{g.Root()}
+	for i := 0; i < 50; i++ {
+		ids = append(ids, g.AddNode())
+	}
+	for i := 0; i < 140; i++ {
+		g.AddEdge(ids[rng.Intn(len(ids))], ssd.Sym([]string{"a", "b"}[rng.Intn(2)]), ids[rng.Intn(len(ids))])
+	}
+	for _, c := range []Clustering{ClusterDFS, ClusterBFS, ClusterRandom} {
+		pg := NewPaged(g, c, 8, 4, 1)
+		for _, src := range []string{"a*", "(a|b)._", "_*"} {
+			want := pathexpr.MustCompile(src).Eval(g, g.Root())
+			got := pg.EvalPath(pathexpr.MustCompile(src))
+			if !reflect.DeepEqual(want, got) {
+				t.Errorf("%s clustering %s: %v != %v", c, src, got, want)
+			}
+		}
+	}
+}
+
+func TestClusteringLocality(t *testing.T) {
+	// On a deep chain with a small pool, DFS clustering faults once per
+	// page; random placement faults nearly once per node.
+	g := chainGraph(2000)
+	dfs := NewPaged(g, ClusterDFS, 50, 4, 1)
+	rnd := NewPaged(g, ClusterRandom, 50, 4, 1)
+	dfs.ScanDFS()
+	rnd.ScanDFS()
+	dm := dfs.Pool.Stats().Misses
+	rm := rnd.Pool.Stats().Misses
+	if dm*5 >= rm {
+		t.Errorf("DFS clustering should fault ≫ less: dfs=%d random=%d", dm, rm)
+	}
+}
+
+func TestScanDFSVisitsAll(t *testing.T) {
+	g := chainGraph(100)
+	pg := NewPaged(g, ClusterDFS, 10, 100, 0)
+	if got := pg.ScanDFS(); got != 101 {
+		t.Errorf("visited = %d, want 101", got)
+	}
+}
+
+func TestNumPages(t *testing.T) {
+	g := chainGraph(99) // 100 nodes
+	pg := NewPaged(g, ClusterDFS, 10, 10, 0)
+	if pg.NumPages() != 10 {
+		t.Errorf("pages = %d, want 10", pg.NumPages())
+	}
+}

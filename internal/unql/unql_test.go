@@ -1,0 +1,239 @@
+package unql
+
+import (
+	"testing"
+
+	"repro/internal/bisim"
+	"repro/internal/pathexpr"
+	"repro/internal/ssd"
+)
+
+func fig1(t *testing.T) *ssd.Graph {
+	t.Helper()
+	g, err := ssd.Parse(`
+	{Entry: #e1{Movie: {Title: "Casablanca",
+	                    Cast: {1: "Bogart", 2: "Bacall"},
+	                    Director: {"Curtiz"}}},
+	 Entry: #e2{Movie: {Title: "Play it again, Sam",
+	                    Cast: {Credit: {Actors: {"Allen"}}},
+	                    Director: {"Allen"},
+	                    References: #e1}}}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestRelabelIdentity(t *testing.T) {
+	g := fig1(t)
+	out := Relabel(g, func(l ssd.Label) ssd.Label { return l })
+	if !bisim.Equal(g, out) {
+		t.Error("identity relabel changed the value")
+	}
+}
+
+func TestRelabelBacallFix(t *testing.T) {
+	// The paper: "in UnQL one can write a query that corrects the egregious
+	// error in the Bacall edge label".
+	g := ssd.MustParse(`{Cast: {1: "Bogart", 2: "Bacall "}}`)
+	out := RelabelWhere(g, pathexpr.ExactPred{L: ssd.Str("Bacall ")}, ssd.Str("Bacall"))
+	want := ssd.MustParse(`{Cast: {1: "Bogart", 2: "Bacall"}}`)
+	if !bisim.Equal(out, want) {
+		t.Errorf("got %s", ssd.FormatRoot(out))
+	}
+}
+
+func TestDeleteEdges(t *testing.T) {
+	g := fig1(t)
+	out := DeleteEdges(g, pathexpr.ExactPred{L: ssd.Sym("References")})
+	if CountEdges(out, pathexpr.ExactPred{L: ssd.Sym("References")}) != 0 {
+		t.Error("References edges survived deletion")
+	}
+	// Both entries keep their titles.
+	if n := CountEdges(out, pathexpr.ExactPred{L: ssd.Sym("Title")}); n != 2 {
+		t.Errorf("titles after delete = %d, want 2", n)
+	}
+}
+
+func TestDeleteDisconnects(t *testing.T) {
+	g := ssd.MustParse(`{keep: {v: 1}, drop: {w: 2}}`)
+	out := DeleteEdges(g, pathexpr.ExactPred{L: ssd.Sym("drop")})
+	want := ssd.MustParse(`{keep: {v: 1}}`)
+	if !bisim.Equal(out, want) {
+		t.Errorf("got %s", ssd.FormatRoot(out))
+	}
+}
+
+func TestCollapseEdges(t *testing.T) {
+	// Collapsing Credit unifies the two cast representations one level.
+	g := ssd.MustParse(`{Cast: {Credit: {Actors: {"Allen"}}}}`)
+	out := CollapseEdges(g, pathexpr.ExactPred{L: ssd.Sym("Credit")})
+	want := ssd.MustParse(`{Cast: {Actors: {"Allen"}}}`)
+	if !bisim.Equal(out, want) {
+		t.Errorf("got %s, want %s", ssd.FormatRoot(out), ssd.FormatRoot(want))
+	}
+}
+
+func TestCollapseChain(t *testing.T) {
+	g := ssd.MustParse(`{a: {a: {a: {v: 1}}}}`)
+	out := CollapseEdges(g, pathexpr.ExactPred{L: ssd.Sym("a")})
+	want := ssd.MustParse(`{v: 1}`)
+	if !bisim.Equal(out, want) {
+		t.Errorf("got %s", ssd.FormatRoot(out))
+	}
+}
+
+func TestCollapseCycleTerminates(t *testing.T) {
+	g := ssd.MustParse(`#r{a: #r, v: 1}`)
+	out := CollapseEdges(g, pathexpr.ExactPred{L: ssd.Sym("a")})
+	// Collapsing the self-loop leaves just {v: 1}.
+	want := ssd.MustParse(`{v: 1}`)
+	if !bisim.Equal(out, want) {
+		t.Errorf("got %s", ssd.FormatRoot(out))
+	}
+}
+
+func TestExpandEdges(t *testing.T) {
+	g := ssd.MustParse(`{Cast: {Actors: {"Allen"}}}`)
+	out := ExpandEdges(g, pathexpr.ExactPred{L: ssd.Sym("Actors")},
+		ssd.Sym("Credit"), ssd.Sym("Actors"))
+	want := ssd.MustParse(`{Cast: {Credit: {Actors: {"Allen"}}}}`)
+	if !bisim.Equal(out, want) {
+		t.Errorf("got %s", ssd.FormatRoot(out))
+	}
+}
+
+func TestAnnotateEdges(t *testing.T) {
+	g := ssd.MustParse(`{Movie: {Title: "X"}}`)
+	note := ssd.MustParse(`{checked: true}`)
+	out := AnnotateEdges(g, pathexpr.ExactPred{L: ssd.Sym("Movie")}, ssd.Sym("Meta"), note)
+	meta := out.LookupFirst(out.Root(), ssd.Sym("Meta"))
+	if meta == ssd.InvalidNode {
+		t.Fatal("Meta edge missing")
+	}
+	if out.LookupFirst(out.Root(), ssd.Sym("Movie")) == ssd.InvalidNode {
+		t.Fatal("original Movie edge lost")
+	}
+}
+
+func TestGExtPreservesCycles(t *testing.T) {
+	g := ssd.MustParse(`#r{next: #r, tag: "x"}`)
+	out := Relabel(g, func(l ssd.Label) ssd.Label { return l })
+	if !bisim.Equal(g, out) {
+		t.Error("cycle not preserved")
+	}
+	// And it's still a finite graph of about the same size.
+	if out.NumNodes() > g.NumNodes()+2 {
+		t.Errorf("memoized GExt blew up: %d nodes", out.NumNodes())
+	}
+}
+
+func TestGExtSharingLinear(t *testing.T) {
+	// DAG with heavy sharing: 2^20 paths but only ~40 nodes. Memoized GExt
+	// must stay linear in nodes.
+	g := ssd.New()
+	cur := g.Root()
+	for i := 0; i < 20; i++ {
+		next := g.AddNode()
+		g.AddEdge(cur, ssd.Sym("L"), next)
+		g.AddEdge(cur, ssd.Sym("R"), next)
+		cur = next
+	}
+	g.AddLeaf(cur, ssd.Int(1))
+	out := Relabel(g, func(l ssd.Label) ssd.Label { return l })
+	if out.NumNodes() > 2*g.NumNodes() {
+		t.Errorf("GExt output %d nodes for %d-node input", out.NumNodes(), g.NumNodes())
+	}
+	if !bisim.Equal(g, out) {
+		t.Error("value changed")
+	}
+}
+
+func TestGExtTreeAgreesOnTrees(t *testing.T) {
+	g := ssd.MustParse(`{a: {b: 1, c: {d: "x"}}, e: 2.5}`)
+	f := func(l ssd.Label, _, _ ssd.NodeID, _ *ssd.Graph) Action {
+		if s, ok := l.Symbol(); ok && s == "b" {
+			return RelabelTo(ssd.Sym("B"))
+		}
+		return Keep(l)
+	}
+	memo := GExt(g, f)
+	tree, err := GExtTree(g, f, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bisim.Equal(memo, tree) {
+		t.Errorf("memoized %s != tree %s", ssd.FormatRoot(memo), ssd.FormatRoot(tree))
+	}
+}
+
+func TestGExtTreeDivergesOnCycles(t *testing.T) {
+	g := ssd.MustParse(`#r{a: #r}`)
+	_, err := GExtTree(g, func(l ssd.Label, _, _ ssd.NodeID, _ *ssd.Graph) Action {
+		return Keep(l)
+	}, 50)
+	if err == nil {
+		t.Fatal("tree recursion on a cycle must hit the depth bound")
+	}
+}
+
+func TestDeepSelect(t *testing.T) {
+	g := fig1(t)
+	out := DeepSelect(g, pathexpr.ExactPred{L: ssd.Sym("Director")})
+	// Union of the two Director objects {"Curtiz"} ∪ {"Allen"}.
+	want := ssd.MustParse(`{"Curtiz", "Allen"}`)
+	if !bisim.Equal(out, want) {
+		t.Errorf("got %s", ssd.FormatRoot(out))
+	}
+}
+
+func TestDeepSelectNested(t *testing.T) {
+	// Matching edges below matching edges: both subtrees contribute.
+	g := ssd.MustParse(`{x: {v: 1, x: {v: 2}}}`)
+	out := DeepSelect(g, pathexpr.ExactPred{L: ssd.Sym("x")})
+	// Union of {v:1, x:{v:2}} and {v:2} = {v:1, v:2, x:{v:2}}.
+	want := ssd.MustParse(`{v: 1, v: 2, x: {v: 2}}`)
+	if !bisim.Equal(out, want) {
+		t.Errorf("got %s", ssd.FormatRoot(out))
+	}
+}
+
+func TestDeepSelectCycle(t *testing.T) {
+	g := ssd.MustParse(`#r{Movie: {References: #r, Title: "A"}}`)
+	out := DeepSelect(g, pathexpr.ExactPred{L: ssd.Sym("Title")})
+	want := ssd.MustParse(`{"A"}`)
+	if !bisim.Equal(out, want) {
+		t.Errorf("got %s", ssd.FormatRoot(out))
+	}
+}
+
+func TestCountEdgesAndDepth(t *testing.T) {
+	g := fig1(t)
+	if n := CountEdges(g, pathexpr.ExactPred{L: ssd.Sym("Entry")}); n != 2 {
+		t.Errorf("Entry count = %d", n)
+	}
+	if n := CountEdges(g, pathexpr.AnyPred{}); n != g.NumEdges() {
+		t.Errorf("any count = %d, want %d", n, g.NumEdges())
+	}
+	if d := MaxDepthTo(g, pathexpr.ExactPred{L: ssd.Sym("Title")}); d != 3 {
+		t.Errorf("depth to Title = %d, want 3", d)
+	}
+	if d := MaxDepthTo(g, pathexpr.ExactPred{L: ssd.Sym("Nope")}); d != -1 {
+		t.Errorf("depth to missing = %d, want -1", d)
+	}
+}
+
+func TestDoubleEdgeAction(t *testing.T) {
+	// An action may contribute several parallel paths.
+	g := ssd.MustParse(`{a: {v: 1}}`)
+	out := GExt(g, func(l ssd.Label, _, _ ssd.NodeID, _ *ssd.Graph) Action {
+		if s, _ := l.Symbol(); s == "a" {
+			return Action{Paths: [][]ssd.Label{{ssd.Sym("a1")}, {ssd.Sym("a2")}}}
+		}
+		return Keep(l)
+	})
+	want := ssd.MustParse(`{a1: #s{v: 1}, a2: #s}`)
+	if !bisim.Equal(out, want) {
+		t.Errorf("got %s", ssd.FormatRoot(out))
+	}
+}

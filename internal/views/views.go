@@ -1,0 +1,208 @@
+// Package views implements a small view-definition facility in the spirit
+// of the Abiteboul–Goldman–McHugh–Vassalos–Zhuge proposal the paper cites
+// in §3 ("some simple forms of restructuring are also present in a view
+// definition language proposed in [4]"): named, query-defined views over a
+// semistructured database, with views allowed to build on earlier views.
+//
+// A view is a select-from-where query. When materializing view V, the
+// query runs against a virtual root carrying the base database under
+// `base` plus every previously defined view under its own name:
+//
+//	reg.Define("movies",  `select {m: M} from DB.base.Entry.Movie M`)
+//	reg.Define("titles",  `select T from DB.movies.m.Title T`)
+//
+// Materialization is cached per (view, database) and views are checked for
+// definition-order dependencies at Define time, so cycles are impossible
+// by construction.
+package views
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/query"
+	"repro/internal/ssd"
+)
+
+// BaseName is the edge under which the underlying database appears in view
+// queries.
+const BaseName = "base"
+
+// Registry holds named view definitions, in definition order.
+type Registry struct {
+	order []string
+	defs  map[string]*query.Query
+	texts map[string]string
+
+	// cache maps view name → materialized result for the graph last used;
+	// invalidated when the base graph changes.
+	cachedFor *ssd.Graph
+	cache     map[string]*ssd.Graph
+}
+
+// NewRegistry returns an empty view registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		defs:  map[string]*query.Query{},
+		texts: map[string]string{},
+		cache: map[string]*ssd.Graph{},
+	}
+}
+
+// Define registers a view. The name must be new and must not collide with
+// BaseName; the query may reference `DB.base` and any earlier view.
+func (r *Registry) Define(name, src string) error {
+	if name == BaseName {
+		return fmt.Errorf("views: %q is reserved", BaseName)
+	}
+	if _, dup := r.defs[name]; dup {
+		return fmt.Errorf("views: view %q already defined", name)
+	}
+	q, err := query.Parse(src)
+	if err != nil {
+		return fmt.Errorf("views: %s: %w", name, err)
+	}
+	// Check that every first step of a DB-rooted path names base or an
+	// earlier view, so dependencies are resolvable and acyclic.
+	for _, b := range q.From {
+		if b.Source != "DB" {
+			continue
+		}
+		dep, ok := firstSymbol(b.Path)
+		if !ok {
+			continue // wildcard or variable start: sees everything defined so far
+		}
+		if dep != BaseName && r.defs[dep] == nil {
+			return fmt.Errorf("views: %s: unknown source %q (views may reference %q or earlier views)", name, dep, BaseName)
+		}
+	}
+	r.order = append(r.order, name)
+	r.defs[name] = q
+	r.texts[name] = src
+	r.invalidate()
+	return nil
+}
+
+func firstSymbol(steps []query.PathStep) (string, bool) {
+	if len(steps) == 0 {
+		return "", false
+	}
+	rs, ok := steps[0].(*query.RegexStep)
+	if !ok {
+		return "", false
+	}
+	// Only plain symbol atoms name a dependency.
+	if atom, ok := rs.Expr.(interface{ String() string }); ok {
+		s := atom.String()
+		if isPlainSymbol(s) {
+			return s, true
+		}
+	}
+	return "", false
+}
+
+func isPlainSymbol(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_':
+		case i > 0 && (c >= '0' && c <= '9' || c == '-'):
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// Names returns the defined view names in definition order.
+func (r *Registry) Names() []string { return append([]string(nil), r.order...) }
+
+// Text returns a view's source text.
+func (r *Registry) Text(name string) (string, bool) {
+	t, ok := r.texts[name]
+	return t, ok
+}
+
+// Drop removes a view and everything defined after it (later views may
+// depend on it; order-suffix removal keeps the registry consistent without
+// dependency tracking).
+func (r *Registry) Drop(name string) error {
+	idx := -1
+	for i, n := range r.order {
+		if n == name {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		return fmt.Errorf("views: view %q not defined", name)
+	}
+	for _, n := range r.order[idx:] {
+		delete(r.defs, n)
+		delete(r.texts, n)
+	}
+	r.order = r.order[:idx]
+	r.invalidate()
+	return nil
+}
+
+func (r *Registry) invalidate() {
+	r.cachedFor = nil
+	r.cache = map[string]*ssd.Graph{}
+}
+
+// Materialize evaluates the named view over base, materializing its
+// dependencies first. Results are cached until the registry changes or a
+// different base graph is supplied.
+func (r *Registry) Materialize(name string, base *ssd.Graph) (*ssd.Graph, error) {
+	if r.cachedFor != base {
+		r.invalidate()
+		r.cachedFor = base
+	}
+	if g, ok := r.cache[name]; ok {
+		return g, nil
+	}
+	q, ok := r.defs[name]
+	if !ok {
+		return nil, fmt.Errorf("views: view %q not defined", name)
+	}
+	// Build the virtual root: base plus every EARLIER view (definition
+	// order guarantees dependencies come first).
+	virtual := ssd.New()
+	virtual.AddEdge(virtual.Root(), ssd.Sym(BaseName), virtual.Graft(base, base.Root()))
+	for _, dep := range r.order {
+		if dep == name {
+			break
+		}
+		dg, err := r.Materialize(dep, base)
+		if err != nil {
+			return nil, err
+		}
+		virtual.AddEdge(virtual.Root(), ssd.Sym(dep), virtual.Graft(dg, dg.Root()))
+	}
+	res, err := query.Eval(q, virtual)
+	if err != nil {
+		return nil, fmt.Errorf("views: %s: %w", name, err)
+	}
+	r.cache[name] = res
+	return res, nil
+}
+
+// MaterializeAll materializes every view and returns a graph whose root has
+// one edge per view name — a whole "view site" in the sense of [18]'s web
+// site management.
+func (r *Registry) MaterializeAll(base *ssd.Graph) (*ssd.Graph, error) {
+	out := ssd.New()
+	names := append([]string(nil), r.order...)
+	sort.Strings(names)
+	for _, name := range names {
+		g, err := r.Materialize(name, base)
+		if err != nil {
+			return nil, err
+		}
+		out.AddEdge(out.Root(), ssd.Sym(name), out.Graft(g, g.Root()))
+	}
+	return out, nil
+}

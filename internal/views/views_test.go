@@ -1,0 +1,158 @@
+package views
+
+import (
+	"testing"
+
+	"repro/internal/bisim"
+	"repro/internal/ssd"
+	"repro/internal/workload"
+)
+
+func base(t *testing.T) *ssd.Graph {
+	t.Helper()
+	return workload.Fig1(false)
+}
+
+func TestDefineAndMaterialize(t *testing.T) {
+	r := NewRegistry()
+	if err := r.Define("titles", `select {t: T} from DB.base.Entry._.Title T`); err != nil {
+		t.Fatal(err)
+	}
+	g, err := r.Materialize("titles", base(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := ssd.MustParse(`{t: {"Casablanca"}, t: {"Play it again, Sam"}, t: {"Bogart retrospective"}}`)
+	if !bisim.Equal(g, want) {
+		t.Errorf("got %s", ssd.FormatRoot(g))
+	}
+}
+
+func TestViewOnView(t *testing.T) {
+	r := NewRegistry()
+	if err := r.Define("movies", `select {m: M} from DB.base.Entry.Movie M`); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Define("movietitles", `select T from DB.movies.m.Title T`); err != nil {
+		t.Fatal(err)
+	}
+	g, err := r.Materialize("movietitles", base(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := ssd.MustParse(`{"Casablanca", "Play it again, Sam"}`)
+	if !bisim.Equal(g, want) {
+		t.Errorf("got %s", ssd.FormatRoot(g))
+	}
+}
+
+func TestUnknownDependencyRejected(t *testing.T) {
+	r := NewRegistry()
+	if err := r.Define("v", `select T from DB.nonexistent.x T`); err == nil {
+		t.Error("unknown source should be rejected at Define time")
+	}
+}
+
+func TestForwardDependencyRejected(t *testing.T) {
+	r := NewRegistry()
+	// v1 referencing v2 before v2 exists must fail: acyclicity by order.
+	if err := r.Define("v1", `select T from DB.v2.x T`); err == nil {
+		t.Error("forward reference should be rejected")
+	}
+}
+
+func TestDuplicateAndReserved(t *testing.T) {
+	r := NewRegistry()
+	if err := r.Define("base", `select T from DB.base T`); err == nil {
+		t.Error("reserved name accepted")
+	}
+	if err := r.Define("v", `select T from DB.base T`); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Define("v", `select T from DB.base T`); err == nil {
+		t.Error("duplicate accepted")
+	}
+}
+
+func TestDropSuffix(t *testing.T) {
+	r := NewRegistry()
+	must(t, r.Define("a", `select {x: X} from DB.base.Entry X`))
+	must(t, r.Define("b", `select X from DB.a.x X`))
+	must(t, r.Define("c", `select X from DB.b X`))
+	if err := r.Drop("b"); err != nil {
+		t.Fatal(err)
+	}
+	names := r.Names()
+	if len(names) != 1 || names[0] != "a" {
+		t.Errorf("names after drop = %v", names)
+	}
+	if _, err := r.Materialize("c", base(t)); err == nil {
+		t.Error("dropped view should not materialize")
+	}
+	if err := r.Drop("nope"); err == nil {
+		t.Error("dropping unknown view should error")
+	}
+}
+
+func TestCacheInvalidation(t *testing.T) {
+	r := NewRegistry()
+	must(t, r.Define("titles", `select T from DB.base.Entry._.Title T`))
+	b1 := base(t)
+	g1, err := r.Materialize("titles", b1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same graph: cached pointer.
+	g1b, _ := r.Materialize("titles", b1)
+	if g1 != g1b {
+		t.Error("expected cache hit for same base")
+	}
+	// Different base: recomputed and different content.
+	b2 := ssd.MustParse(`{Entry: {Movie: {Title: "Other"}}}`)
+	g2, err := r.Materialize("titles", b2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bisim.Equal(g1, g2) {
+		t.Error("different bases must give different views")
+	}
+}
+
+func TestMaterializeAll(t *testing.T) {
+	r := NewRegistry()
+	must(t, r.Define("movies", `select {m: M} from DB.base.Entry.Movie M`))
+	must(t, r.Define("shows", `select {s: S} from DB.base.Entry.TV-Show S`))
+	site, err := r.MaterializeAll(base(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if site.LookupFirst(site.Root(), ssd.Sym("movies")) == ssd.InvalidNode {
+		t.Error("movies view missing from site")
+	}
+	if site.LookupFirst(site.Root(), ssd.Sym("shows")) == ssd.InvalidNode {
+		t.Error("shows view missing from site")
+	}
+}
+
+func TestRestructuringView(t *testing.T) {
+	// The [4]-style restructuring: regroup movies by director.
+	r := NewRegistry()
+	must(t, r.Define("bydirector", `
+		select {%D: {Title: T}}
+		from DB.base.Entry.Movie M, M.Director.%D X, M.Title T`))
+	g, err := r.Materialize("bydirector", base(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := ssd.MustParse(`{"Curtiz": {Title: {"Casablanca"}}, "Allen": {Title: {"Play it again, Sam"}}}`)
+	if !bisim.Equal(g, want) {
+		t.Errorf("got %s", ssd.FormatRoot(g))
+	}
+}
+
+func must(t *testing.T, err error) {
+	t.Helper()
+	if err != nil {
+		t.Fatal(err)
+	}
+}

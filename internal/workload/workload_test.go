@@ -1,0 +1,159 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/bisim"
+	"repro/internal/pathexpr"
+	"repro/internal/ssd"
+	"repro/internal/unql"
+)
+
+func TestFig1Shape(t *testing.T) {
+	g := Fig1(false)
+	if n := len(g.Lookup(g.Root(), ssd.Sym("Entry"))); n != 3 {
+		t.Fatalf("entries = %d", n)
+	}
+	// The Allen query of §3 works on it.
+	hits := pathexpr.MustCompile(`Entry.Movie.(!Movie)*."Allen"`).Eval(g, g.Root())
+	if len(hits) != 2 {
+		t.Errorf("Allen hits = %d, want 2", len(hits))
+	}
+	// With the error kept, the Bacall edge is misspelled.
+	bad := Fig1(true)
+	if len(pathexpr.MustCompile(`_*."Bacal"`).Eval(bad, bad.Root())) != 1 {
+		t.Error("misspelled Bacal edge missing")
+	}
+	// And the paper's UnQL fix restores it.
+	fixed := unql.RelabelWhere(bad, pathexpr.ExactPred{L: ssd.Str("Bacal")}, ssd.Str("Bacall"))
+	if !bisim.Equal(fixed, g) {
+		t.Error("relabel fix does not reproduce the corrected figure")
+	}
+}
+
+func TestMoviesDeterministic(t *testing.T) {
+	cfg := DefaultMovieConfig(50)
+	a := Movies(cfg)
+	b := Movies(cfg)
+	if !bisim.Equal(a, b) {
+		t.Error("same seed must give the same database")
+	}
+	cfg2 := cfg
+	cfg2.Seed = 99
+	c := Movies(cfg2)
+	if bisim.Equal(a, c) {
+		t.Error("different seeds should differ")
+	}
+}
+
+func TestMoviesShape(t *testing.T) {
+	cfg := DefaultMovieConfig(200)
+	g := Movies(cfg)
+	entries := g.Lookup(g.Root(), ssd.Sym("Entry"))
+	if len(entries) != 200 {
+		t.Fatalf("entries = %d", len(entries))
+	}
+	// Both cast representations occur.
+	indexed := pathexpr.MustCompile("Entry.Movie.Cast.isint").Eval(g, g.Root())
+	credit := pathexpr.MustCompile("Entry.Movie.Cast.Credit.Actors").Eval(g, g.Root())
+	if len(indexed) == 0 || len(credit) == 0 {
+		t.Errorf("cast representations: indexed=%d credit=%d, want both > 0", len(indexed), len(credit))
+	}
+	// TV shows occur with Episode ints.
+	eps := pathexpr.MustCompile("Entry.TV-Show.Episode.isint").Eval(g, g.Root())
+	if len(eps) == 0 {
+		t.Error("no TV shows generated")
+	}
+	// References occur.
+	refs := pathexpr.MustCompile("Entry._.References").Eval(g, g.Root())
+	if len(refs) == 0 {
+		t.Error("no references generated")
+	}
+}
+
+func TestMoviesHasCycles(t *testing.T) {
+	g := Movies(MovieConfig{Entries: 300, RefProb: 0.9, MaxCast: 2, Seed: 3, CreditRatio: 0.5})
+	// A cycle exists iff some node is reachable from itself; check via the
+	// Is-referenced-in back-links: follow References then Is-referenced-in.
+	hits := pathexpr.MustCompile("Entry._.(References._.Is-referenced-in._)+").Eval(g, g.Root())
+	if len(hits) == 0 {
+		t.Skip("no back-link cycle in this seed (probabilistic)")
+	}
+}
+
+func TestWebShape(t *testing.T) {
+	g := Web(WebConfig{Pages: 300, OutLinks: 3, Seed: 7})
+	pages := g.Lookup(g.Root(), ssd.Sym("Page"))
+	if len(pages) != 300 {
+		t.Fatalf("pages = %d", len(pages))
+	}
+	links := 0
+	maxOut := 0
+	in := make(map[ssd.NodeID]int)
+	for _, p := range pages {
+		out := len(g.Lookup(p, ssd.Sym("link")))
+		links += out
+		if out > maxOut {
+			maxOut = out
+		}
+		for _, to := range g.Lookup(p, ssd.Sym("link")) {
+			in[to]++
+		}
+	}
+	if links == 0 {
+		t.Fatal("no links")
+	}
+	// Heavy tail: some page should receive far more than the average
+	// in-degree.
+	maxIn := 0
+	for _, c := range in {
+		if c > maxIn {
+			maxIn = c
+		}
+	}
+	avg := float64(links) / float64(len(pages))
+	if float64(maxIn) < 3*avg {
+		t.Errorf("no popularity skew: maxIn=%d avg=%.1f", maxIn, avg)
+	}
+}
+
+func TestACeDBDepth(t *testing.T) {
+	g := ACeDB(BioConfig{Objects: 20, MaxDepth: 12, Fanout: 3, Seed: 11})
+	if len(g.Lookup(g.Root(), ssd.Sym("Object"))) != 20 {
+		t.Fatal("object count wrong")
+	}
+	// Arbitrary depth: at least one path deeper than 8 symbols.
+	deep := pathexpr.MustCompile("_._._._._._._._._").Eval(g, g.Root())
+	if len(deep) == 0 {
+		t.Error("no deep paths in ACeDB workload")
+	}
+	// Raggedness: leaves at shallow depth too.
+	shallow := pathexpr.MustCompile("Object._.isstring").Eval(g, g.Root())
+	if len(shallow) == 0 {
+		t.Error("no shallow values")
+	}
+}
+
+func TestRelationalShape(t *testing.T) {
+	db := Relational(100, 10, 5)
+	if db["movies"].Len() != 100 {
+		t.Errorf("movies = %d", db["movies"].Len())
+	}
+	if db["directors"].Len() != 10 {
+		t.Errorf("directors = %d", db["directors"].Len())
+	}
+	// Every movie's director exists in directors (foreign key).
+	dcol := db["directors"].Col("director")
+	dirs := map[string]bool{}
+	for _, row := range db["directors"].Rows() {
+		s, _ := row[dcol].Text()
+		dirs[s] = true
+	}
+	mcol := db["movies"].Col("director")
+	for _, row := range db["movies"].Rows() {
+		s, _ := row[mcol].Text()
+		if !dirs[s] {
+			t.Fatalf("dangling director %q", s)
+		}
+	}
+}
