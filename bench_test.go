@@ -71,6 +71,51 @@ func BenchmarkFig1Queries(b *testing.B) {
 	}
 }
 
+// BenchmarkPlannedVsNaive ablates the two query engines over the E1
+// (path-heavy select-from-where) and E2 (browsing) workloads. The planned
+// engine's flat-slot executor must show a large allocs/op reduction on the
+// E1 path-heavy query — that is the refactor's whole point — and the
+// index-seek access path should dominate on the E2 browsing shape.
+func BenchmarkPlannedVsNaive(b *testing.B) {
+	workloads := []struct{ name, src string }{
+		{"e1-path-heavy", `select {Title: T} from DB.Entry.Movie M, M.Title T, M.Cast._* A where A = "Allen"`},
+		{"e1-fixed-path", `select T from DB.Entry.Movie.Title T`},
+		{"e2-browse-seek", `select X from DB._*.Episode X`},
+	}
+	for _, size := range []int{500, 5000} {
+		g := movieDB(size)
+		ix := index.BuildLabelIndex(g)
+		for _, w := range workloads {
+			q := query.MustParse(w.src)
+			b.Run(fmt.Sprintf("naive/%s/entries=%d", w.name, size), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if _, err := query.EvalNaive(q, g); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+			b.Run(fmt.Sprintf("planned/%s/entries=%d", w.name, size), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if _, err := query.EvalOpts(q, g, query.Options{Minimize: true}); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+			b.Run(fmt.Sprintf("planned-indexed/%s/entries=%d", w.name, size), func(b *testing.B) {
+				b.ReportAllocs()
+				opts := query.Options{Minimize: true, Plan: query.PlanOptions{Label: ix}}
+				for i := 0; i < b.N; i++ {
+					if _, err := query.EvalOpts(q, g, opts); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
 // ---------------------------------------------------------------------------
 // E2: browsing queries — scan vs value index.
 

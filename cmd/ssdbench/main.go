@@ -36,6 +36,7 @@ var experiments = []experiment{
 	{"e9", "E9 (§5): DataGuide construction — regular vs irregular data", runE9DataGuide},
 	{"e10", "E10 (§4): page I/O — DFS clustering vs random placement", runE10Storage},
 	{"e11", "E11 (§2): bisimulation — naive vs incremental refinement", runE11Bisim},
+	{"e12", "E12: query engines — naive tree-walker vs slot planner + iterators", runE12Engines},
 }
 
 func main() {

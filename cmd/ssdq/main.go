@@ -6,6 +6,8 @@
 //
 //	ssdq -db file.ssd stats
 //	ssdq -db file.ssd query  'select T from DB.Entry.Movie.Title T'
+//	ssdq -db file.ssd -engine naive query 'select T from DB.Entry.Movie.Title T'
+//	ssdq -db file.ssd explain 'select T from DB.Entry.Movie.Title T'
 //	ssdq -db file.ssd path   'Entry.Movie.(!Movie)*."Allen"'
 //	ssdq -db file.ssd datalog 'reach(X) :- root(X). reach(Y) :- reach(X), edge(X,_,Y).'
 //	ssdq -db file.ssd browse -depth 3
@@ -26,19 +28,22 @@ import (
 	"strings"
 
 	"repro/internal/core"
+	"repro/internal/query"
 	"repro/internal/ssd"
 	"repro/internal/workload"
 )
 
 func main() {
 	var (
-		dbPath = flag.String("db", "", "database file (.ssd text or .ssdg binary); default: built-in Figure 1")
-		depth  = flag.Int("depth", 3, "browse: maximum path depth")
-		limit  = flag.Int("limit", 40, "browse: maximum paths listed")
-		out    = flag.String("o", "", "convert: output file (.ssd or .ssdg)")
+		dbPath  = flag.String("db", "", "database file (.ssd text or .ssdg binary); default: built-in Figure 1")
+		depth   = flag.Int("depth", 3, "browse: maximum path depth")
+		limit   = flag.Int("limit", 40, "browse: maximum paths listed")
+		out     = flag.String("o", "", "convert: output file (.ssd or .ssdg)")
+		engine  = flag.String("engine", "planned", "query: evaluation engine (planned|naive)")
+		explain = flag.Bool("explain", false, "query: print the chosen plan before the result")
 	)
 	flag.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: ssdq [flags] <stats|query|path|datalog|browse|guide|schema|fmt|convert|demo> [arg]")
+		fmt.Fprintln(os.Stderr, "usage: ssdq [flags] <stats|query|explain|path|datalog|browse|guide|schema|fmt|convert|demo> [arg]")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -60,11 +65,32 @@ func main() {
 	case "fmt":
 		fmt.Println(db.Format())
 	case "query":
-		res, err := db.Query(arg(rest, "query"))
+		src := arg(rest, "query")
+		eng, err := parseEngine(*engine)
+		if err != nil {
+			fatal(err)
+		}
+		if *explain {
+			plan, err := db.Explain(src)
+			if err != nil {
+				fatal(err)
+			}
+			if eng == query.EngineNaive {
+				fmt.Println("-- plan shown for reference; -engine naive runs the tree-walking evaluator instead")
+			}
+			fmt.Print(plan)
+		}
+		res, err := db.QueryEngine(src, eng)
 		if err != nil {
 			fatal(err)
 		}
 		fmt.Println(res.Format())
+	case "explain":
+		plan, err := db.Explain(arg(rest, "explain"))
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(plan)
 	case "path":
 		nodes, err := db.PathQuery(arg(rest, "path"))
 		if err != nil {
@@ -135,6 +161,17 @@ func arg(rest []string, cmd string) string {
 		fatal(fmt.Errorf("%s requires exactly one argument", cmd))
 	}
 	return rest[0]
+}
+
+func parseEngine(s string) (query.Engine, error) {
+	switch s {
+	case "planned":
+		return query.EnginePlanned, nil
+	case "naive":
+		return query.EngineNaive, nil
+	default:
+		return 0, fmt.Errorf("unknown engine %q (want planned or naive)", s)
+	}
 }
 
 func load(path string) (*core.Database, error) {

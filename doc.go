@@ -6,6 +6,33 @@
 // conformance, strong DataGuides, query decomposition over sites, and a
 // simulated native store.
 //
+// # Query engine
+//
+// Query evaluation is split into three layers (see ARCHITECTURE.md for the
+// full picture and extension points):
+//
+//   - a planner (internal/query/plan.go) that resolves every tree, label
+//     and path variable to a fixed integer slot, orders the from-clause
+//     pattern atoms by estimated selectivity, chooses an access path per
+//     atom (forward lazy-DFA traversal, DataGuide-pruned evaluation, label
+//     index posting-list seeks, or backward verification from the rarest
+//     label over reverse edges), and pushes each where-conjunct to the
+//     earliest atom at which its variables are bound;
+//
+//   - a pull-based iterator executor (internal/query/exec.go) — Volcano
+//     style Next() operators over one flat slot array, with no per-binding
+//     allocation on the join/filter hot path;
+//
+//   - iterator surfaces in the lower layers: pathexpr.Traversal (resumable
+//     product traversal sharing the lazy-DFA cache), index.Cursor
+//     (posting-list seeks), dataguide.ExtentCursor (guide-pruned extents),
+//     and ssd.Graph.In (cached reverse adjacency).
+//
+// The original recursive tree-walking evaluator is retained as
+// query.EvalNaive behind Options.Engine, cross-checked against the planned
+// engine on the whole query test suite and ablated by BenchmarkPlannedVsNaive
+// and `ssdbench -exp e12`.
+//
 // See README.md for a tour, DESIGN.md for the system inventory, and
 // EXPERIMENTS.md for the reproduced results. The root package holds only
 // the benchmark harness (bench_test.go); the library lives under

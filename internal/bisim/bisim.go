@@ -276,6 +276,76 @@ func Minimize(g *ssd.Graph) *ssd.Graph {
 	return out
 }
 
+// Canonicalize returns the canonical representative of g's value: the
+// bisimulation quotient of the accessible part (Minimize), renumbered so
+// that node IDs — and therefore Format output and edge order — depend only
+// on the value, never on construction order. Two graphs are value-equal iff
+// their canonicalizations are byte-identical under ssd.FormatRoot.
+//
+// The renumbering is iterated signature refinement with class ids assigned
+// in signature sort order: on a minimized graph every pair of nodes is
+// non-bisimilar, so refinement terminates with one structurally determined
+// rank per node.
+func Canonicalize(g *ssd.Graph) *ssd.Graph {
+	m := Minimize(g)
+	n := m.NumNodes()
+	cls := make([]int, n)
+	k := 1
+	var buf []byte
+	var pairs []sigPair
+	for {
+		sigs := make([]string, n)
+		var own []byte
+		for v := 0; v < n; v++ {
+			own = own[:0]
+			own = binary.AppendUvarint(own, uint64(cls[v]))
+			if ssd.NodeID(v) == m.Root() {
+				own = append(own, 1)
+			} else {
+				own = append(own, 0)
+			}
+			buf, pairs = signature(m, ssd.NodeID(v), cls, buf, pairs)
+			sigs[v] = string(own) + string(buf)
+		}
+		uniq := append([]string(nil), sigs...)
+		sort.Strings(uniq)
+		w := 0
+		for i, s := range uniq {
+			if i == 0 || s != uniq[w-1] {
+				uniq[w] = s
+				w++
+			}
+		}
+		uniq = uniq[:w]
+		id := make(map[string]int, len(uniq))
+		for i, s := range uniq {
+			id[s] = i
+		}
+		for v := range cls {
+			cls[v] = id[sigs[v]]
+		}
+		if len(uniq) == k {
+			break
+		}
+		k = len(uniq)
+	}
+	out := ssd.New()
+	if n == 0 {
+		return out
+	}
+	if n > 1 {
+		out.AddNodes(n - 1)
+	}
+	for v := 0; v < n; v++ {
+		for _, e := range m.Out(ssd.NodeID(v)) {
+			out.AddEdge(ssd.NodeID(cls[v]), e.Label, ssd.NodeID(cls[e.To]))
+		}
+	}
+	out.SetRoot(ssd.NodeID(cls[m.Root()]))
+	out.SortEdges()
+	return out
+}
+
 func appendLabel(buf []byte, l ssd.Label) []byte {
 	buf = append(buf, byte(l.Kind()))
 	switch l.Kind() {

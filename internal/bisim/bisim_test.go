@@ -258,3 +258,40 @@ func TestSelfBisimilarProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestCanonicalizeByteIdentical(t *testing.T) {
+	// The same value built in different orders (and with different sharing)
+	// must canonicalize to byte-identical text.
+	a := parse(t, `{Movie: {Title: {"A"}}, Movie: {Title: {"B"}}}`)
+	b := parse(t, `{Movie: {Title: {"B"}}, Movie: {Title: {"A"}}}`)
+	ca, cb := Canonicalize(a), Canonicalize(b)
+	fa, fb := ssd.FormatRoot(ca), ssd.FormatRoot(cb)
+	if fa != fb {
+		t.Errorf("canonical forms differ:\n a: %s\n b: %s", fa, fb)
+	}
+	if !Equal(ca, a) {
+		t.Error("canonicalization changed the value")
+	}
+}
+
+func TestCanonicalizeCycle(t *testing.T) {
+	a := parse(t, `#r{next: #r, tag: "loop", alt: {x: 1}}`)
+	b := parse(t, `#s{alt: {x: 1}, tag: "loop", next: #s}`)
+	if got, want := ssd.FormatRoot(Canonicalize(a)), ssd.FormatRoot(Canonicalize(b)); got != want {
+		t.Errorf("cyclic canonical forms differ:\n a: %s\n b: %s", got, want)
+	}
+}
+
+func TestCanonicalizeRandomAgree(t *testing.T) {
+	// Shuffling edge insertion order never changes the canonical text.
+	for trial := 0; trial < 30; trial++ {
+		g1 := randomGraph(int64(trial), 12, 20)
+		g2 := g1.Clone()
+		// Rebuild g2 with permuted node ids: graft into a fresh graph.
+		h := ssd.New()
+		h.SetRoot(h.Graft(g2, g2.Root()))
+		if ssd.FormatRoot(Canonicalize(g1)) != ssd.FormatRoot(Canonicalize(h)) {
+			t.Fatalf("trial %d: canonical forms differ", trial)
+		}
+	}
+}

@@ -18,6 +18,7 @@ package core
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"repro/internal/bisim"
 	"repro/internal/dataguide"
@@ -33,10 +34,13 @@ import (
 	"repro/internal/unql"
 )
 
-// Database is an immutable handle over one semistructured graph.
+// Database is an immutable handle over one semistructured graph. Handles
+// are safe for concurrent use: the lazily built auxiliary structures are
+// guarded, and queries never mutate the graph.
 type Database struct {
 	g *ssd.Graph
 
+	mu      sync.Mutex // guards the lazy builds below
 	labelIx *index.LabelIndex
 	valueIx *index.ValueIndex
 	guide   *dataguide.Guide
@@ -80,16 +84,54 @@ func (db *Database) Stats() ssd.Stats { return db.g.ComputeStats() }
 // Queries
 
 // Query runs a select-from-where query and returns the result database.
+// Evaluation uses the planned iterator engine, feeding the planner whatever
+// auxiliary structures the database has already built (the label index is
+// built on first query; a DataGuide is used only if previously built, since
+// guide construction can be exponential on irregular data).
 func (db *Database) Query(src string) (*Database, error) {
+	return db.QueryEngine(src, query.EnginePlanned)
+}
+
+// QueryEngine runs a query with an explicit engine choice — the ablation
+// hook behind ssdq's -engine flag.
+func (db *Database) QueryEngine(src string, engine query.Engine) (*Database, error) {
 	q, err := query.Parse(src)
 	if err != nil {
 		return nil, err
 	}
-	res, err := query.Eval(q, db.g)
+	opts := query.Options{Minimize: true, Engine: engine}
+	if engine != query.EngineNaive {
+		// The naive engine ignores PlanOptions; don't build indexes for it —
+		// that would skew the very baseline the ablation flag exists for.
+		opts.Plan = db.planOptions()
+	}
+	res, err := query.EvalOpts(q, db.g, opts)
 	if err != nil {
 		return nil, err
 	}
 	return FromGraph(res), nil
+}
+
+// Explain parses and plans a query without running it, returning the
+// planner's human-readable plan: atom order, access paths, estimates.
+func (db *Database) Explain(src string) (string, error) {
+	q, err := query.Parse(src)
+	if err != nil {
+		return "", err
+	}
+	p, err := query.NewPlan(q, db.g, db.planOptions())
+	if err != nil {
+		return "", err
+	}
+	return p.Explain(), nil
+}
+
+func (db *Database) planOptions() query.PlanOptions {
+	label := db.labels()
+	db.mu.Lock()
+	guide := db.guide // nil unless already built; never forced
+	db.mu.Unlock()
+	return query.PlanOptions{Label: label, Guide: guide}
 }
 
 // QueryRows runs the from/where part of a query and returns the binding
@@ -176,6 +218,8 @@ func (db *Database) Browse(maxDepth, limit int) []dataguide.Annotation {
 }
 
 func (db *Database) labels() *index.LabelIndex {
+	db.mu.Lock()
+	defer db.mu.Unlock()
 	if db.labelIx == nil {
 		db.labelIx = index.BuildLabelIndex(db.g)
 	}
@@ -183,6 +227,8 @@ func (db *Database) labels() *index.LabelIndex {
 }
 
 func (db *Database) values() *index.ValueIndex {
+	db.mu.Lock()
+	defer db.mu.Unlock()
 	if db.valueIx == nil {
 		db.valueIx = index.BuildValueIndex(db.g)
 	}
@@ -194,6 +240,8 @@ func (db *Database) values() *index.ValueIndex {
 
 // DataGuide returns the strong DataGuide, building it on first use.
 func (db *Database) DataGuide() *dataguide.Guide {
+	db.mu.Lock()
+	defer db.mu.Unlock()
 	if db.guide == nil {
 		db.guide = dataguide.MustBuild(db.g)
 	}

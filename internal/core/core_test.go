@@ -2,6 +2,7 @@ package core
 
 import (
 	"path/filepath"
+	"sync"
 	"testing"
 
 	"repro/internal/pathexpr"
@@ -232,4 +233,31 @@ func TestOEMExchange(t *testing.T) {
 	if _, err := ParseOEM("not oem"); err == nil {
 		t.Error("bad OEM should error")
 	}
+}
+
+func TestConcurrentQueries(t *testing.T) {
+	// Queries must be safe to run concurrently on one Database handle: the
+	// lazy label-index/guide builds, the graph's lazy reverse adjacency
+	// (index-backward access), and per-plan automata are all exercised.
+	db := FromGraph(workload.Movies(workload.DefaultMovieConfig(50)))
+	queries := []string{
+		`select T from DB.Entry.Movie.Title T`,
+		`select X from DB.Entry.TV-Show.Episode X`, // index-backward eligible
+		`select X from DB._*.Episode X`,            // index-seek eligible
+		`select @P from DB.@P X where pathlen(@P) = 3`,
+		`select {Title: T} from DB.Entry.Movie M, M.Title T where exists M.Cast`,
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for _, src := range queries {
+				if _, err := db.Query(src); err != nil {
+					t.Errorf("query %q: %v", src, err)
+				}
+			}
+		}()
+	}
+	wg.Wait()
 }

@@ -1,0 +1,92 @@
+package pathexpr
+
+import "repro/internal/ssd"
+
+// Traversal is a resumable, pull-based product-graph traversal: the iterator
+// form of Automaton.Eval. It explores (node, lazy-DFA state) pairs and yields
+// each accepting node exactly once, on demand, sharing the automaton's
+// memoized subset construction across runs. A Traversal is reset-able: after
+// Reset it can be reused for a new start node with no allocation beyond what
+// new DFA states require, which is what makes it cheap to seed once per
+// outer binding row inside a query executor's nested-loop join.
+//
+// A Traversal (like the Automaton's other evaluation entry points) mutates
+// the automaton's lazy-DFA cache and is therefore not safe for concurrent
+// use of one Automaton.
+type Traversal struct {
+	au *Automaton
+	g  *ssd.Graph
+
+	stack []prodItem
+	// visited[d] is a generation-stamped bitmap per dstate: visited[d][n] ==
+	// gen means (n, d) was pushed during the current run. Generation stamps
+	// make Reset O(1) instead of O(nodes × dstates).
+	visited [][]uint32
+	emitted []uint32 // generation stamps for already-yielded result nodes
+	gen     uint32
+}
+
+// NewTraversal prepares a reusable traversal of g. Call Reset before the
+// first Next.
+func (au *Automaton) NewTraversal(g *ssd.Graph) *Traversal {
+	return &Traversal{
+		au:      au,
+		g:       g,
+		emitted: make([]uint32, g.NumNodes()),
+	}
+}
+
+// Reset rewinds the traversal to begin from start. Buffers are retained.
+func (t *Traversal) Reset(start ssd.NodeID) {
+	if t.gen == ^uint32(0) { // generation wraparound: clear stamps the slow way
+		for i := range t.emitted {
+			t.emitted[i] = 0
+		}
+		for _, vs := range t.visited {
+			for i := range vs {
+				vs[i] = 0
+			}
+		}
+		t.gen = 0
+	}
+	t.gen++
+	t.stack = t.stack[:0]
+	d0 := t.au.dstateOf(t.au.closure[t.au.start])
+	t.push(start, d0)
+}
+
+func (t *Traversal) push(n ssd.NodeID, d int) bool {
+	for d >= len(t.visited) {
+		t.visited = append(t.visited, nil)
+	}
+	if t.visited[d] == nil {
+		t.visited[d] = make([]uint32, t.g.NumNodes())
+	}
+	if t.visited[d][n] == t.gen {
+		return false
+	}
+	t.visited[d][n] = t.gen
+	t.stack = append(t.stack, prodItem{n, d})
+	return true
+}
+
+// Next yields the next accepting node, or ok=false when the product graph is
+// exhausted. Each node is yielded at most once per Reset.
+func (t *Traversal) Next() (ssd.NodeID, bool) {
+	for len(t.stack) > 0 {
+		it := t.stack[len(t.stack)-1]
+		t.stack = t.stack[:len(t.stack)-1]
+		for _, e := range t.g.Out(it.node) {
+			nd := t.au.dstep(it.dstate, e.Label)
+			if nd < 0 {
+				continue
+			}
+			t.push(e.To, nd)
+		}
+		if t.au.daccept[it.dstate] && t.emitted[it.node] != t.gen {
+			t.emitted[it.node] = t.gen
+			return it.node, true
+		}
+	}
+	return ssd.InvalidNode, false
+}

@@ -36,6 +36,24 @@ func (e Env) clone() Env {
 	return ne
 }
 
+// Engine selects the evaluation strategy.
+type Engine int
+
+// Engines. The zero value (EnginePlanned) plans and runs the iterator
+// executor; EngineNaive retains the original recursive, map-cloning tree
+// walker for ablation and cross-checking.
+const (
+	EnginePlanned Engine = iota
+	EngineNaive
+)
+
+func (e Engine) String() string {
+	if e == EngineNaive {
+		return "naive"
+	}
+	return "planned"
+}
+
 // Options tunes evaluation.
 type Options struct {
 	// MaxRows caps the number of binding tuples (0 = unlimited) as a guard
@@ -44,31 +62,92 @@ type Options struct {
 	// Minimize applies bisimulation minimization to the result so that the
 	// output is a canonical set value (default true in Eval).
 	Minimize bool
+	// Engine selects naive vs planned evaluation (default: planned).
+	Engine Engine
+	// Plan supplies optional index/dataguide structures to the planner.
+	// Ignored by the naive engine.
+	Plan PlanOptions
 }
 
 // Eval evaluates the query over g and returns the result tree (a fresh
 // graph). The result follows UnQL union semantics and is minimized to its
-// canonical form.
+// canonical form. Evaluation plans the query and runs the iterator executor;
+// see EvalNaive for the reference tree-walking evaluator.
 func Eval(q *Query, g *ssd.Graph) (*ssd.Graph, error) {
 	return EvalOpts(q, g, Options{Minimize: true})
 }
 
+// EvalNaive evaluates with the original recursive evaluator — the reference
+// semantics the planned engine is cross-checked against, and the baseline
+// the ssdbench engine ablation measures.
+func EvalNaive(q *Query, g *ssd.Graph) (*ssd.Graph, error) {
+	return EvalOpts(q, g, Options{Minimize: true, Engine: EngineNaive})
+}
+
 // EvalOpts evaluates with explicit options.
 func EvalOpts(q *Query, g *ssd.Graph, opts Options) (*ssd.Graph, error) {
-	rows, err := EvalRows(q, g, opts.MaxRows)
+	if opts.Engine == EngineNaive {
+		rows, err := EvalRows(q, g, opts.MaxRows)
+		if err != nil {
+			return nil, err
+		}
+		res := ssd.New()
+		graftCache := map[ssd.NodeID]ssd.NodeID{}
+		for _, env := range rows {
+			if err := instantiate(res, res.Root(), q.Select, env, g, graftCache); err != nil {
+				return nil, err
+			}
+		}
+		return finishResult(res, opts)
+	}
+	p, err := NewPlan(q, g, opts.Plan)
 	if err != nil {
 		return nil, err
 	}
+	return p.EvalGraph(opts)
+}
+
+// EvalGraph runs the plan's executor and instantiates the select template
+// for every surviving row. The plan can be reused across calls (compile
+// once, run many).
+func (p *Plan) EvalGraph(opts Options) (*ssd.Graph, error) {
+	ex := p.Exec()
 	res := ssd.New()
 	graftCache := map[ssd.NodeID]ssd.NodeID{}
-	for _, env := range rows {
-		if err := instantiate(res, res.Root(), q.Select, env, g, graftCache); err != nil {
+	rows := 0
+	for ex.Next() {
+		if err := instantiate(res, res.Root(), p.q.Select, ex.Env(), p.g, graftCache); err != nil {
 			return nil, err
 		}
+		rows++
+		if opts.MaxRows > 0 && rows >= opts.MaxRows {
+			break
+		}
 	}
+	return finishResult(res, opts)
+}
+
+// Rows drives the executor and materializes the surviving binding tuples —
+// the planned counterpart of EvalRows, used by cross-check tests.
+func (p *Plan) Rows(maxRows int) []Env {
+	ex := p.Exec()
+	var rows []Env
+	for ex.Next() {
+		rows = append(rows, ex.Env())
+		if maxRows > 0 && len(rows) >= maxRows {
+			break
+		}
+	}
+	return rows
+}
+
+func finishResult(res *ssd.Graph, opts Options) (*ssd.Graph, error) {
 	res.Dedup()
 	if opts.Minimize {
-		res = bisim.Minimize(res)
+		// Canonicalize, not just Minimize: node numbering and edge order
+		// become value-determined, so engines that enumerate bindings in
+		// different orders still produce byte-identical output.
+		res = bisim.Canonicalize(res)
 	}
 	return res, nil
 }
@@ -115,13 +194,34 @@ func (ev *evaluator) bind(i int, env Env) error {
 	}
 	matches := walkSteps(ev.g, src, b.Path, env.Labels)
 	for _, m := range matches {
-		env2 := env.clone()
-		env2.Trees[b.Var] = m.node
-		for k, v := range m.labels {
-			env2.Labels[k] = v
+		// Clone only what this match actually changes: the tree map always
+		// gains b.Var, but the label/path maps are shared when the match
+		// binds nothing new. Nothing downstream mutates a map in place (bind
+		// and walkSteps always build fresh maps), so sharing is safe, and
+		// matches that the where clause later rejects no longer pay for
+		// three map copies.
+		env2 := Env{Trees: make(map[string]ssd.NodeID, len(env.Trees)+1), Labels: env.Labels, Paths: env.Paths}
+		for k, v := range env.Trees {
+			env2.Trees[k] = v
 		}
-		for k, v := range m.paths {
-			env2.Paths[k] = v
+		env2.Trees[b.Var] = m.node
+		if len(m.labels) > 0 {
+			env2.Labels = make(map[string]ssd.Label, len(env.Labels)+len(m.labels))
+			for k, v := range env.Labels {
+				env2.Labels[k] = v
+			}
+			for k, v := range m.labels {
+				env2.Labels[k] = v
+			}
+		}
+		if len(m.paths) > 0 {
+			env2.Paths = make(map[string][]ssd.Label, len(env.Paths)+len(m.paths))
+			for k, v := range env.Paths {
+				env2.Paths[k] = v
+			}
+			for k, v := range m.paths {
+				env2.Paths[k] = v
+			}
 		}
 		if err := ev.bind(i+1, env2); err != nil {
 			return err

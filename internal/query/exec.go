@@ -1,0 +1,468 @@
+package query
+
+import (
+	"sort"
+
+	"repro/internal/pathexpr"
+	"repro/internal/ssd"
+)
+
+// This file is the pull-based iterator executor: the run-many half of the
+// planner/executor split. A Plan is interpreted as a left-deep nested-loop
+// join of its atoms; each atom is itself a pipeline of step cursors
+// (Volcano-style Next() operators) over the lower layers' iterator surfaces:
+// pathexpr.Traversal for regex steps, index posting cursors and DataGuide
+// extents for root-anchored scans, and plain edge slices for label-variable
+// steps. All variable bindings live in one flat slot array (regs) that the
+// operators overwrite in place — the hot path allocates nothing per binding,
+// which is the executor's whole advantage over the map-cloning naive
+// evaluator (EvalNaive).
+
+// regs is the flat binding array: one entry per slot, indexed by the slot
+// numbers the planner assigned.
+type regs struct {
+	trees  []ssd.NodeID
+	labels []ssd.Label
+	paths  [][]ssd.Label
+}
+
+// executor evaluates a Plan. Obtain one with Plan.Exec; drive it with Next
+// and read bindings through Env or the slot accessors.
+type executor struct {
+	p    *Plan
+	g    *ssd.Graph
+	regs regs
+
+	atoms   []atomState
+	travs   []*pathexpr.Traversal // one per planStep id, lazily created
+	started bool
+	done    bool
+}
+
+// Exec prepares an executor for the plan. The executor is single-use per
+// result set but cheap to recreate: all heavy state (DFA caches, statistics)
+// lives in the Plan and its automata.
+func (p *Plan) Exec() *executor {
+	ex := &executor{
+		p: p,
+		g: p.g,
+		regs: regs{
+			trees:  make([]ssd.NodeID, len(p.treeName)),
+			labels: make([]ssd.Label, len(p.labelName)+p.nExistsLocals),
+			paths:  make([][]ssd.Label, len(p.pathName)),
+		},
+		travs: make([]*pathexpr.Traversal, p.nSteps),
+		atoms: make([]atomState, len(p.atoms)),
+	}
+	for i := range ex.atoms {
+		ex.atoms[i].a = p.atoms[i]
+	}
+	return ex
+}
+
+func (ex *executor) trav(st *planStep) *pathexpr.Traversal {
+	t := ex.travs[st.id]
+	if t == nil {
+		t = st.au.NewTraversal(ex.g)
+		ex.travs[st.id] = t
+	}
+	return t
+}
+
+// Next advances to the next binding row that satisfies every placed filter,
+// returning false when the space is exhausted. On true, regs holds the row.
+func (ex *executor) Next() bool {
+	if ex.done {
+		return false
+	}
+	n := len(ex.atoms)
+	var i int
+	if !ex.started {
+		ex.started = true
+		for _, c := range ex.p.preConds {
+			if !c.eval(ex) {
+				ex.done = true
+				return false
+			}
+		}
+		if n == 0 {
+			ex.done = true
+			return false
+		}
+		i = 0
+		ex.openAtom(0)
+	} else {
+		i = n - 1
+	}
+	for i >= 0 {
+		as := &ex.atoms[i]
+		dst, ok := as.next(ex)
+		if !ok {
+			i--
+			continue
+		}
+		ex.regs.trees[as.a.dstSlot] = dst
+		if !ex.evalConds(as.a.conds) {
+			continue
+		}
+		if i == n-1 {
+			return true
+		}
+		i++
+		ex.openAtom(i)
+	}
+	ex.done = true
+	return false
+}
+
+func (ex *executor) openAtom(i int) {
+	as := &ex.atoms[i]
+	src := ex.g.Root()
+	if as.a.srcSlot >= 0 {
+		src = ex.regs.trees[as.a.srcSlot]
+	}
+	as.open(ex, src)
+}
+
+func (ex *executor) evalConds(conds []cCond) bool {
+	for _, c := range conds {
+		if !c.eval(ex) {
+			return false
+		}
+	}
+	return true
+}
+
+// Env materializes the current row as a naive-engine Env — used to feed the
+// select-template instantiation, which only runs for surviving rows.
+func (ex *executor) Env() Env {
+	e := Env{
+		Trees:  make(map[string]ssd.NodeID, len(ex.p.treeName)),
+		Labels: make(map[string]ssd.Label, len(ex.p.labelName)),
+		Paths:  make(map[string][]ssd.Label, len(ex.p.pathName)),
+	}
+	for i, name := range ex.p.treeName {
+		e.Trees[name] = ex.regs.trees[i]
+	}
+	for i, name := range ex.p.labelName {
+		e.Labels[name] = ex.regs.labels[i]
+	}
+	for i, name := range ex.p.pathName {
+		e.Paths[name] = ex.regs.paths[i]
+	}
+	return e
+}
+
+// ---------------------------------------------------------------------------
+// Atom iteration
+
+// atomState is the per-execution state of one planned atom: either a
+// materialized scan (root-anchored index/guide access) or a pipeline of step
+// cursors.
+type atomState struct {
+	a   *planAtom
+	src ssd.NodeID
+
+	// Scan access (index-seek, index-backward, dataguide): destinations are
+	// materialized on first open and replayed thereafter — scan atoms are
+	// always root-anchored, so the result is invariant across outer rows.
+	scan    []ssd.NodeID
+	si      int
+	scanned bool
+
+	// Step pipeline.
+	cur   []stepCursor
+	level int
+
+	emitted bool // zero-step atoms yield their source exactly once
+
+	// Destination dedup (only when the atom binds no label/path variables),
+	// generation-stamped so open() is O(1).
+	seen    []uint32
+	seenGen uint32
+}
+
+type stepCursor struct {
+	st   *planStep
+	node ssd.NodeID
+
+	edges []ssd.Edge // label-var steps
+	ei    int
+
+	pnodes []ssd.NodeID  // path-var steps (materialized witnesses)
+	ppaths [][]ssd.Label
+	pi     int
+}
+
+func (as *atomState) open(ex *executor, src ssd.NodeID) {
+	as.src = src
+	as.emitted = false
+	as.seenGen++
+	if as.a.dedup && as.seen == nil {
+		as.seen = make([]uint32, ex.g.NumNodes())
+	}
+	switch as.a.access {
+	case AccessIndexSeek:
+		if !as.scanned {
+			cur := ex.p.opts.Label.Seek(as.a.seekLabel)
+			for {
+				ref, ok := cur.Next()
+				if !ok {
+					break
+				}
+				if ex.p.reach[ref.From] {
+					as.scan = append(as.scan, ref.To)
+				}
+			}
+			as.scanned = true
+		}
+		as.si = 0
+	case AccessIndexBackward:
+		if !as.scanned {
+			as.backwardScan(ex)
+			as.scanned = true
+		}
+		as.si = 0
+	case AccessGuide:
+		if !as.scanned {
+			cur := ex.p.opts.Guide.Cursor(as.a.guideAu)
+			for {
+				n, ok := cur.Next()
+				if !ok {
+					break
+				}
+				as.scan = append(as.scan, n)
+			}
+			as.scanned = true
+		}
+		as.si = 0
+	default:
+		if len(as.a.steps) == 0 {
+			return
+		}
+		if as.cur == nil {
+			as.cur = make([]stepCursor, len(as.a.steps))
+			for i := range as.cur {
+				as.cur[i].st = as.a.steps[i]
+			}
+		}
+		as.level = 0
+		as.cur[0].seed(ex, src)
+	}
+}
+
+// next yields the atom's next destination node (and writes any label/path
+// slots its steps bind), or ok=false when exhausted for the current source.
+func (as *atomState) next(ex *executor) (ssd.NodeID, bool) {
+	switch as.a.access {
+	case AccessIndexSeek, AccessIndexBackward, AccessGuide:
+		for as.si < len(as.scan) {
+			dst := as.scan[as.si]
+			as.si++
+			if as.a.dedup && !as.mark(dst) {
+				continue
+			}
+			return dst, true
+		}
+		return ssd.InvalidNode, false
+	}
+	if len(as.a.steps) == 0 {
+		if as.emitted {
+			return ssd.InvalidNode, false
+		}
+		as.emitted = true
+		return as.src, true
+	}
+	i := as.level
+	last := len(as.cur) - 1
+	for i >= 0 {
+		c := &as.cur[i]
+		if !c.advance(ex) {
+			i--
+			continue
+		}
+		if i < last {
+			i++
+			as.cur[i].seed(ex, as.cur[i-1].node)
+			continue
+		}
+		as.level = i
+		if as.a.dedup && !as.mark(c.node) {
+			continue
+		}
+		return c.node, true
+	}
+	as.level = 0
+	return ssd.InvalidNode, false
+}
+
+// mark returns false if n was already yielded for the current source row.
+func (as *atomState) mark(n ssd.NodeID) bool {
+	if as.seen[n] == as.seenGen {
+		return false
+	}
+	as.seen[n] = as.seenGen
+	return true
+}
+
+func (c *stepCursor) seed(ex *executor, src ssd.NodeID) {
+	switch c.st.kind {
+	case stepRegex:
+		ex.trav(c.st).Reset(src)
+	case stepLabelVar:
+		c.edges = ex.g.Out(src)
+		c.ei = 0
+	case stepPathVar:
+		// Materialize one shortest witness per reachable node; sorted for
+		// deterministic iteration. Path-variable bindings are the one step
+		// kind that allocates — they carry variable-length witnesses.
+		witness := c.st.au.EvalWithPaths(ex.g, src)
+		nodes := make([]ssd.NodeID, 0, len(witness))
+		for n := range witness {
+			nodes = append(nodes, n)
+		}
+		sort.Slice(nodes, func(i, j int) bool { return nodes[i] < nodes[j] })
+		c.pnodes = nodes
+		c.ppaths = c.ppaths[:0]
+		for _, n := range nodes {
+			c.ppaths = append(c.ppaths, witness[n])
+		}
+		c.pi = 0
+	}
+}
+
+// advance moves the cursor to its next match, writing bound slots, and
+// reports whether one was produced.
+func (c *stepCursor) advance(ex *executor) bool {
+	switch c.st.kind {
+	case stepRegex:
+		n, ok := ex.trav(c.st).Next()
+		if !ok {
+			return false
+		}
+		c.node = n
+		return true
+	case stepLabelVar:
+		for c.ei < len(c.edges) {
+			e := c.edges[c.ei]
+			c.ei++
+			if c.st.slot >= 0 {
+				if c.st.filter {
+					if !e.Label.Equal(ex.regs.labels[c.st.slot]) {
+						continue
+					}
+				} else {
+					ex.regs.labels[c.st.slot] = e.Label
+				}
+			}
+			c.node = e.To
+			return true
+		}
+		return false
+	default: // stepPathVar
+		if c.pi >= len(c.pnodes) {
+			return false
+		}
+		if c.st.slot >= 0 {
+			ex.regs.paths[c.st.slot] = c.ppaths[c.pi]
+		}
+		c.node = c.pnodes[c.pi]
+		c.pi++
+		return true
+	}
+}
+
+// backwardScan implements index-backward access: seek the posting list of
+// the rarest label in the chain, verify the prefix back to the root over
+// reverse edges, then walk the suffix forward.
+func (as *atomState) backwardScan(ex *executor) {
+	a := as.a
+	ex.g.EnsureReverse()
+	cur := ex.p.opts.Label.Seek(a.chain[a.chainIdx])
+	for {
+		ref, ok := cur.Next()
+		if !ok {
+			return
+		}
+		if !ex.verifyBackward(ref.From, a.chain, a.chainIdx-1) {
+			continue
+		}
+		as.forwardSuffix(ex, ref.To, a.chain, a.chainIdx+1)
+	}
+}
+
+// verifyBackward checks that some path root --chain[0]--> … --chain[j]-->
+// node exists, walking reverse edges.
+func (ex *executor) verifyBackward(node ssd.NodeID, chain []ssd.Label, j int) bool {
+	if j < 0 {
+		return node == ex.g.Root()
+	}
+	for _, in := range ex.g.In(node) {
+		if !in.Label.Equal(chain[j]) {
+			continue
+		}
+		if ex.verifyBackward(in.To, chain, j-1) { // in.To holds the source
+			return true
+		}
+	}
+	return false
+}
+
+// forwardSuffix appends every node reachable from n over chain[j:] to the
+// atom's scan buffer.
+func (as *atomState) forwardSuffix(ex *executor, n ssd.NodeID, chain []ssd.Label, j int) {
+	if j == len(chain) {
+		as.scan = append(as.scan, n)
+		return
+	}
+	for _, e := range ex.g.Out(n) {
+		if e.Label.Equal(chain[j]) {
+			as.forwardSuffix(ex, e.To, chain, j+1)
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Exists evaluation over compiled steps
+
+// pathExists reports whether some walk of steps[i:] from src succeeds. Regex
+// steps reuse pooled traversals; label-variable steps act as filters when
+// their slot is bound and wildcards otherwise.
+func (ex *executor) pathExists(src ssd.NodeID, steps []*planStep, i int) bool {
+	if i == len(steps) {
+		return true
+	}
+	st := steps[i]
+	switch st.kind {
+	case stepRegex:
+		tr := ex.trav(st)
+		tr.Reset(src)
+		for {
+			n, ok := tr.Next()
+			if !ok {
+				return false
+			}
+			if ex.pathExists(n, steps, i+1) {
+				return true
+			}
+		}
+	default: // stepLabelVar (stepPathVar is rewritten to regex at compile)
+		for _, e := range ex.g.Out(src) {
+			if st.slot >= 0 {
+				if st.filter {
+					if !e.Label.Equal(ex.regs.labels[st.slot]) {
+						continue
+					}
+				} else {
+					// Scratch binding: later occurrences of the same
+					// variable in this walk filter against it.
+					ex.regs.labels[st.slot] = e.Label
+				}
+			}
+			if ex.pathExists(e.To, steps, i+1) {
+				return true
+			}
+		}
+		return false
+	}
+}

@@ -3,6 +3,7 @@ package ssd
 import (
 	"fmt"
 	"sort"
+	"sync/atomic"
 )
 
 // NodeID identifies a node within one Graph. IDs are dense: allocating n
@@ -34,6 +35,12 @@ type Graph struct {
 	// oid, when non-nil, assigns OEM-style object identities to nodes.
 	// Identities survive serialization but are ignored by value semantics.
 	oid map[NodeID]string
+	// rev caches the reverse adjacency (see In). Any mutation of nodes or
+	// edges drops the cache; it is rebuilt on next use. Held atomically so
+	// that concurrent *readers* of an otherwise-immutable graph (the
+	// core.Database contract) may trigger and share the lazy build safely;
+	// mutation remains single-writer, as for the rest of the struct.
+	rev atomic.Pointer[[][]Edge]
 }
 
 // New returns an empty graph containing just a root node.
@@ -73,6 +80,7 @@ func (g *Graph) NumEdges() int {
 
 // AddNode allocates a fresh node with no edges and returns its ID.
 func (g *Graph) AddNode() NodeID {
+	g.rev.Store(nil)
 	g.out = append(g.out, nil)
 	return NodeID(len(g.out) - 1)
 }
@@ -80,6 +88,7 @@ func (g *Graph) AddNode() NodeID {
 // AddNodes allocates k fresh nodes and returns the ID of the first; the rest
 // follow consecutively.
 func (g *Graph) AddNodes(k int) NodeID {
+	g.rev.Store(nil)
 	first := NodeID(len(g.out))
 	for i := 0; i < k; i++ {
 		g.out = append(g.out, nil)
@@ -92,6 +101,7 @@ func (g *Graph) AddNodes(k int) NodeID {
 func (g *Graph) AddEdge(from NodeID, label Label, to NodeID) {
 	g.check(from)
 	g.check(to)
+	g.rev.Store(nil)
 	g.out[from] = append(g.out[from], Edge{Label: label, To: to})
 }
 
@@ -187,6 +197,7 @@ func (g *Graph) SortEdges() {
 // Dedup removes duplicate (label, target) edges node by node, enforcing the
 // set semantics of the model. It sorts edge lists as a side effect.
 func (g *Graph) Dedup() {
+	g.rev.Store(nil)
 	g.SortEdges()
 	for n, es := range g.out {
 		if len(es) < 2 {
@@ -317,6 +328,7 @@ func remapOrAdd(g *Graph, n NodeID, remap map[NodeID]NodeID) (NodeID, bool) {
 func (g *Graph) Union(a, b NodeID) NodeID {
 	g.check(a)
 	g.check(b)
+	g.rev.Store(nil)
 	u := g.AddNode()
 	g.out[u] = append(g.out[u], g.out[a]...)
 	g.out[u] = append(g.out[u], g.out[b]...)
@@ -399,6 +411,32 @@ func (g *Graph) Reverse() [][]Edge {
 		}
 	}
 	return in
+}
+
+// EnsureReverse builds (or reuses) the cached reverse adjacency used by In.
+// The cache is dropped automatically whenever the graph is mutated, so
+// callers on read-only graphs pay the O(V+E) build at most once. Safe for
+// concurrent readers: racing builds settle on one winner.
+func (g *Graph) EnsureReverse() {
+	if g.rev.Load() == nil {
+		r := g.Reverse()
+		g.rev.CompareAndSwap(nil, &r)
+	}
+}
+
+// In returns the incoming edges of n as (label, from) pairs — Edge.To holds
+// the *source* node, mirroring Reverse. The slice is owned by the graph and
+// must not be mutated. The first call after a mutation rebuilds the cache;
+// query planners use In to start evaluation from the most selective atom of
+// a path and verify the prefix backward.
+func (g *Graph) In(n NodeID) []Edge {
+	g.check(n)
+	r := g.rev.Load()
+	if r == nil {
+		g.EnsureReverse()
+		r = g.rev.Load()
+	}
+	return (*r)[n]
 }
 
 func (g *Graph) check(n NodeID) {

@@ -83,24 +83,25 @@ func AnnotateEdges(g *ssd.Graph, pred pathexpr.Pred, label ssd.Label, tree *ssd.
 // label matches pred, anywhere in the graph — UnQL's vertical select
 // (e.g. "all Cast objects, however deep"). The result is a fresh graph whose
 // root unions the matching subtrees.
+//
+// The comprehension is lowered onto the same iterator machinery the query
+// executor uses: `_*.pred` compiled to an automaton, pulled through a
+// product traversal that yields each matching target node exactly once.
 func DeepSelect(g *ssd.Graph, pred pathexpr.Pred) *ssd.Graph {
+	au := pathexpr.Compile(pathexpr.Seq{Parts: []pathexpr.Expr{
+		pathexpr.AnyStar(),
+		pathexpr.Atom{Pred: pred},
+	}})
+	tr := au.NewTraversal(g)
+	tr.Reset(g.Root())
 	out := ssd.New()
 	cache := map[ssd.NodeID]ssd.NodeID{}
-	seen := make([]bool, g.NumNodes())
-	queue := []ssd.NodeID{g.Root()}
-	seen[g.Root()] = true
-	for len(queue) > 0 {
-		u := queue[0]
-		queue = queue[1:]
-		for _, e := range g.Out(u) {
-			if !seen[e.To] {
-				seen[e.To] = true
-				queue = append(queue, e.To)
-			}
-			if pred.Match(e.Label) {
-				mergeSubtree(out, out.Root(), g, e.To, cache)
-			}
+	for {
+		n, ok := tr.Next()
+		if !ok {
+			break
 		}
+		mergeSubtree(out, out.Root(), g, n, cache)
 	}
 	acc, _ := out.Accessible()
 	acc.Dedup()
