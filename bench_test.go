@@ -13,6 +13,7 @@ import (
 	"repro/internal/datalog"
 	"repro/internal/decomp"
 	"repro/internal/index"
+	"repro/internal/mutate"
 	"repro/internal/pathexpr"
 	"repro/internal/query"
 	"repro/internal/relstore"
@@ -502,4 +503,71 @@ func chainGraph(n int) *ssd.Graph {
 		cur = g.AddLeaf(cur, ssd.Sym("next"))
 	}
 	return g
+}
+
+// ---------------------------------------------------------------------------
+// E13: incremental vs full-rebuild maintenance of derived structures. Each
+// iteration applies one single-edge batch (plus its fresh leaf) through the
+// write path, then brings the label index, value index and DataGuide up to
+// date — either by Apply/ApplyDelta from the batch's delta or by rebuilding
+// from the new graph. `ssdbench -exp e13` prints the same comparison across
+// update:query mixes.
+
+func BenchmarkIncrementalVsRebuild(b *testing.B) {
+	setup := func(b *testing.B) (*ssd.Graph, *index.LabelIndex, *index.ValueIndex, *dataguide.Guide, []ssd.NodeID) {
+		b.Helper()
+		g := workload.Movies(workload.DefaultMovieConfig(5000)) // private: mutated below
+		var sources []ssd.NodeID
+		for _, e := range g.Out(g.Root()) {
+			sources = append(sources, e.To)
+		}
+		return g, index.BuildLabelIndex(g), index.BuildValueIndex(g), dataguide.MustBuild(g), sources
+	}
+	oneEdgeBatch := func(g *ssd.Graph, src ssd.NodeID) (*ssd.Graph, mutate.Result) {
+		bt := mutate.NewBatch(g)
+		tag := bt.AddNode()
+		leaf := bt.AddNode()
+		if err := bt.AddEdge(src, ssd.Sym("Tag"), tag); err != nil {
+			panic(err)
+		}
+		if err := bt.AddEdge(tag, ssd.Str("tag-value"), leaf); err != nil {
+			panic(err)
+		}
+		g2, res, err := mutate.ApplyCOW(g, bt)
+		if err != nil {
+			panic(err)
+		}
+		return g2, res
+	}
+
+	b.Run("incremental", func(b *testing.B) {
+		g, lx, vx, guide, sources := setup(b)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			var res mutate.Result
+			g, res = oneEdgeBatch(g, sources[i%len(sources)])
+			lx = lx.Apply(res.Delta)
+			vx = vx.Apply(res.Delta)
+			ng, ok := guide.ApplyDelta(g, res.Delta, 0)
+			if !ok {
+				// Garbage-cap fallback: the amortized cost of the design.
+				ng = dataguide.MustBuild(g)
+			}
+			guide = ng
+		}
+		if len(vx.Exact(ssd.Str("tag-value"))) != b.N {
+			b.Fatal("maintained value index lost updates")
+		}
+	})
+	b.Run("rebuild", func(b *testing.B) {
+		g, lx, vx, guide, sources := setup(b)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			g, _ = oneEdgeBatch(g, sources[i%len(sources)])
+			lx = index.BuildLabelIndex(g)
+			vx = index.BuildValueIndex(g)
+			guide = dataguide.MustBuild(g)
+		}
+		_, _, _ = lx, vx, guide
+	})
 }

@@ -37,6 +37,7 @@ var experiments = []experiment{
 	{"e10", "E10 (§4): page I/O — DFS clustering vs random placement", runE10Storage},
 	{"e11", "E11 (§2): bisimulation — naive vs incremental refinement", runE11Bisim},
 	{"e12", "E12: query engines — naive tree-walker vs slot planner + iterators", runE12Engines},
+	{"e13", "E13: derived-structure maintenance — incremental vs full rebuild", runE13Maintenance},
 }
 
 func main() {

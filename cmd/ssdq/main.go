@@ -15,7 +15,17 @@
 //	ssdq -db file.ssd schema
 //	ssdq -db file.ssd fmt
 //	ssdq -db in.ssd convert -o out.ssdg   (formats: .ssd text, .ssdg binary, .oem)
+//	ssdq -db file.ssdg -wal file.wal mutate 'addnode; addedge 0 Tag $0'
+//	ssdq -db file.ssdg -wal file.wal mutate script.mut   (load statements from a file)
 //	ssdq demo            # run the Figure 1 tour without a database file
+//
+// The mutate command applies a mutation script (see internal/mutate's
+// ParseScript for the statement forms) as one atomic batch. -wal attaches a
+// write-ahead log for ANY command: batches already in the log are replayed
+// before the command runs (so `-db base.ssdg -wal base.wal` always names
+// the current state, for queries as much as for mutations), and mutate
+// appends its batch to the log before applying it. With -o the mutated
+// database is also saved.
 //
 // With no -db flag, ssdq uses the built-in Figure 1 database.
 package main
@@ -28,6 +38,7 @@ import (
 	"strings"
 
 	"repro/internal/core"
+	"repro/internal/mutate"
 	"repro/internal/query"
 	"repro/internal/ssd"
 	"repro/internal/workload"
@@ -38,12 +49,13 @@ func main() {
 		dbPath  = flag.String("db", "", "database file (.ssd text or .ssdg binary); default: built-in Figure 1")
 		depth   = flag.Int("depth", 3, "browse: maximum path depth")
 		limit   = flag.Int("limit", 40, "browse: maximum paths listed")
-		out     = flag.String("o", "", "convert: output file (.ssd or .ssdg)")
+		out     = flag.String("o", "", "convert/mutate: output file (.ssd or .ssdg)")
+		wal     = flag.String("wal", "", "mutate: write-ahead log file (replayed on open, appended on commit)")
 		engine  = flag.String("engine", "planned", "query: evaluation engine (planned|naive)")
 		explain = flag.Bool("explain", false, "query: print the chosen plan before the result")
 	)
 	flag.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: ssdq [flags] <stats|query|explain|path|datalog|browse|guide|schema|fmt|convert|demo> [arg]")
+		fmt.Fprintln(os.Stderr, "usage: ssdq [flags] <stats|query|explain|path|datalog|browse|guide|schema|fmt|convert|mutate|demo> [arg]")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -57,6 +69,15 @@ func main() {
 	db, err := load(*dbPath)
 	if err != nil {
 		fatal(err)
+	}
+	if *wal != "" {
+		// Replay the log for every command, not just mutate: with a WAL the
+		// current state is snapshot + log, and querying the bare snapshot
+		// would silently serve stale data.
+		if err := db.OpenWAL(*wal); err != nil {
+			fatal(err)
+		}
+		defer db.CloseWAL()
 	}
 
 	switch cmd {
@@ -148,6 +169,10 @@ func main() {
 			fatal(err)
 		}
 		fmt.Printf("wrote %s\n", *out)
+	case "mutate":
+		if err := runMutate(db, arg(rest, "mutate"), *out); err != nil {
+			fatal(err)
+		}
 	case "demo":
 		demo(db)
 	default:
@@ -201,6 +226,31 @@ func save(db *core.Database, path string) error {
 	default:
 		return os.WriteFile(path, []byte(db.Format()+"\n"), 0o644)
 	}
+}
+
+// runMutate applies one mutation script as an atomic batch — through the
+// WAL when -wal is given (main opened it) — and optionally saves the
+// result.
+func runMutate(db *core.Database, script, outPath string) error {
+	// The argument is either inline statements or a script file.
+	if data, err := os.ReadFile(script); err == nil {
+		script = string(data)
+	}
+	b, err := mutate.ParseScript(script, db.Graph())
+	if err != nil {
+		return err
+	}
+	if err := db.Commit(b); err != nil {
+		return err
+	}
+	fmt.Printf("applied %d records: %s\n", b.Len(), db.Describe())
+	if outPath != "" {
+		if err := save(db, outPath); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", outPath)
+	}
+	return nil
 }
 
 func clip(s string, n int) string {

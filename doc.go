@@ -33,6 +33,21 @@
 // engine on the whole query test suite and ablated by BenchmarkPlannedVsNaive
 // and `ssdbench -exp e12`.
 //
+// # Write path
+//
+// Updates flow through internal/mutate: typed mutation records are gathered
+// into a Batch and applied copy-on-write (only touched adjacency slices are
+// copied), yielding a new graph version plus the edge delta that drives
+// incremental maintenance — index.LabelIndex/ValueIndex.Apply patch posting
+// lists and the ordered entry array, dataguide.Guide.ApplyDelta extends the
+// strong DataGuide for added edges and falls back to a rebuild only when a
+// delete touches the accessible region. internal/core publishes each version
+// as an MVCC snapshot behind an atomic pointer: readers keep querying the
+// snapshot they started with while Begin/Apply/Commit installs the next one
+// under a single-writer lock, and an optional write-ahead log
+// (core.Database.OpenWAL) makes commits durable and replayable. Ablated by
+// BenchmarkIncrementalVsRebuild and `ssdbench -exp e13`.
+//
 // See README.md for a tour, DESIGN.md for the system inventory, and
 // EXPERIMENTS.md for the reproduced results. The root package holds only
 // the benchmark harness (bench_test.go); the library lives under

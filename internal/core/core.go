@@ -9,21 +9,30 @@
 //   - structural-recursion restructuring (§3),
 //   - the §1.3 browsing queries backed by value indexes,
 //   - DataGuides, graph schemas, conformance and schema inference (§5),
-//   - value equality by bisimulation (§2).
+//   - value equality by bisimulation (§2),
+//   - versioned updates through the internal/mutate write path: batched
+//     mutations, an optional write-ahead log, and MVCC snapshots.
 //
-// A Database is immutable: transformations return new handles, so indexes
-// and DataGuides are computed once, lazily, and never invalidated.
+// A Database is a multi-version handle: readers always see one immutable
+// published snapshot (graph plus its lazily built indexes and DataGuide),
+// while Begin/Apply/Commit install new snapshots atomically under a
+// single-writer lock. The legacy wholesale transformations (Transform,
+// RelabelWhere, …) still return fresh handles with fresh caches, so no
+// entry point can ever serve derived structures computed for a different
+// graph version.
 package core
 
 import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/bisim"
 	"repro/internal/dataguide"
 	"repro/internal/datalog"
 	"repro/internal/index"
+	"repro/internal/mutate"
 	"repro/internal/oem"
 	"repro/internal/pathexpr"
 	"repro/internal/query"
@@ -34,21 +43,40 @@ import (
 	"repro/internal/unql"
 )
 
-// Database is an immutable handle over one semistructured graph. Handles
-// are safe for concurrent use: the lazily built auxiliary structures are
-// guarded, and queries never mutate the graph.
+// Database is a handle over one semistructured graph. Handles are safe for
+// concurrent use: every read method runs against the immutable snapshot
+// published at its start, and writers swap in whole new snapshots — a query
+// never sees a half-applied batch, and cached auxiliary structures can
+// never outlive the graph version they were built from.
 type Database struct {
+	snap    atomic.Pointer[snapshot]
+	writeMu sync.Mutex // serializes Begin-to-Commit writers and WAL state
+	wal     *mutate.WAL
+}
+
+// snapshot is one immutable graph version with its lazily built derived
+// structures. The graph never changes after the snapshot is published; the
+// mutex guards only the lazy builds.
+type snapshot struct {
 	g *ssd.Graph
 
-	mu      sync.Mutex // guards the lazy builds below
+	mu      sync.Mutex
 	labelIx *index.LabelIndex
 	valueIx *index.ValueIndex
 	guide   *dataguide.Guide
 }
 
-// FromGraph wraps an existing graph. The graph must not be mutated
-// afterwards.
-func FromGraph(g *ssd.Graph) *Database { return &Database{g: g} }
+// FromGraph wraps an existing graph. The graph must not be mutated directly
+// afterwards; use Begin/Apply/Commit.
+func FromGraph(g *ssd.Graph) *Database {
+	db := &Database{}
+	db.snap.Store(&snapshot{g: g})
+	return db
+}
+
+// snapshot returns the current published snapshot. Callers use one snapshot
+// for a whole operation; later commits do not affect it.
+func (db *Database) snapshot() *snapshot { return db.snap.Load() }
 
 // ParseText loads a database from the text syntax.
 func ParseText(src string) (*Database, error) {
@@ -69,16 +97,132 @@ func Open(path string) (*Database, error) {
 }
 
 // Save writes the database to a binary file.
-func (db *Database) Save(path string) error { return storage.WriteFile(path, db.g) }
+func (db *Database) Save(path string) error { return storage.WriteFile(path, db.snapshot().g) }
 
-// Graph exposes the underlying graph (read-only by convention).
-func (db *Database) Graph() *ssd.Graph { return db.g }
+// Graph exposes the underlying graph of the current snapshot (read-only by
+// convention).
+func (db *Database) Graph() *ssd.Graph { return db.snapshot().g }
 
 // Format renders the database in the text syntax.
-func (db *Database) Format() string { return ssd.FormatRoot(db.g) }
+func (db *Database) Format() string { return ssd.FormatRoot(db.snapshot().g) }
 
 // Stats summarizes the graph.
-func (db *Database) Stats() ssd.Stats { return db.g.ComputeStats() }
+func (db *Database) Stats() ssd.Stats { return db.snapshot().g.ComputeStats() }
+
+// ---------------------------------------------------------------------------
+// Mutation: the write path (internal/mutate)
+
+// Begin starts a mutation batch against the current snapshot. Build it up
+// with the Batch methods, then hand it to Apply or Commit. Batches from
+// other handles (or from before an intervening commit) that allocate nodes
+// are rejected at apply time.
+func (db *Database) Begin() *mutate.Batch { return mutate.NewBatch(db.snapshot().g) }
+
+// Apply applies a batch and publishes the resulting snapshot without
+// logging it. With a WAL open, prefer Commit: an applied-but-unlogged batch
+// will be missing from a later replay.
+func (db *Database) Apply(b *mutate.Batch) error { return db.commit(b, false) }
+
+// Commit logs the batch to the open WAL (if any) and then applies it. The
+// batch is durable once Commit returns. Readers keep querying the previous
+// snapshot until the new one is published atomically; they never observe a
+// half-applied batch.
+func (db *Database) Commit(b *mutate.Batch) error { return db.commit(b, true) }
+
+func (db *Database) commit(b *mutate.Batch, logIt bool) error {
+	db.writeMu.Lock()
+	defer db.writeMu.Unlock()
+	old := db.snapshot()
+	g2, res, err := mutate.ApplyCOW(old.g, b)
+	if err != nil {
+		return err
+	}
+	// Log before publishing: a crash after Append replays to a superset of
+	// what readers saw, never a subset.
+	if logIt && db.wal != nil {
+		if err := db.wal.Append(b); err != nil {
+			return err
+		}
+	}
+	ns := &snapshot{g: g2}
+	// Incremental maintenance: derive the new snapshot's structures from
+	// whatever the old one had already built. Structures it never built
+	// stay nil and are rebuilt lazily on first use.
+	old.mu.Lock()
+	labelIx, valueIx, guide := old.labelIx, old.valueIx, old.guide
+	old.mu.Unlock()
+	if labelIx != nil {
+		ns.labelIx = labelIx.Apply(res.Delta)
+	}
+	if valueIx != nil {
+		ns.valueIx = valueIx.Apply(res.Delta)
+	}
+	if guide != nil && !res.RootChanged {
+		// Deletes touching the accessible region fall back to a lazy rebuild.
+		if ng, ok := guide.ApplyDelta(g2, res.Delta, 0); ok {
+			ns.guide = ng
+		}
+	}
+	db.snap.Store(ns)
+	return nil
+}
+
+// OpenWAL attaches the write-ahead log at path (creating it if absent).
+// The log is bound to the current snapshot by fingerprint: batches already
+// in it are replayed — so Open(base) followed by OpenWAL(log) reconstructs
+// exactly the state whose commits the log records — while a log recorded
+// against a different snapshot (e.g. left behind by a compaction that
+// crashed after renaming the new snapshot in) is set aside as <path>.stale
+// and a fresh log is started. Subsequent Commits append to the log.
+func (db *Database) OpenWAL(path string) error {
+	db.writeMu.Lock()
+	defer db.writeMu.Unlock()
+	if db.wal != nil {
+		return fmt.Errorf("core: WAL already open")
+	}
+	w, err := mutate.OpenWAL(path, mutate.Fingerprint(db.snapshot().g))
+	if err != nil {
+		return err
+	}
+	if w.Batches() > 0 {
+		// Replay against a private clone, then publish once.
+		g := db.snapshot().g.Clone()
+		if err := w.Replay(func(b *mutate.Batch) error {
+			_, err := mutate.ApplyInPlace(g, b)
+			return err
+		}); err != nil {
+			w.Close()
+			return err
+		}
+		db.snap.Store(&snapshot{g: g})
+	}
+	db.wal = w
+	return nil
+}
+
+// CompactWAL rewrites the snapshot file at path from the current graph and
+// truncates the open WAL: snapshot + empty log replays to the same state as
+// the old snapshot + full log.
+func (db *Database) CompactWAL(path string) error {
+	db.writeMu.Lock()
+	defer db.writeMu.Unlock()
+	if db.wal == nil {
+		return fmt.Errorf("core: no WAL open")
+	}
+	return db.wal.Compact(path, db.snapshot().g)
+}
+
+// CloseWAL detaches and closes the write-ahead log, if one is open.
+func (db *Database) CloseWAL() error {
+	db.writeMu.Lock()
+	defer db.writeMu.Unlock()
+	if db.wal == nil {
+		return nil
+	}
+	err := db.wal.Close()
+	db.wal = nil
+	return err
+}
 
 // ---------------------------------------------------------------------------
 // Queries
@@ -99,13 +243,14 @@ func (db *Database) QueryEngine(src string, engine query.Engine) (*Database, err
 	if err != nil {
 		return nil, err
 	}
+	snap := db.snapshot()
 	opts := query.Options{Minimize: true, Engine: engine}
 	if engine != query.EngineNaive {
 		// The naive engine ignores PlanOptions; don't build indexes for it —
 		// that would skew the very baseline the ablation flag exists for.
-		opts.Plan = db.planOptions()
+		opts.Plan = snap.planOptions()
 	}
-	res, err := query.EvalOpts(q, db.g, opts)
+	res, err := query.EvalOpts(q, snap.g, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -119,18 +264,21 @@ func (db *Database) Explain(src string) (string, error) {
 	if err != nil {
 		return "", err
 	}
-	p, err := query.NewPlan(q, db.g, db.planOptions())
+	snap := db.snapshot()
+	p, err := query.NewPlan(q, snap.g, snap.planOptions())
 	if err != nil {
 		return "", err
 	}
 	return p.Explain(), nil
 }
 
-func (db *Database) planOptions() query.PlanOptions {
-	label := db.labels()
-	db.mu.Lock()
-	guide := db.guide // nil unless already built; never forced
-	db.mu.Unlock()
+// planOptions assembles the planner inputs from one snapshot, so the plan's
+// cached structures always describe the same graph version it will run on.
+func (s *snapshot) planOptions() query.PlanOptions {
+	label := s.labels()
+	s.mu.Lock()
+	guide := s.guide // nil unless already built; never forced
+	s.mu.Unlock()
 	return query.PlanOptions{Label: label, Guide: guide}
 }
 
@@ -141,7 +289,7 @@ func (db *Database) QueryRows(src string) ([]query.Env, error) {
 	if err != nil {
 		return nil, err
 	}
-	return query.EvalRows(q, db.g, 0)
+	return query.EvalRows(q, db.snapshot().g, 0)
 }
 
 // PathQuery evaluates a regular path expression from the root and returns
@@ -151,7 +299,8 @@ func (db *Database) PathQuery(src string) ([]ssd.NodeID, error) {
 	if err != nil {
 		return nil, err
 	}
-	return au.Eval(db.g, db.g.Root()), nil
+	g := db.snapshot().g
+	return au.Eval(g, g.Root()), nil
 }
 
 // PathQueryIndexed evaluates a path expression through the DataGuide path
@@ -179,7 +328,7 @@ func (db *Database) Datalog(src string) (map[string]*datalog.Relation, error) {
 	if err != nil {
 		return nil, err
 	}
-	return datalog.NewEngine(db.g).Run(prog, datalog.SemiNaive)
+	return datalog.NewEngine(db.snapshot().g).Run(prog, datalog.SemiNaive)
 }
 
 // ---------------------------------------------------------------------------
@@ -188,13 +337,13 @@ func (db *Database) Datalog(src string) (map[string]*datalog.Relation, error) {
 // FindString returns the locations of a string anywhere in the database —
 // "Where in the database is the string "Casablanca" to be found?"
 func (db *Database) FindString(s string) []index.EdgeRef {
-	return db.values().Exact(ssd.Str(s))
+	return db.snapshot().values().Exact(ssd.Str(s))
 }
 
 // IntsGreaterThan returns locations of integers above v — "Are there
 // integers in the database greater than 2^16?"
 func (db *Database) IntsGreaterThan(v int64) []index.EdgeRef {
-	return db.values().Compare(pathexpr.OpGT, ssd.Int(v))
+	return db.snapshot().values().Compare(pathexpr.OpGT, ssd.Int(v))
 }
 
 // AttrsLike returns the distinct attribute (symbol) labels matching a
@@ -202,7 +351,7 @@ func (db *Database) IntsGreaterThan(v int64) []index.EdgeRef {
 func (db *Database) AttrsLike(pattern string) []ssd.Label {
 	pred := pathexpr.LikePred{Pattern: pattern}
 	var out []ssd.Label
-	for _, l := range db.labels().Labels() {
+	for _, l := range db.snapshot().labels().Labels() {
 		if l.IsSymbol() && pred.Match(l) {
 			out = append(out, l)
 		}
@@ -217,65 +366,72 @@ func (db *Database) Browse(maxDepth, limit int) []dataguide.Annotation {
 	return db.DataGuide().Summary(maxDepth, limit)
 }
 
-func (db *Database) labels() *index.LabelIndex {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	if db.labelIx == nil {
-		db.labelIx = index.BuildLabelIndex(db.g)
+func (s *snapshot) labels() *index.LabelIndex {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.labelIx == nil {
+		s.labelIx = index.BuildLabelIndex(s.g)
 	}
-	return db.labelIx
+	return s.labelIx
 }
 
-func (db *Database) values() *index.ValueIndex {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	if db.valueIx == nil {
-		db.valueIx = index.BuildValueIndex(db.g)
+func (s *snapshot) values() *index.ValueIndex {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.valueIx == nil {
+		s.valueIx = index.BuildValueIndex(s.g)
 	}
-	return db.valueIx
+	return s.valueIx
 }
 
 // ---------------------------------------------------------------------------
 // Structure (§5)
 
-// DataGuide returns the strong DataGuide, building it on first use.
+// DataGuide returns the strong DataGuide of the current snapshot, building
+// it on first use. Commits extend an already-built guide incrementally.
 func (db *Database) DataGuide() *dataguide.Guide {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	if db.guide == nil {
-		db.guide = dataguide.MustBuild(db.g)
+	s := db.snapshot()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.guide == nil {
+		s.guide = dataguide.MustBuild(s.g)
 	}
-	return db.guide
+	return s.guide
 }
 
 // InferSchema extracts a schema the database conforms to.
-func (db *Database) InferSchema() *schema.Schema { return schema.Infer(db.g) }
+func (db *Database) InferSchema() *schema.Schema { return schema.Infer(db.snapshot().g) }
 
 // Conforms checks conformance to a schema by simulation.
-func (db *Database) Conforms(s *schema.Schema) bool { return s.Conforms(db.g) }
+func (db *Database) Conforms(s *schema.Schema) bool { return s.Conforms(db.snapshot().g) }
 
 // ---------------------------------------------------------------------------
 // Restructuring (§3)
+//
+// The wholesale transformations predate the mutation subsystem. Each clones
+// the world and returns a NEW handle whose caches start empty, so stale
+// derived structures are impossible — but nothing is logged: a WAL open on
+// the receiver does not describe the returned database.
 
 // Transform applies a structural-recursion rewriter and returns the new
 // database.
 func (db *Database) Transform(f unql.Rewriter) *Database {
-	return FromGraph(unql.GExt(db.g, f))
+	return FromGraph(unql.GExt(db.snapshot().g, f))
 }
 
 // RelabelWhere renames matching edge labels.
 func (db *Database) RelabelWhere(pred pathexpr.Pred, to ssd.Label) *Database {
-	return FromGraph(unql.RelabelWhere(db.g, pred, to))
+	return FromGraph(unql.RelabelWhere(db.snapshot().g, pred, to))
 }
 
 // DeleteEdges removes matching edges.
 func (db *Database) DeleteEdges(pred pathexpr.Pred) *Database {
-	return FromGraph(unql.DeleteEdges(db.g, pred))
+	return FromGraph(unql.DeleteEdges(db.snapshot().g, pred))
 }
 
 // CollapseEdges short-circuits matching edges.
 func (db *Database) CollapseEdges(pred pathexpr.Pred) *Database {
-	return FromGraph(unql.CollapseEdges(db.g, pred))
+	return FromGraph(unql.CollapseEdges(db.snapshot().g, pred))
 }
 
 // ---------------------------------------------------------------------------
@@ -290,14 +446,16 @@ func ImportRelational(rdb relstore.Database) *Database {
 // the data is not relationally shaped (§5's structured/semistructured
 // boundary).
 func (db *Database) ExportRelational() (relstore.Database, error) {
-	return relstore.DecodeRelational(db.g)
+	return relstore.DecodeRelational(db.snapshot().g)
 }
 
 // Equal reports value equality (bisimulation, ignoring object identity).
-func (db *Database) Equal(other *Database) bool { return bisim.Equal(db.g, other.g) }
+func (db *Database) Equal(other *Database) bool {
+	return bisim.Equal(db.snapshot().g, other.snapshot().g)
+}
 
 // Minimize returns the canonical bisimulation quotient.
-func (db *Database) Minimize() *Database { return FromGraph(bisim.Minimize(db.g)) }
+func (db *Database) Minimize() *Database { return FromGraph(bisim.Minimize(db.snapshot().g)) }
 
 // Describe returns a one-line summary for CLI output.
 func (db *Database) Describe() string {
@@ -321,5 +479,5 @@ func ParseOEM(src string) (*Database, error) {
 // FormatOEM renders the database in the OEM wire format (see the oem
 // package for the conversion's fidelity notes).
 func (db *Database) FormatOEM() string {
-	return oem.FromGraph(db.g).Format()
+	return oem.FromGraph(db.snapshot().g).Format()
 }

@@ -24,38 +24,109 @@ type Guide struct {
 	// G is the guide graph itself: deterministic (at most one out-edge per
 	// label per node), rooted at G.Root().
 	G *ssd.Graph
-	// Extent maps each guide node to the sorted set of source nodes
-	// reachable by exactly the label paths that reach the guide node.
-	Extent map[ssd.NodeID][]ssd.NodeID
+	// Extent holds, for each guide node (dense, indexed by guide NodeID),
+	// the sorted set of source nodes reachable by exactly the label paths
+	// that reach the guide node.
+	Extent [][]ssd.NodeID
 
 	source *ssd.Graph
+	// tbl is the construction-side state (extent interning and membership),
+	// carried along so incremental maintenance (ApplyDelta) does not pay an
+	// O(guide) rebuild per batch. Only the table's current owner may extend
+	// it; see internTable.
+	tbl *internTable
+	// builtNodes is the guide size at the last full Build. ApplyDelta
+	// repoints may orphan guide nodes; once the guide has grown well past
+	// this baseline the garbage outweighs the maintenance savings and
+	// ApplyDelta declines (ok=false), steering the caller to a fresh Build.
+	builtNodes int
+}
+
+// internTable is the subset-construction working state shared along one
+// chain of guide versions: the extent-set intern map and, for each source
+// node, the guide nodes whose extent contains it (the inverted index that
+// makes dirty-region detection O(|delta|)). Both grow append-only. The
+// owner pointer gates mutation: only ApplyDelta on the owning version may
+// extend the table (single-writer, like all maintenance); any other guide
+// rebuilds its own. Query-side readers never touch the table.
+type internTable struct {
+	m      map[string]ssd.NodeID
+	member map[ssd.NodeID][]ssd.NodeID
+	owner  *Guide
+}
+
+func (t *internTable) addMember(target []ssd.NodeID, gn ssd.NodeID) {
+	for _, v := range target {
+		t.member[v] = append(t.member[v], gn)
+	}
 }
 
 // Build constructs the strong DataGuide of the part of g accessible from
 // the root. The maxNodes cap (0 = unlimited) guards against the exponential
 // worst case; Build returns ok=false if the cap is hit.
 func Build(g *ssd.Graph, maxNodes int) (*Guide, bool) {
-	guide := &Guide{
-		G:      ssd.New(),
-		Extent: make(map[ssd.NodeID][]ssd.NodeID),
-		source: g,
-	}
+	guide := &Guide{G: ssd.New(), source: g}
 	rootSet := []ssd.NodeID{g.Root()}
-	interned := map[string]ssd.NodeID{setKey(rootSet): guide.G.Root()}
-	guide.Extent[guide.G.Root()] = rootSet
-
-	type task struct {
-		guideNode ssd.NodeID
-		set       []ssd.NodeID
+	tbl := &internTable{
+		m:      map[string]ssd.NodeID{setKey(rootSet): guide.G.Root()},
+		member: make(map[ssd.NodeID][]ssd.NodeID),
+		owner:  guide,
 	}
-	queue := []task{{guide.G.Root(), rootSet}}
+	tbl.addMember(rootSet, guide.G.Root())
+	guide.Extent = [][]ssd.NodeID{rootSet}
+	guide.tbl = tbl
+	b := &builder{src: g, guide: guide, tbl: tbl, maxNodes: maxNodes}
+	if !b.run([]task{{guide.G.Root(), rootSet}}) {
+		return nil, false
+	}
+	guide.builtNodes = guide.G.NumNodes()
+	return guide, true
+}
+
+// task is one pending subset-construction expansion: a guide node whose
+// successors have not been computed yet, with its extent.
+type task struct {
+	guideNode ssd.NodeID
+	set       []ssd.NodeID
+}
+
+// builder is the shared subset-construction engine behind Build and
+// ApplyDelta: it expands pending guide nodes over the source graph,
+// interning extent sets so every distinct set occurs once.
+type builder struct {
+	src      *ssd.Graph
+	guide    *Guide
+	tbl      *internTable
+	maxNodes int
+}
+
+// intern returns the guide node carrying the extent `target`, creating one
+// (and reporting existed=false, so the caller must schedule its expansion)
+// if the set is new. full=true means the node cap was hit.
+func (b *builder) intern(target []ssd.NodeID) (gn ssd.NodeID, existed, full bool) {
+	key := setKey(target)
+	if gn, ok := b.tbl.m[key]; ok {
+		return gn, true, false
+	}
+	if b.maxNodes > 0 && b.guide.G.NumNodes() >= b.maxNodes {
+		return ssd.InvalidNode, false, true
+	}
+	gn = b.guide.G.AddNode()
+	b.tbl.m[key] = gn
+	b.guide.Extent = append(b.guide.Extent, target)
+	b.tbl.addMember(target, gn)
+	return gn, false, false
+}
+
+// run drains the expansion queue. It returns false if the node cap was hit.
+func (b *builder) run(queue []task) bool {
 	for len(queue) > 0 {
 		t := queue[0]
 		queue = queue[1:]
 		// Group the successors of every node in the set by label.
 		byLabel := make(map[ssd.Label][]ssd.NodeID)
 		for _, v := range t.set {
-			for _, e := range g.Out(v) {
+			for _, e := range b.src.Out(v) {
 				byLabel[e.Label] = append(byLabel[e.Label], e.To)
 			}
 		}
@@ -66,21 +137,17 @@ func Build(g *ssd.Graph, maxNodes int) (*Guide, bool) {
 		sort.Slice(labels, func(i, j int) bool { return labels[i].Less(labels[j]) })
 		for _, l := range labels {
 			target := dedupNodes(byLabel[l])
-			key := setKey(target)
-			gn, ok := interned[key]
-			if !ok {
-				if maxNodes > 0 && guide.G.NumNodes() >= maxNodes {
-					return nil, false
-				}
-				gn = guide.G.AddNode()
-				interned[key] = gn
-				guide.Extent[gn] = target
+			gn, existed, full := b.intern(target)
+			if full {
+				return false
+			}
+			if !existed {
 				queue = append(queue, task{gn, target})
 			}
-			guide.G.AddEdge(t.guideNode, l, gn)
+			b.guide.G.AddEdge(t.guideNode, l, gn)
 		}
 	}
-	return guide, true
+	return true
 }
 
 // MustBuild builds with no node cap.

@@ -1,0 +1,167 @@
+package dataguide
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/ssd"
+)
+
+// equalGuides compares two guides structurally from the roots: label paths
+// and extents must coincide. Edge order may differ (ApplyDelta appends
+// repointed edges), so comparison matches per exact label.
+func equalGuides(a, b *Guide) error {
+	type pair struct{ na, nb ssd.NodeID }
+	seen := map[pair]bool{}
+	var walk func(na, nb ssd.NodeID, path string) error
+	walk = func(na, nb ssd.NodeID, path string) error {
+		p := pair{na, nb}
+		if seen[p] {
+			return nil
+		}
+		seen[p] = true
+		if !reflect.DeepEqual(a.Extent[na], b.Extent[nb]) {
+			return fmt.Errorf("extent mismatch at %q: %v vs %v", path, a.Extent[na], b.Extent[nb])
+		}
+		ea, eb := a.G.Out(na), b.G.Out(nb)
+		if len(ea) != len(eb) {
+			return fmt.Errorf("degree mismatch at %q: %d vs %d", path, len(ea), len(eb))
+		}
+		for _, e := range ea {
+			to := exactSuccessor(b.G, nb, e.Label)
+			if to == ssd.InvalidNode {
+				return fmt.Errorf("label %v missing at %q", e.Label, path)
+			}
+			if err := walk(e.To, to, path+"."+e.Label.String()); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return walk(a.G.Root(), b.G.Root(), "")
+}
+
+func randGuideGraph(rng *rand.Rand) *ssd.Graph {
+	g := ssd.New()
+	n := 3 + rng.Intn(15)
+	g.AddNodes(n)
+	labels := []ssd.Label{ssd.Sym("a"), ssd.Sym("b"), ssd.Sym("c"), ssd.Str("v"), ssd.Int(1)}
+	for i := 0; i < 3*n; i++ {
+		g.AddEdge(ssd.NodeID(rng.Intn(g.NumNodes())),
+			labels[rng.Intn(len(labels))],
+			ssd.NodeID(rng.Intn(g.NumNodes())))
+	}
+	g.Dedup()
+	return g
+}
+
+func TestApplyDeltaAddsMatchRebuild(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	labels := []ssd.Label{ssd.Sym("a"), ssd.Sym("b"), ssd.Sym("x"), ssd.Str("new")}
+	for iter := 0; iter < 150; iter++ {
+		g := randGuideGraph(rng)
+		guide := MustBuild(g)
+		// Random add-only batch: edges between existing nodes plus a chain
+		// through freshly allocated ones.
+		var delta ssd.Delta
+		for k := 0; k < 1+rng.Intn(4); k++ {
+			var to ssd.NodeID
+			from := ssd.NodeID(rng.Intn(g.NumNodes()))
+			if rng.Intn(3) == 0 {
+				to = g.AddNode()
+			} else {
+				to = ssd.NodeID(rng.Intn(g.NumNodes()))
+			}
+			l := labels[rng.Intn(len(labels))]
+			g.AddEdge(from, l, to)
+			delta.Added = append(delta.Added, ssd.EdgeRec{From: from, Label: l, To: to})
+		}
+		inc, ok := guide.ApplyDelta(g, delta, 0)
+		if !ok {
+			t.Fatalf("iter %d: ApplyDelta refused an add-only delta", iter)
+		}
+		if err := equalGuides(inc, MustBuild(g)); err != nil {
+			t.Fatalf("iter %d: %v", iter, err)
+		}
+	}
+}
+
+func TestApplyDeltaDeleteFallback(t *testing.T) {
+	g := ssd.MustParse(`{Entry: {Movie: {Title: "Casablanca"}}, Loose: {}}`)
+	guide := MustBuild(g)
+
+	// A removal whose source is accessible must force a rebuild.
+	entry := g.LookupFirst(g.Root(), ssd.Sym("Entry"))
+	movie := g.LookupFirst(entry, ssd.Sym("Movie"))
+	if _, ok := guide.ApplyDelta(g, ssd.Delta{
+		Removed: []ssd.EdgeRec{{From: entry, Label: ssd.Sym("Movie"), To: movie}},
+	}, 0); ok {
+		t.Fatal("accessible removal did not fall back")
+	}
+
+	// A removal on an unreachable node is provably harmless: the guide is
+	// returned unchanged (shared).
+	orphan := g.AddNode()
+	leaf := g.AddLeaf(orphan, ssd.Sym("x"))
+	g.DeleteEdge(orphan, ssd.Sym("x"), leaf)
+	inc, ok := guide.ApplyDelta(g, ssd.Delta{
+		Removed: []ssd.EdgeRec{{From: orphan, Label: ssd.Sym("x"), To: leaf}},
+	}, 0)
+	if !ok || inc != guide {
+		t.Fatalf("unreachable removal: ok=%v, shared=%v", ok, inc == guide)
+	}
+}
+
+// TestApplyDeltaSharesUntouched pins the MVCC contract: the old guide keeps
+// answering for the old graph after ApplyDelta.
+func TestApplyDeltaSharesUntouched(t *testing.T) {
+	g := ssd.MustParse(`{Entry: {Movie: {Title: "Casablanca"}}}`)
+	guide := MustBuild(g)
+	beforeNodes := guide.NumNodes()
+	beforePaths := fmt.Sprint(guide.Paths(4, 0))
+
+	h := g.Clone()
+	entry := h.LookupFirst(h.Root(), ssd.Sym("Entry"))
+	n := h.AddNode()
+	h.AddEdge(entry, ssd.Sym("Series"), n)
+	inc, ok := guide.ApplyDelta(h, ssd.Delta{
+		Added: []ssd.EdgeRec{{From: entry, Label: ssd.Sym("Series"), To: n}},
+	}, 0)
+	if !ok {
+		t.Fatal("ApplyDelta failed")
+	}
+	if guide.NumNodes() != beforeNodes || fmt.Sprint(guide.Paths(4, 0)) != beforePaths {
+		t.Fatal("old guide mutated by ApplyDelta")
+	}
+	if err := equalGuides(inc, MustBuild(h)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestApplyDeltaCycles exercises additions that create cycles and shared
+// extents, the interning-sensitive cases of subset construction.
+func TestApplyDeltaCycles(t *testing.T) {
+	g := ssd.MustParse(`{A: {Next: {}}, B: {Next: {}}}`)
+	guide := MustBuild(g)
+	a := g.LookupFirst(g.Root(), ssd.Sym("A"))
+	b := g.LookupFirst(g.Root(), ssd.Sym("B"))
+	var delta ssd.Delta
+	add := func(from ssd.NodeID, l ssd.Label, to ssd.NodeID) {
+		g.AddEdge(from, l, to)
+		delta.Added = append(delta.Added, ssd.EdgeRec{From: from, Label: l, To: to})
+	}
+	aNext := g.LookupFirst(a, ssd.Sym("Next"))
+	add(aNext, ssd.Sym("Next"), a) // cycle A → Next → Next → A
+	add(b, ssd.Sym("Peer"), a)     // cross-link sharing A's extent
+	add(g.Root(), ssd.Sym("B"), a) // grows an existing extent set
+
+	inc, ok := guide.ApplyDelta(g, delta, 0)
+	if !ok {
+		t.Fatal("ApplyDelta failed")
+	}
+	if err := equalGuides(inc, MustBuild(g)); err != nil {
+		t.Fatal(err)
+	}
+}

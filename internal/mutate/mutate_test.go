@@ -1,0 +1,193 @@
+package mutate
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"strconv"
+	"testing"
+
+	"repro/internal/ssd"
+)
+
+func fig1Fragment() *ssd.Graph {
+	return ssd.MustParse(`{Entry: {Movie: {Title: "Casablanca", Director: "Curtiz"}}}`)
+}
+
+// randBatch draws a batch of every record kind against g, mutating nothing.
+func randBatch(g *ssd.Graph, rng *rand.Rand, ops int) *Batch {
+	b := NewBatch(g)
+	labels := []ssd.Label{
+		ssd.Sym("a"), ssd.Sym("b"), ssd.Str("s"), ssd.Int(-3), ssd.Float(2.5),
+		ssd.Bool(true), ssd.OID("&o"),
+	}
+	limit := func() int32 { return int32(g.NumNodes()) + int32(b.added) }
+	anyNode := func() ssd.NodeID { return ssd.NodeID(rng.Int31n(limit())) }
+	for i := 0; i < ops; i++ {
+		var err error
+		switch rng.Intn(6) {
+		case 0:
+			b.AddNode()
+		case 1:
+			err = b.AddEdge(anyNode(), labels[rng.Intn(len(labels))], anyNode())
+		case 2:
+			err = b.DeleteEdge(anyNode(), labels[rng.Intn(len(labels))], anyNode())
+		case 3:
+			err = b.Relabel(anyNode(), labels[rng.Intn(len(labels))], labels[rng.Intn(len(labels))])
+		case 4:
+			err = b.SetOID(anyNode(), "&obj")
+		default:
+			err = b.SetRoot(anyNode())
+		}
+		if err != nil {
+			panic(err)
+		}
+	}
+	return b
+}
+
+func TestBatchCodecRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	g := fig1Fragment()
+	for iter := 0; iter < 100; iter++ {
+		b := randBatch(g, rng, 1+rng.Intn(12))
+		enc := EncodeBatch(b)
+		back, err := DecodeBatch(enc)
+		if err != nil {
+			t.Fatalf("iter %d: %v", iter, err)
+		}
+		if !reflect.DeepEqual(back.recs, b.recs) || back.baseNodes != b.baseNodes || back.added != b.added {
+			t.Fatalf("iter %d: decoded batch differs", iter)
+		}
+		if !bytes.Equal(EncodeBatch(back), enc) {
+			t.Fatalf("iter %d: re-encode not byte-identical", iter)
+		}
+	}
+	if _, err := DecodeBatch([]byte{0x01}); err == nil {
+		t.Error("truncated batch decoded without error")
+	}
+	if _, err := DecodeBatch(append(EncodeBatch(NewBatch(g)), 0xff)); err == nil {
+		t.Error("trailing bytes not rejected")
+	}
+}
+
+func TestApplyCOWIsolationAndDelta(t *testing.T) {
+	g := fig1Fragment()
+	before := ssd.FormatRoot(g)
+	entry := g.LookupFirst(g.Root(), ssd.Sym("Entry"))
+	movie := g.LookupFirst(entry, ssd.Sym("Movie"))
+	title := g.LookupFirst(movie, ssd.Sym("Title"))
+
+	b := NewBatch(g)
+	year := b.AddNode()
+	leaf := b.AddNode()
+	if err := b.AddEdge(movie, ssd.Sym("Year"), year); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AddEdge(year, ssd.Int(1942), leaf); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Relabel(movie, ssd.Sym("Director"), ssd.Sym("DirectedBy")); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.DeleteEdge(movie, ssd.Sym("Title"), title); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.SetOID(movie, "&m1"); err != nil {
+		t.Fatal(err)
+	}
+
+	h, res, err := ApplyCOW(g, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ssd.FormatRoot(g); got != before {
+		t.Fatalf("base graph changed:\n got %s\nwant %s", got, before)
+	}
+	if res.NodesAdded != 2 || !res.OIDChanged || res.RootChanged {
+		t.Fatalf("result = %+v", res)
+	}
+	if len(res.Delta.Added) != 3 || len(res.Delta.Removed) != 2 {
+		t.Fatalf("delta = %+v", res.Delta)
+	}
+	if h.NumNodes() != g.NumNodes()+2 {
+		t.Fatalf("clone nodes = %d", h.NumNodes())
+	}
+	if got := h.Lookup(movie, ssd.Sym("DirectedBy")); len(got) != 1 {
+		t.Fatalf("relabel missing: %v", got)
+	}
+	if got := h.Lookup(movie, ssd.Sym("Title")); len(got) != 0 {
+		t.Fatalf("delete missing: %v", got)
+	}
+	if id, ok := h.OIDOf(movie); !ok || id != "&m1" {
+		t.Fatalf("oid = %q, %v", id, ok)
+	}
+	if _, ok := g.OIDOf(movie); ok {
+		t.Fatal("oid leaked into base graph")
+	}
+}
+
+func TestApplyRejectsBadBatches(t *testing.T) {
+	g := fig1Fragment()
+	b := NewBatch(g)
+	if err := b.AddEdge(ssd.NodeID(999), ssd.Sym("x"), g.Root()); err == nil {
+		t.Error("out-of-range AddEdge accepted at build time")
+	}
+	b.AddNode()
+	g.AddNode() // concurrent allocation: base version moved
+	if _, _, err := ApplyCOW(g, b); err == nil {
+		t.Error("stale-base batch with AddNode applied without error")
+	}
+}
+
+func TestParseScript(t *testing.T) {
+	g := fig1Fragment()
+	entry := g.LookupFirst(g.Root(), ssd.Sym("Entry"))
+	movie := g.LookupFirst(entry, ssd.Sym("Movie"))
+	src := `
+		// attach a year subtree and rename the director edge
+		addnode ; addnode
+		addedge ` + itoa(movie) + ` Year $0
+		addedge $0 1942 $1
+		relabel ` + itoa(movie) + ` Director "Directed By"
+		setoid $0 &y1
+		setroot ` + itoa(entry) + `
+	`
+	b, err := ParseScript(src, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, res, err := ApplyCOW(g, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.RootChanged || res.NodesAdded != 2 {
+		t.Fatalf("result = %+v", res)
+	}
+	if h.Root() != entry {
+		t.Fatalf("root = %d, want %d", h.Root(), entry)
+	}
+	year := h.LookupFirst(movie, ssd.Sym("Year"))
+	if year == ssd.InvalidNode {
+		t.Fatal("Year edge missing")
+	}
+	if got := h.Lookup(year, ssd.Int(1942)); len(got) != 1 {
+		t.Fatalf("int label edge missing: %v", got)
+	}
+	if got := h.Lookup(movie, ssd.Str("Directed By")); len(got) != 1 {
+		t.Fatalf("relabel to string label missing: %v", got)
+	}
+	if id, ok := h.OIDOf(year); !ok || id != "&y1" {
+		t.Fatalf("oid = %q, %v", id, ok)
+	}
+
+	for _, bad := range []string{
+		"frobnicate 1", "addedge 0 x", "addedge $9 x 0", "addedge 0 \"unterminated 1",
+	} {
+		if _, err := ParseScript(bad, g); err == nil {
+			t.Errorf("ParseScript(%q) succeeded", bad)
+		}
+	}
+}
+
+func itoa(n ssd.NodeID) string { return strconv.Itoa(int(n)) }

@@ -1,0 +1,198 @@
+package mutate
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/ssd"
+)
+
+// ParseScript parses the ssdq mutation script format into a batch against
+// base. Statements are separated by newlines or semicolons; `//` starts a
+// line comment. The statements mirror the record types:
+//
+//	addnode                       allocate a node, referable as $0, $1, …
+//	addedge <node> <label> <node>
+//	deledge <node> <label> <node>
+//	relabel <node> <old> <new>
+//	setoid  <node> <string>
+//	setroot <node>
+//
+// A <node> is a numeric id of the base graph or $k, the k-th node this
+// script allocated. A <label> is a bare symbol, a quoted string, an int, a
+// float, true/false, or &id for an OID label.
+func ParseScript(src string, base *ssd.Graph) (*Batch, error) {
+	b := NewBatch(base)
+	var news []ssd.NodeID
+	for i, line := range splitStatements(src) {
+		fields, err := tokenize(line)
+		if err != nil {
+			return nil, fmt.Errorf("mutate: statement %d: %w", i+1, err)
+		}
+		if len(fields) == 0 {
+			continue
+		}
+		node := func(tok string) (ssd.NodeID, error) { return parseNodeRef(tok, news) }
+		stmt := strings.ToLower(fields[0])
+		wrong := func(want int) error {
+			return fmt.Errorf("mutate: statement %d: %s takes %d arguments, got %d", i+1, stmt, want, len(fields)-1)
+		}
+		switch stmt {
+		case "addnode":
+			if len(fields) != 1 {
+				return nil, wrong(0)
+			}
+			news = append(news, b.AddNode())
+		case "addedge", "deledge":
+			if len(fields) != 4 {
+				return nil, wrong(3)
+			}
+			from, err := node(fields[1])
+			if err == nil {
+				var to ssd.NodeID
+				to, err = node(fields[3])
+				if err == nil {
+					l := parseLabel(fields[2])
+					if stmt == "addedge" {
+						err = b.AddEdge(from, l, to)
+					} else {
+						err = b.DeleteEdge(from, l, to)
+					}
+				}
+			}
+			if err != nil {
+				return nil, fmt.Errorf("mutate: statement %d: %w", i+1, err)
+			}
+		case "relabel":
+			if len(fields) != 4 {
+				return nil, wrong(3)
+			}
+			from, err := node(fields[1])
+			if err == nil {
+				err = b.Relabel(from, parseLabel(fields[2]), parseLabel(fields[3]))
+			}
+			if err != nil {
+				return nil, fmt.Errorf("mutate: statement %d: %w", i+1, err)
+			}
+		case "setoid":
+			if len(fields) != 3 {
+				return nil, wrong(2)
+			}
+			n, err := node(fields[1])
+			if err == nil {
+				err = b.SetOID(n, strings.TrimPrefix(fields[2], "\""))
+			}
+			if err != nil {
+				return nil, fmt.Errorf("mutate: statement %d: %w", i+1, err)
+			}
+		case "setroot":
+			if len(fields) != 2 {
+				return nil, wrong(1)
+			}
+			n, err := node(fields[1])
+			if err == nil {
+				err = b.SetRoot(n)
+			}
+			if err != nil {
+				return nil, fmt.Errorf("mutate: statement %d: %w", i+1, err)
+			}
+		default:
+			return nil, fmt.Errorf("mutate: statement %d: unknown statement %q", i+1, stmt)
+		}
+	}
+	return b, nil
+}
+
+func splitStatements(src string) []string {
+	var out []string
+	for _, line := range strings.Split(src, "\n") {
+		if i := strings.Index(line, "//"); i >= 0 {
+			line = line[:i]
+		}
+		for _, stmt := range strings.Split(line, ";") {
+			out = append(out, strings.TrimSpace(stmt))
+		}
+	}
+	return out
+}
+
+// tokenize splits a statement on whitespace, keeping double-quoted strings
+// (with Go escape syntax) as single unquoted tokens tagged by a leading
+// quote so parseLabel can tell "42" from 42.
+func tokenize(stmt string) ([]string, error) {
+	var out []string
+	for stmt != "" {
+		stmt = strings.TrimLeft(stmt, " \t\r")
+		if stmt == "" {
+			break
+		}
+		if stmt[0] == '"' {
+			end := 1
+			for end < len(stmt) {
+				if stmt[end] == '\\' {
+					end += 2
+					continue
+				}
+				if stmt[end] == '"' {
+					break
+				}
+				end++
+			}
+			if end >= len(stmt) {
+				return nil, fmt.Errorf("unterminated string %s", stmt)
+			}
+			s, err := strconv.Unquote(stmt[:end+1])
+			if err != nil {
+				return nil, fmt.Errorf("bad string %s: %v", stmt[:end+1], err)
+			}
+			out = append(out, "\""+s)
+			stmt = stmt[end+1:]
+			continue
+		}
+		end := strings.IndexAny(stmt, " \t\r")
+		if end < 0 {
+			end = len(stmt)
+		}
+		out = append(out, stmt[:end])
+		stmt = stmt[end:]
+	}
+	return out, nil
+}
+
+func parseNodeRef(tok string, news []ssd.NodeID) (ssd.NodeID, error) {
+	if strings.HasPrefix(tok, "$") {
+		k, err := strconv.Atoi(tok[1:])
+		if err != nil || k < 0 || k >= len(news) {
+			return ssd.InvalidNode, fmt.Errorf("bad script-node reference %q (script has %d)", tok, len(news))
+		}
+		return news[k], nil
+	}
+	n, err := strconv.Atoi(tok)
+	if err != nil {
+		return ssd.InvalidNode, fmt.Errorf("bad node %q", tok)
+	}
+	return ssd.NodeID(n), nil
+}
+
+func parseLabel(tok string) ssd.Label {
+	if strings.HasPrefix(tok, "\"") {
+		return ssd.Str(tok[1:])
+	}
+	if strings.HasPrefix(tok, "&") {
+		return ssd.OID(tok[1:])
+	}
+	switch tok {
+	case "true":
+		return ssd.Bool(true)
+	case "false":
+		return ssd.Bool(false)
+	}
+	if v, err := strconv.ParseInt(tok, 10, 64); err == nil {
+		return ssd.Int(v)
+	}
+	if f, err := strconv.ParseFloat(tok, 64); err == nil {
+		return ssd.Float(f)
+	}
+	return ssd.Sym(tok)
+}

@@ -1,0 +1,240 @@
+package mutate
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+
+	"repro/internal/ssd"
+	"repro/internal/storage"
+)
+
+// WAL is an append-only write-ahead log of mutation batches, bound to one
+// base snapshot. The first frame is a header naming the snapshot the log
+// extends (magic, format version, crc32 of the snapshot's storage
+// encoding); every further frame is one batch:
+//
+//	payloadLen uvarint | crc32(payload) u32 LE | payload
+//
+// Open scans existing frames and truncates a torn tail (a partial final
+// frame from a crashed writer), so replay is exactly the committed prefix.
+// A log whose header names a different snapshot is set aside as
+// <path>.stale and a fresh log is started: its batches were built against
+// a base that no longer exists, so replaying them would corrupt rather
+// than recover — this is exactly the state a crash between Compact's
+// snapshot rename and log truncation leaves behind, and setting the log
+// aside completes that interrupted compaction. Append syncs after every
+// frame: once Append returns, the batch survives a crash.
+type WAL struct {
+	path     string
+	f        *os.File
+	end      int64    // offset past the last valid frame
+	pending  [][]byte // batch payloads read at Open, consumed by Replay
+	batches  int      // batch frames appended + replayable
+	replayed bool
+}
+
+const (
+	walMagic   = "SSDW"
+	walVersion = 1
+)
+
+// Fingerprint identifies a snapshot for WAL binding: the checksum of its
+// storage encoding.
+func Fingerprint(g *ssd.Graph) uint32 { return crc32.ChecksumIEEE(storage.Encode(g)) }
+
+func headerPayload(fp uint32) []byte {
+	buf := append([]byte(walMagic), walVersion)
+	return binary.LittleEndian.AppendUint32(buf, fp)
+}
+
+// OpenWAL opens (creating if necessary) the log at path, binding it to the
+// base snapshot with the given fingerprint (Fingerprint of the graph the
+// log's batches extend). Call Replay to apply the logged batches, then
+// Append to extend the log.
+func OpenWAL(path string, fp uint32) (*WAL, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	w := &WAL{path: path, f: f}
+	frames, end := scanFrames(data)
+	if len(data) > 0 && (len(frames) == 0 || string(frames[0]) != string(headerPayload(fp))) {
+		// Unreadable header, or a log bound to a different snapshot. Set the
+		// file aside rather than truncate — its batches may matter to someone
+		// (see the type comment) — and start fresh.
+		f.Close()
+		if err := os.Rename(path, path+".stale"); err != nil {
+			return nil, err
+		}
+		if f, err = os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644); err != nil {
+			return nil, err
+		}
+		w.f = f
+		frames, end = nil, 0
+		data = nil
+	}
+	if len(frames) == 0 {
+		// Fresh (or reset) log: write the binding header.
+		if err := w.writeFrame(headerPayload(fp)); err != nil {
+			f.Close()
+			return nil, err
+		}
+		return w, nil
+	}
+	w.pending = frames[1:]
+	w.batches = len(w.pending)
+	w.end = end
+	if int64(len(data)) > w.end {
+		// Drop the torn tail now so appends start at a clean boundary.
+		if err := f.Truncate(w.end); err != nil {
+			f.Close()
+			return nil, err
+		}
+	}
+	if _, err := f.Seek(w.end, 0); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return w, nil
+}
+
+// scanFrames parses the valid frame prefix of data, returning the frame
+// payloads and the offset just past the last valid frame.
+func scanFrames(data []byte) ([][]byte, int64) {
+	var frames [][]byte
+	var end int64
+	pos := 0
+	for pos < len(data) {
+		n, used := binary.Uvarint(data[pos:])
+		// Compare in uint64: a corrupt length prefix can exceed int range,
+		// and converting first would wrap negative and pass the check.
+		if used <= 0 || n > uint64(len(data)) || pos+used+4+int(n) > len(data) {
+			break // torn or corrupt tail
+		}
+		sumAt := pos + used
+		payload := data[sumAt+4 : sumAt+4+int(n)]
+		if crc32.ChecksumIEEE(payload) != binary.LittleEndian.Uint32(data[sumAt:]) {
+			break // corrupt tail
+		}
+		pos = sumAt + 4 + int(n)
+		frames = append(frames, payload)
+		end = int64(pos)
+	}
+	return frames, end
+}
+
+// Batches returns the number of valid batches in the log (replayable plus
+// appended).
+func (w *WAL) Batches() int { return w.batches }
+
+// Replay decodes the batches found at Open, in order, and hands each to
+// apply. It may be called once; the frame payloads are released afterwards.
+func (w *WAL) Replay(apply func(*Batch) error) error {
+	if w.replayed {
+		return fmt.Errorf("mutate: WAL %s already replayed", w.path)
+	}
+	w.replayed = true
+	for i, payload := range w.pending {
+		b, err := DecodeBatch(payload)
+		if err != nil {
+			return fmt.Errorf("mutate: WAL %s batch %d: %w", w.path, i, err)
+		}
+		if err := apply(b); err != nil {
+			return fmt.Errorf("mutate: WAL %s batch %d: %w", w.path, i, err)
+		}
+	}
+	w.pending = nil
+	return nil
+}
+
+// Append writes one batch as a new frame and syncs the file.
+func (w *WAL) Append(b *Batch) error {
+	if err := w.writeFrame(EncodeBatch(b)); err != nil {
+		return err
+	}
+	w.batches++
+	return nil
+}
+
+func (w *WAL) writeFrame(payload []byte) error {
+	frame := binary.AppendUvarint(nil, uint64(len(payload)))
+	frame = binary.LittleEndian.AppendUint32(frame, crc32.ChecksumIEEE(payload))
+	frame = append(frame, payload...)
+	if _, err := w.f.Write(frame); err != nil {
+		return err
+	}
+	if err := w.f.Sync(); err != nil {
+		return err
+	}
+	w.end += int64(len(frame))
+	return nil
+}
+
+// Compact persists g — the graph every logged batch has been applied to —
+// as the new snapshot at snapshotPath (storage's binary format) and resets
+// the log to an empty one bound to the new snapshot: snapshot + empty log
+// is equivalent to the old snapshot + the full log. The snapshot is
+// written to a temporary file, synced, and atomically renamed over the old
+// one, so a crash at any point leaves a replayable state: before the
+// rename, the old snapshot plus the full log; after it, the new snapshot
+// plus a log that OpenWAL will recognize (by its header fingerprint) as
+// belonging to the old snapshot and set aside.
+func (w *WAL) Compact(snapshotPath string, g *ssd.Graph) error {
+	tmp := snapshotPath + ".compact"
+	if err := storage.WriteFile(tmp, g); err != nil {
+		return err
+	}
+	if err := syncFile(tmp); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, snapshotPath); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := syncDir(snapshotPath); err != nil {
+		return err
+	}
+	if err := w.f.Truncate(0); err != nil {
+		return err
+	}
+	if _, err := w.f.Seek(0, 0); err != nil {
+		return err
+	}
+	w.end = 0
+	w.batches = 0
+	w.pending = nil
+	return w.writeFrame(headerPayload(Fingerprint(g)))
+}
+
+// Close releases the log's file handle.
+func (w *WAL) Close() error { return w.f.Close() }
+
+func syncFile(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return f.Sync()
+}
+
+func syncDir(path string) error {
+	d, err := os.Open(filepath.Dir(path))
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	// Directory fsync is advisory on some platforms; ignore failure the way
+	// os.File.Sync callers conventionally do for directories.
+	d.Sync()
+	return nil
+}

@@ -1,0 +1,133 @@
+package ssd
+
+// This file holds the in-place mutation primitives and the copy-on-write
+// support the mutation subsystem (internal/mutate) is built on. The model
+// itself stays value-oriented: these primitives exist so a *versioned* write
+// path can produce a new graph version cheaply, not so callers can edit
+// graphs that readers hold. Every mutator follows AddEdge's contract of
+// dropping the cached reverse adjacency (g.rev.Store(nil)) so In() never
+// serves stale edges.
+
+// EdgeRec is a fully specified edge occurrence (source, label, target) — the
+// unit of the mutation deltas exchanged between the write path and
+// derived-structure maintenance (index.Apply, dataguide ApplyDelta).
+type EdgeRec struct {
+	From  NodeID
+	Label Label
+	To    NodeID
+}
+
+// Delta lists the edge occurrences a mutation batch added and removed, in
+// application order. A relabel appears as one removal plus one addition of
+// the same (source, target) pair.
+type Delta struct {
+	Added   []EdgeRec
+	Removed []EdgeRec
+}
+
+// Empty reports whether the delta carries no edge changes.
+func (d Delta) Empty() bool { return len(d.Added) == 0 && len(d.Removed) == 0 }
+
+// Normalize cancels add/remove pairs of the same edge occurrence inside the
+// delta: an edge added by a batch and deleted later in the same batch never
+// existed in the base graph, so consumers maintaining a base-derived
+// structure must not see either record. Identical records are
+// interchangeable, making the cancellation order-insensitive.
+func (d Delta) Normalize() Delta {
+	if len(d.Added) == 0 || len(d.Removed) == 0 {
+		return d
+	}
+	avail := make(map[EdgeRec]int, len(d.Added))
+	for _, a := range d.Added {
+		avail[a]++
+	}
+	cancel := make(map[EdgeRec]int)
+	removed := make([]EdgeRec, 0, len(d.Removed))
+	for _, r := range d.Removed {
+		if avail[r] > 0 {
+			avail[r]--
+			cancel[r]++
+			continue
+		}
+		removed = append(removed, r)
+	}
+	if len(cancel) == 0 {
+		return d
+	}
+	added := make([]EdgeRec, 0, len(d.Added))
+	for _, a := range d.Added {
+		if cancel[a] > 0 {
+			cancel[a]--
+			continue
+		}
+		added = append(added, a)
+	}
+	return Delta{Added: added, Removed: removed}
+}
+
+// DeleteEdge removes the first edge from → (label) → to whose label is
+// identical (Go equality, not numeric Equal) to l. It reports whether an
+// edge was removed. The edge slice is edited in place; on a copy-on-write
+// clone the caller must PrivatizeOut(from) first.
+func (g *Graph) DeleteEdge(from NodeID, l Label, to NodeID) bool {
+	g.check(from)
+	g.check(to)
+	es := g.out[from]
+	for i, e := range es {
+		if e.To == to && e.Label == l {
+			g.rev.Store(nil)
+			copy(es[i:], es[i+1:])
+			g.out[from] = es[:len(es)-1]
+			return true
+		}
+	}
+	return false
+}
+
+// Relabel rewrites the label of every edge out of from whose label is
+// identical to old, returning the number of edges rewritten. Like
+// DeleteEdge it edits in place and uses label identity, so Relabel(n,
+// Int(2), …) leaves a Float(2.0) edge alone.
+func (g *Graph) Relabel(from NodeID, old, new Label) int {
+	g.check(from)
+	n := 0
+	for i := range g.out[from] {
+		if g.out[from][i].Label == old {
+			g.out[from][i].Label = new
+			n++
+		}
+	}
+	if n > 0 {
+		g.rev.Store(nil)
+	}
+	return n
+}
+
+// CloneShared returns a copy of g whose per-node edge slices are shared with
+// the original — the copy-on-write entry point of the mutation subsystem.
+// The node table, root, and oid map are private, so AddNode/SetOID/SetRoot
+// on the clone are safe immediately; before editing the edges of an
+// existing node the caller must PrivatizeOut it, or in-place edits (and
+// appends into spare capacity) would write into storage the original's
+// readers share. The reverse-adjacency cache is not carried over.
+func (g *Graph) CloneShared() *Graph {
+	h := &Graph{root: g.root, out: make([][]Edge, len(g.out))}
+	copy(h.out, g.out)
+	if g.oid != nil {
+		h.oid = make(map[NodeID]string, len(g.oid))
+		for n, id := range g.oid {
+			h.oid[n] = id
+		}
+	}
+	return h
+}
+
+// PrivatizeOut replaces n's edge slice with a freshly allocated copy so
+// subsequent in-place edits and appends cannot touch storage shared with
+// another graph (see CloneShared). Calling it on an already-private slice
+// merely wastes the copy.
+func (g *Graph) PrivatizeOut(n NodeID) {
+	g.check(n)
+	es := g.out[n]
+	g.out[n] = append(make([]Edge, 0, len(es)+1), es...)
+}

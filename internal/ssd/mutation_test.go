@@ -1,0 +1,188 @@
+package ssd
+
+import (
+	"reflect"
+	"testing"
+)
+
+// inOf returns In(n) as a fresh slice so later mutations can't alias it.
+func inOf(g *Graph, n NodeID) []Edge {
+	return append([]Edge(nil), g.In(n)...)
+}
+
+func TestDeleteEdge(t *testing.T) {
+	g := New()
+	a := g.AddNode()
+	b := g.AddNode()
+	g.AddEdge(g.Root(), Sym("x"), a)
+	g.AddEdge(g.Root(), Sym("x"), b)
+	g.AddEdge(g.Root(), Sym("y"), b)
+
+	if g.DeleteEdge(g.Root(), Sym("z"), b) {
+		t.Error("deleted a non-existent edge")
+	}
+	if !g.DeleteEdge(g.Root(), Sym("x"), b) {
+		t.Fatal("DeleteEdge(x, b) = false")
+	}
+	if g.NumEdges() != 2 {
+		t.Fatalf("NumEdges = %d, want 2", g.NumEdges())
+	}
+	if got := g.Lookup(g.Root(), Sym("x")); len(got) != 1 || got[0] != a {
+		t.Fatalf("Lookup(x) = %v, want [%d]", got, a)
+	}
+	// Label identity, not numeric equality: Int(2) must not delete Float(2).
+	g.AddEdge(g.Root(), Float(2), a)
+	if g.DeleteEdge(g.Root(), Int(2), a) {
+		t.Error("Int(2) deleted a Float(2) edge")
+	}
+	if !g.DeleteEdge(g.Root(), Float(2), a) {
+		t.Error("Float(2) edge not deleted")
+	}
+}
+
+func TestRelabel(t *testing.T) {
+	g := New()
+	a := g.AddNode()
+	b := g.AddNode()
+	g.AddEdge(g.Root(), Sym("old"), a)
+	g.AddEdge(g.Root(), Sym("old"), b)
+	g.AddEdge(g.Root(), Sym("keep"), b)
+
+	if n := g.Relabel(g.Root(), Sym("missing"), Sym("new")); n != 0 {
+		t.Fatalf("Relabel(missing) = %d, want 0", n)
+	}
+	if n := g.Relabel(g.Root(), Sym("old"), Sym("new")); n != 2 {
+		t.Fatalf("Relabel(old) = %d, want 2", n)
+	}
+	if got := g.Lookup(g.Root(), Sym("new")); len(got) != 2 {
+		t.Fatalf("Lookup(new) = %v, want 2 targets", got)
+	}
+	if got := g.Lookup(g.Root(), Sym("old")); len(got) != 0 {
+		t.Fatalf("Lookup(old) = %v, want none", got)
+	}
+	if got := g.Lookup(g.Root(), Sym("keep")); len(got) != 1 {
+		t.Fatalf("Lookup(keep) = %v, want 1 target", got)
+	}
+}
+
+// TestInAfterMutations exercises the reverse-adjacency cache contract: after
+// every kind of mutation, In() must agree with a fresh Reverse() build.
+func TestInAfterMutations(t *testing.T) {
+	g := New()
+	a := g.AddNode()
+	b := g.AddNode()
+	g.AddEdge(g.Root(), Sym("x"), a)
+	g.AddEdge(a, Sym("y"), b)
+
+	checkIn := func(stage string) {
+		t.Helper()
+		want := g.Reverse()
+		for n := 0; n < g.NumNodes(); n++ {
+			got := g.In(NodeID(n))
+			if len(got) == 0 && len(want[n]) == 0 {
+				continue
+			}
+			if !reflect.DeepEqual(got, want[n]) {
+				t.Fatalf("%s: In(%d) = %v, want %v", stage, n, got, want[n])
+			}
+		}
+	}
+
+	checkIn("initial")
+
+	// AddEdge must drop the cache.
+	g.AddEdge(b, Sym("z"), a)
+	checkIn("after AddEdge")
+
+	// AddNode must extend the reverse table.
+	c := g.AddNode()
+	g.AddEdge(a, Sym("w"), c)
+	checkIn("after AddNode+AddEdge")
+
+	// DeleteEdge must drop the cache.
+	if in := inOf(g, a); len(in) != 2 {
+		t.Fatalf("In(a) = %v, want 2 edges", in)
+	}
+	if !g.DeleteEdge(b, Sym("z"), a) {
+		t.Fatal("DeleteEdge failed")
+	}
+	checkIn("after DeleteEdge")
+	if in := g.In(a); len(in) != 1 || in[0].To != g.Root() {
+		t.Fatalf("In(a) after delete = %v", in)
+	}
+
+	// Relabel must drop the cache.
+	g.Relabel(a, Sym("y"), Sym("y2"))
+	checkIn("after Relabel")
+	if in := g.In(b); len(in) != 1 || in[0].Label != Sym("y2") {
+		t.Fatalf("In(b) after relabel = %v", in)
+	}
+
+	// Union allocates and copies edges.
+	g.Union(g.Root(), a)
+	checkIn("after Union")
+
+	// Dedup canonicalizes edge sets.
+	g.AddEdge(g.Root(), Sym("x"), a)
+	g.Dedup()
+	checkIn("after Dedup")
+}
+
+func TestCloneSharedIsolation(t *testing.T) {
+	g := New()
+	a := g.AddNode()
+	b := g.AddNode()
+	g.AddEdge(g.Root(), Sym("x"), a)
+	g.AddEdge(a, Sym("y"), b)
+	g.SetOID(a, "&a")
+	before := FormatRoot(g)
+
+	h := g.CloneShared()
+	// Node-table level mutations need no privatization.
+	c := h.AddNode()
+	h.SetOID(c, "&c")
+	h.SetRoot(a)
+	h.SetRoot(h.Root()) // no-op
+	// Edge-level mutations privatize first.
+	h.PrivatizeOut(a)
+	h.AddEdge(a, Sym("z"), c)
+	h.Relabel(a, Sym("y"), Sym("y2"))
+	h.PrivatizeOut(g.Root())
+	h.DeleteEdge(g.Root(), Sym("x"), a)
+
+	if got := FormatRoot(g); got != before {
+		t.Fatalf("original changed:\n got %s\nwant %s", got, before)
+	}
+	if id, ok := g.OIDOf(c); ok {
+		t.Fatalf("original gained oid %q for clone-allocated node", id)
+	}
+	if h.NumEdges() != 2 {
+		t.Fatalf("clone NumEdges = %d, want 2", h.NumEdges())
+	}
+	if got := h.Lookup(a, Sym("y2")); len(got) != 1 || got[0] != b {
+		t.Fatalf("clone Lookup(y2) = %v", got)
+	}
+}
+
+func TestPrivatizeOutSpareCapacity(t *testing.T) {
+	// The sharp edge CloneShared documents: appending into spare capacity of
+	// a shared slice must not be observable through the original. Privatizing
+	// makes the append safe; this test would fail under -race (and often by
+	// value) if PrivatizeOut were skipped and the original kept growing.
+	g := New()
+	a := g.AddNode()
+	g.AddEdge(g.Root(), Sym("x"), a)
+	// Force spare capacity on the root's slice.
+	g.PrivatizeOut(g.Root())
+
+	h := g.CloneShared()
+	h.PrivatizeOut(g.Root())
+	h.AddEdge(g.Root(), Sym("extra"), a)
+
+	if g.OutDegree(g.Root()) != 1 {
+		t.Fatalf("original degree = %d, want 1", g.OutDegree(g.Root()))
+	}
+	if h.OutDegree(h.Root()) != 2 {
+		t.Fatalf("clone degree = %d, want 2", h.OutDegree(h.Root()))
+	}
+}

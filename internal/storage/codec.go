@@ -41,7 +41,7 @@ func Encode(g *ssd.Graph) []byte {
 		es := g.Out(ssd.NodeID(v))
 		buf = binary.AppendUvarint(buf, uint64(len(es)))
 		for _, e := range es {
-			buf = appendLabel(buf, e.Label)
+			buf = AppendLabel(buf, e.Label)
 			buf = binary.AppendUvarint(buf, uint64(e.To))
 		}
 	}
@@ -154,7 +154,10 @@ func ReadFile(path string) (*ssd.Graph, error) {
 	return Decode(data)
 }
 
-func appendLabel(buf []byte, l ssd.Label) []byte {
+// AppendLabel appends the codec's label encoding — kind byte plus payload —
+// to buf. It is exported so other on-disk formats (the mutation WAL) share
+// one wire representation of labels.
+func AppendLabel(buf []byte, l ssd.Label) []byte {
 	buf = append(buf, byte(l.Kind()))
 	switch l.Kind() {
 	case ssd.KindSymbol:
@@ -186,6 +189,31 @@ func appendLabel(buf []byte, l ssd.Label) []byte {
 		}
 	}
 	return buf
+}
+
+// ReadLabel decodes one AppendLabel-encoded label starting at data[pos],
+// returning the label and the position just past it.
+func ReadLabel(data []byte, pos int) (ssd.Label, int, error) {
+	r := &reader{data: data, pos: pos}
+	l, err := r.label()
+	return l, r.pos, err
+}
+
+// ReadUvarint decodes one uvarint at data[pos], returning the value and the
+// position just past it. Exported, with ReadString, so other on-disk
+// formats (the mutation WAL) share this codec's bounds-checked readers.
+func ReadUvarint(data []byte, pos int) (uint64, int, error) {
+	r := &reader{data: data, pos: pos}
+	v, err := r.uvarint()
+	return v, r.pos, err
+}
+
+// ReadString decodes one length-prefixed string at data[pos], returning the
+// string and the position just past it.
+func ReadString(data []byte, pos int) (string, int, error) {
+	r := &reader{data: data, pos: pos}
+	s, err := r.str()
+	return s, r.pos, err
 }
 
 type reader struct {
