@@ -5,10 +5,12 @@
 package repro
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
 	"repro/internal/bisim"
+	"repro/internal/core"
 	"repro/internal/dataguide"
 	"repro/internal/datalog"
 	"repro/internal/decomp"
@@ -569,5 +571,88 @@ func BenchmarkIncrementalVsRebuild(b *testing.B) {
 			guide = dataguide.MustBuild(g)
 		}
 		_, _, _ = lx, vx, guide
+	})
+}
+
+// ---------------------------------------------------------------------------
+// E14: the statement lifecycle. Prepared re-execution must beat one-shot
+// (no re-lex/re-parse/re-plan), and streaming Rows must allocate less per
+// row than the materializing QueryRows wrapper.
+
+func BenchmarkPreparedVsOneShot(b *testing.B) {
+	g := movieDB(2000)
+	const litSrc = `select {Title: T} from DB.Entry.Movie M, M.Title T, M.Cast._* A where A = "Allen"`
+	const paramSrc = `select {Title: T} from DB.Entry.Movie M, M.Title T, M.Cast._* A where A = $who`
+
+	b.Run("oneshot-parse-plan-exec", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			q, err := query.Parse(litSrc)
+			if err != nil {
+				b.Fatal(err)
+			}
+			p, err := query.NewPlan(q, g, query.PlanOptions{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := p.EvalGraph(query.Options{Minimize: true}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("prepared-exec", func(b *testing.B) {
+		db := core.FromGraph(g)
+		s, err := db.Prepare(paramSrc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		who := core.P("who", "Allen")
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := s.Exec(context.Background(), who); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	const rowsSrc = `select T from DB.Entry.Movie M, M.Title T`
+	b.Run("rows-streaming", func(b *testing.B) {
+		db := core.FromGraph(g)
+		s, err := db.Prepare(rowsSrc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			rows, err := s.Query(context.Background())
+			if err != nil {
+				b.Fatal(err)
+			}
+			n := 0
+			for rows.Next() {
+				_ = rows.Env()
+				n++
+			}
+			rows.Close()
+			if n == 0 {
+				b.Fatal("no rows")
+			}
+		}
+	})
+	b.Run("rows-materialized", func(b *testing.B) {
+		db := core.FromGraph(g)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			envs, err := db.QueryRows(rowsSrc)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(envs) == 0 {
+				b.Fatal("no rows")
+			}
+		}
 	})
 }

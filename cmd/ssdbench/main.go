@@ -38,6 +38,7 @@ var experiments = []experiment{
 	{"e11", "E11 (§2): bisimulation — naive vs incremental refinement", runE11Bisim},
 	{"e12", "E12: query engines — naive tree-walker vs slot planner + iterators", runE12Engines},
 	{"e13", "E13: derived-structure maintenance — incremental vs full rebuild", runE13Maintenance},
+	{"e14", "E14: statement lifecycle — prepared execute-many vs one-shot parse+plan", runE14Prepared},
 }
 
 func main() {

@@ -8,6 +8,11 @@
 //	ssdq -db file.ssd query  'select T from DB.Entry.Movie.Title T'
 //	ssdq -db file.ssd -engine naive query 'select T from DB.Entry.Movie.Title T'
 //	ssdq -db file.ssd explain 'select T from DB.Entry.Movie.Title T'
+//	ssdq -db file.ssd prepare 'select T from DB.Entry.$kind.Title T'
+//	ssdq -db file.ssd -param kind=Movie run 'select T from DB.Entry.$kind.Title T'
+//	ssdq -db file.ssd -param who='"Allen"' run 'select {T: T} from DB.Entry.Movie M, M.Title T, M.Cast._* A where A = $who'
+//	ssdq -db file.ssd run 'path: Entry.Movie.Title'
+//	ssdq -db file.ssd run 'unql: relabel Title to TITLE'
 //	ssdq -db file.ssd path   'Entry.Movie.(!Movie)*."Allen"'
 //	ssdq -db file.ssd datalog 'reach(X) :- root(X). reach(Y) :- reach(X), edge(X,_,Y).'
 //	ssdq -db file.ssd browse -depth 3
@@ -18,6 +23,14 @@
 //	ssdq -db file.ssdg -wal file.wal mutate 'addnode; addedge 0 Tag $0'
 //	ssdq -db file.ssdg -wal file.wal mutate script.mut   (load statements from a file)
 //	ssdq demo            # run the Figure 1 tour without a database file
+//
+// prepare parses a statement once and reports its sniffed language,
+// declared $parameters, result columns and plan. run executes a prepared
+// statement: -param name=value (repeatable) binds parameters — values
+// parse as label literals (symbol, "string", number, true/false). Query
+// and path statements stream their rows; transform statements print the
+// restructured database. -engine naive runs the substitution-based naive
+// evaluator with identical parameter semantics.
 //
 // The mutate command applies a mutation script (see internal/mutate's
 // ParseScript for the statement forms) as one atomic batch. -wal attaches a
@@ -31,6 +44,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -44,6 +58,26 @@ import (
 	"repro/internal/workload"
 )
 
+// paramFlags collects repeatable -param name=value flags.
+type paramFlags []core.Param
+
+func (p *paramFlags) String() string { return fmt.Sprintf("%d params", len(*p)) }
+
+func (p *paramFlags) Set(s string) error {
+	name, val, ok := strings.Cut(s, "=")
+	if !ok || name == "" {
+		return fmt.Errorf("want name=value, got %q", s)
+	}
+	// Values parse as label literals: bare word → symbol, "quoted" →
+	// string, number → int/float, true/false.
+	l, err := core.ParseLabelLiteral(val)
+	if err != nil {
+		return err
+	}
+	*p = append(*p, core.Param{Name: name, Value: l})
+	return nil
+}
+
 func main() {
 	var (
 		dbPath  = flag.String("db", "", "database file (.ssd text or .ssdg binary); default: built-in Figure 1")
@@ -51,11 +85,13 @@ func main() {
 		limit   = flag.Int("limit", 40, "browse: maximum paths listed")
 		out     = flag.String("o", "", "convert/mutate: output file (.ssd or .ssdg)")
 		wal     = flag.String("wal", "", "mutate: write-ahead log file (replayed on open, appended on commit)")
-		engine  = flag.String("engine", "planned", "query: evaluation engine (planned|naive)")
+		engine  = flag.String("engine", "planned", "query/run: evaluation engine (planned|naive)")
 		explain = flag.Bool("explain", false, "query: print the chosen plan before the result")
+		params  paramFlags
 	)
+	flag.Var(&params, "param", "run: bind a $parameter as name=value (repeatable)")
 	flag.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: ssdq [flags] <stats|query|explain|path|datalog|browse|guide|schema|fmt|convert|mutate|demo> [arg]")
+		fmt.Fprintln(os.Stderr, "usage: ssdq [flags] <stats|query|explain|prepare|run|path|datalog|browse|guide|schema|fmt|convert|mutate|demo> [arg]")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -112,6 +148,31 @@ func main() {
 			fatal(err)
 		}
 		fmt.Print(plan)
+	case "prepare":
+		s, err := db.Prepare(arg(rest, "prepare"))
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("language: %s\n", s.Lang())
+		if ps := s.Params(); len(ps) > 0 {
+			fmt.Printf("params:   $%s\n", strings.Join(ps, ", $"))
+		}
+		if cols := s.Columns(); len(cols) > 0 {
+			fmt.Printf("columns:  %s\n", strings.Join(cols, ", "))
+		}
+		plan, err := s.Explain()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(plan)
+	case "run":
+		eng, err := parseEngine(*engine)
+		if err != nil {
+			fatal(err)
+		}
+		if err := runStmt(db, arg(rest, "run"), params, eng, *limit); err != nil {
+			fatal(err)
+		}
 	case "path":
 		nodes, err := db.PathQuery(arg(rest, "path"))
 		if err != nil {
@@ -249,6 +310,75 @@ func runMutate(db *core.Database, script, outPath string) error {
 			return err
 		}
 		fmt.Printf("wrote %s\n", outPath)
+	}
+	return nil
+}
+
+// runStmt prepares and executes one statement with bound parameters.
+// Query statements print the result database (streaming the rows would
+// lose the select template); with -engine naive the substitution-based
+// evaluator runs instead — identical parameter semantics, no plan. Path
+// and datalog statements stream their rows; transforms print the
+// restructured database.
+func runStmt(db *core.Database, src string, params []core.Param, eng query.Engine, limit int) error {
+	s, err := db.Prepare(src)
+	if err != nil {
+		return err
+	}
+	ctx := context.Background()
+	switch s.Lang() {
+	case core.LangQuery:
+		var res *core.Database
+		if eng == query.EngineNaive {
+			res, err = db.QueryEngineArgs(s.Source(), eng, params...)
+		} else {
+			res, err = s.Exec(ctx, params...)
+		}
+		if err != nil {
+			return err
+		}
+		fmt.Println(res.Format())
+	case core.LangTransform:
+		res, err := s.Exec(ctx, params...)
+		if err != nil {
+			return err
+		}
+		fmt.Println(res.Format())
+	default: // path, datalog: stream rows
+		if eng == query.EngineNaive && s.Lang() == core.LangPath {
+			// The ablation engines only exist for the query language; path
+			// traversal has a single implementation.
+			fmt.Println("-- -engine naive has no effect on path statements")
+		}
+		rows, err := s.Query(ctx, params...)
+		if err != nil {
+			return err
+		}
+		defer rows.Close()
+		cols := rows.Columns()
+		cells := make([]string, len(cols))
+		dests := make([]any, len(cols))
+		for i := range cells {
+			dests[i] = &cells[i]
+		}
+		n := 0
+		for rows.Next() {
+			// Past the print cutoff only the count matters; skip the
+			// per-column formatting.
+			if n < limit {
+				if err := rows.Scan(dests...); err != nil {
+					return err
+				}
+				fmt.Println("  " + strings.Join(cells, "  "))
+			} else if n == limit {
+				fmt.Println("  ...")
+			}
+			n++
+		}
+		if err := rows.Err(); err != nil {
+			return err
+		}
+		fmt.Printf("%d rows\n", n)
 	}
 	return nil
 }

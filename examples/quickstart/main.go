@@ -1,10 +1,12 @@
-// Quickstart: build a small semistructured database from text, query it,
-// and look at it without a schema.
+// Quickstart: build a small semistructured database from text, prepare a
+// statement once, execute it with different parameters, stream the rows,
+// and look at the data without a schema.
 //
 //	go run ./examples/quickstart
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"strings"
@@ -25,20 +27,71 @@ func main() {
 	}
 	fmt.Println("database:", db.Describe())
 
-	// 2. A select-from-where query with a regular path expression. The
-	// `interest` field is sometimes a string and sometimes a record;
-	// `_*` reaches the strings wherever they are.
-	res, err := db.Query(`
+	// 2. Prepare once, execute many: the statement is parsed and planned a
+	// single time; each execution binds the $cutoff parameter into a
+	// reserved plan slot. The `interest` field is sometimes a string and
+	// sometimes a record; `_*` reaches the strings wherever they are.
+	stmt, err := db.Prepare(`
 		select {Of: N, Likes: %V}
-		from DB.person P, P.name N, P.interest._* I, I.%V X
-		where isstring(%V)`)
+		from DB.person P, P.name N, P.born B, P.interest._* I, I.%V X
+		where isstring(%V) and B < $cutoff`)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Println("\ninterests, however nested:")
-	fmt.Println(" ", res.Format())
+	for _, cutoff := range []int{1900, 2000} {
+		res, err := stmt.Exec(context.Background(), core.P("cutoff", cutoff))
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\ninterests of people born before %d:\n  %s\n", cutoff, res.Format())
+	}
 
-	// 3. The §1.3 browsing queries: ask the data what it looks like.
+	// 3. Stream binding rows instead of materializing a result tree: Rows
+	// pulls tuples straight from the executor; the Env is reused per row.
+	people, err := db.Prepare(`select N from DB.person P, P.name._ N`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rows, err := people.Query(context.Background())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\npeople (streamed):")
+	for rows.Next() {
+		env := rows.Env() // valid until the next rows.Next()
+		fmt.Println("  node", env.Trees["N"])
+	}
+	rows.Close()
+
+	// 4. The same Prepare entry point speaks the other front-ends: path
+	// expressions stream matching nodes...
+	deep, err := db.Prepare(`path: person.interest._*.isdata`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	prows, err := deep.Query(context.Background())
+	if err != nil {
+		log.Fatal(err)
+	}
+	n := 0
+	for prows.Next() {
+		n++
+	}
+	prows.Close()
+	fmt.Println("\nleaf values under interest:", n)
+
+	// ...and UnQL transforms restructure.
+	rename, err := db.Prepare(`unql: relabel interest to $to`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	hobbies, err := rename.Exec(context.Background(), core.P("to", "hobby"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("after relabel:", hobbies.Describe())
+
+	// 5. The §1.3 browsing queries: ask the data what it looks like.
 	fmt.Println("\nintegers > 1900 anywhere:", len(db.IntsGreaterThan(1900)), "hits")
 	fmt.Println(`where is "compilers"?   `, db.FindString("compilers"))
 
@@ -51,7 +104,7 @@ func main() {
 		fmt.Printf("  %-30s extent %d\n", strings.Join(parts, "."), a.ExtentLen)
 	}
 
-	// 4. Infer a schema after the fact (§5) and check conformance.
+	// 6. Infer a schema after the fact (§5) and check conformance.
 	s := db.InferSchema()
 	fmt.Println("\ninferred schema:", s)
 	fmt.Println("data conforms:", db.Conforms(s))

@@ -23,6 +23,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -52,6 +53,57 @@ type Database struct {
 	snap    atomic.Pointer[snapshot]
 	writeMu sync.Mutex // serializes Begin-to-Commit writers and WAL state
 	wal     *mutate.WAL
+
+	// Statement cache: the legacy one-shot methods route through Prepare,
+	// and this keeps their repeat executions on the prepare-once path.
+	// Entries hold parsed ASTs and per-snapshot plan pools; a commit does
+	// not evict them — each Stmt re-plans lazily when it notices the
+	// snapshot changed.
+	stmtMu sync.Mutex
+	stmts  map[string]*Stmt
+}
+
+// stmtCacheMax bounds the statement cache. Eviction is random (Go map
+// iteration order): fine for a cache whose working set is hot statements.
+const stmtCacheMax = 256
+
+// prepared returns a cached prepared statement for src, preparing and
+// caching it on first use. Shared Stmts are safe for concurrent use.
+func (db *Database) prepared(src string) (*Stmt, error) {
+	db.stmtMu.Lock()
+	s, ok := db.stmts[src]
+	db.stmtMu.Unlock()
+	if ok {
+		return s, nil
+	}
+	s, err := db.Prepare(src)
+	if err != nil {
+		return nil, err
+	}
+	db.stmtMu.Lock()
+	if db.stmts == nil {
+		db.stmts = make(map[string]*Stmt)
+	}
+	if len(db.stmts) >= stmtCacheMax {
+		for k := range db.stmts {
+			delete(db.stmts, k)
+			break
+		}
+	}
+	db.stmts[src] = s
+	db.stmtMu.Unlock()
+	return s, nil
+}
+
+// invalidateStmtPlans drops every cached statement's pooled plans after a
+// snapshot swap, releasing the old graph version promptly. In-flight Rows
+// keep their checked-out plan and pinned snapshot until Close, by design.
+func (db *Database) invalidateStmtPlans() {
+	db.stmtMu.Lock()
+	for _, s := range db.stmts {
+		s.invalidate()
+	}
+	db.stmtMu.Unlock()
 }
 
 // snapshot is one immutable graph version with its lazily built derived
@@ -164,6 +216,7 @@ func (db *Database) commit(b *mutate.Batch, logIt bool) error {
 		}
 	}
 	db.snap.Store(ns)
+	db.invalidateStmtPlans()
 	return nil
 }
 
@@ -195,6 +248,7 @@ func (db *Database) OpenWAL(path string) error {
 			return err
 		}
 		db.snap.Store(&snapshot{g: g})
+		db.invalidateStmtPlans()
 	}
 	db.wal = w
 	return nil
@@ -226,50 +280,81 @@ func (db *Database) CloseWAL() error {
 
 // ---------------------------------------------------------------------------
 // Queries
+//
+// The one-shot methods below predate the statement lifecycle and are kept
+// as thin wrappers: each routes through the statement cache, so repeated
+// calls with the same text hit the prepare-once path automatically.
 
 // Query runs a select-from-where query and returns the result database.
 // Evaluation uses the planned iterator engine, feeding the planner whatever
 // auxiliary structures the database has already built (the label index is
 // built on first query; a DataGuide is used only if previously built, since
 // guide construction can be exponential on irregular data).
+//
+// Deprecated: use Prepare and Stmt.Exec, which add parameter binding and
+// context cancellation. This wrapper remains for convenience.
 func (db *Database) Query(src string) (*Database, error) {
-	return db.QueryEngine(src, query.EnginePlanned)
-}
-
-// QueryEngine runs a query with an explicit engine choice — the ablation
-// hook behind ssdq's -engine flag.
-func (db *Database) QueryEngine(src string, engine query.Engine) (*Database, error) {
-	q, err := query.Parse(src)
+	s, err := db.prepared(src)
 	if err != nil {
 		return nil, err
 	}
-	snap := db.snapshot()
-	opts := query.Options{Minimize: true, Engine: engine}
-	if engine != query.EngineNaive {
-		// The naive engine ignores PlanOptions; don't build indexes for it —
-		// that would skew the very baseline the ablation flag exists for.
-		opts.Plan = snap.planOptions()
+	// This wrapper is documented as select-from-where; without the guard a
+	// mistyped text that sniffs as a transform would silently execute it.
+	if s.lang != LangQuery {
+		return nil, fmt.Errorf("core: %q is a %s statement, not a query; use Prepare", src, s.lang)
 	}
-	res, err := query.EvalOpts(q, snap.g, opts)
+	return s.Exec(context.Background())
+}
+
+// QueryEngine runs a query with an explicit engine choice — the ablation
+// hook behind ssdq's -engine flag. Parameterized queries need values; use
+// QueryEngineArgs.
+//
+// Deprecated: use Prepare and Stmt.Exec (EnginePlanned is the only engine
+// statements execute; the naive engine exists for cross-checking).
+func (db *Database) QueryEngine(src string, engine query.Engine) (*Database, error) {
+	return db.QueryEngineArgs(src, engine)
+}
+
+// QueryEngineArgs is QueryEngine with parameter values — the hook behind
+// ssdq's -engine and -param flags. Both engines see identical parameter
+// semantics: the planned engine binds values into plan slots, the naive
+// engine substitutes them into the AST.
+func (db *Database) QueryEngineArgs(src string, engine query.Engine, args ...Param) (*Database, error) {
+	s, err := db.prepared(src)
+	if err != nil {
+		return nil, err
+	}
+	if s.lang != LangQuery {
+		return nil, fmt.Errorf("core: %q is a %s statement, not a query", src, s.lang)
+	}
+	if engine != query.EngineNaive {
+		return s.Exec(context.Background(), args...)
+	}
+	vals, err := s.bindArgs(args)
+	if err != nil {
+		return nil, err
+	}
+	// The naive engine ignores PlanOptions; don't build indexes for it —
+	// that would skew the very baseline the ablation flag exists for.
+	snap := db.snapshot()
+	res, err := query.EvalOpts(s.q, snap.g, query.Options{
+		Minimize: true, Engine: query.EngineNaive, Params: vals,
+	})
 	if err != nil {
 		return nil, err
 	}
 	return FromGraph(res), nil
 }
 
-// Explain parses and plans a query without running it, returning the
+// Explain parses and plans a statement without running it, returning the
 // planner's human-readable plan: atom order, access paths, estimates.
 func (db *Database) Explain(src string) (string, error) {
-	q, err := query.Parse(src)
+	s, err := db.prepared(src)
 	if err != nil {
 		return "", err
 	}
-	snap := db.snapshot()
-	p, err := query.NewPlan(q, snap.g, snap.planOptions())
-	if err != nil {
-		return "", err
-	}
-	return p.Explain(), nil
+	return s.Explain()
 }
 
 // planOptions assembles the planner inputs from one snapshot, so the plan's
@@ -283,24 +368,63 @@ func (s *snapshot) planOptions() query.PlanOptions {
 }
 
 // QueryRows runs the from/where part of a query and returns the binding
-// tuples — programmatic access without building a result tree.
+// tuples — programmatic access without building a result tree. It wraps
+// the streaming Rows cursor, copying each row once into an independent
+// Env (the cursor itself reuses one Env across rows; this wrapper exists
+// for callers who want the materialized slice). Path-variable label
+// slices inside the returned Envs are shared with the engine and must be
+// treated as read-only.
+//
+// Deprecated: use Prepare and Stmt.Query to stream rows without
+// materializing the whole set.
 func (db *Database) QueryRows(src string) ([]query.Env, error) {
-	q, err := query.Parse(src)
+	s, err := db.prepared(src)
 	if err != nil {
 		return nil, err
 	}
-	return query.EvalRows(q, db.snapshot().g, 0)
+	if s.lang != LangQuery {
+		return nil, fmt.Errorf("core: %q is a %s statement, not a query", src, s.lang)
+	}
+	rows, err := s.Query(context.Background())
+	if err != nil {
+		return nil, err
+	}
+	defer rows.Close()
+	var out []query.Env
+	for rows.Next() {
+		out = append(out, rows.envFresh())
+	}
+	if err := rows.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 // PathQuery evaluates a regular path expression from the root and returns
-// the matching nodes.
+// the matching nodes, sorted.
+//
+// Deprecated: use Prepare with a `path:` statement and Stmt.Query to
+// stream matches instead of materializing them.
 func (db *Database) PathQuery(src string) ([]ssd.NodeID, error) {
-	au, err := compilePath(src)
+	s, err := db.prepared("path: " + src)
 	if err != nil {
 		return nil, err
 	}
-	g := db.snapshot().g
-	return au.Eval(g, g.Root()), nil
+	rows, err := s.Query(context.Background())
+	if err != nil {
+		return nil, err
+	}
+	defer rows.Close()
+	var out []ssd.NodeID
+	for rows.Next() {
+		var n ssd.NodeID
+		if err := rows.Scan(&n); err != nil {
+			return nil, err
+		}
+		out = append(out, n)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out, nil
 }
 
 // PathQueryIndexed evaluates a path expression through the DataGuide path
@@ -318,17 +442,28 @@ func compilePath(src string) (*pathexpr.Automaton, error) {
 	if err != nil {
 		return nil, err
 	}
+	// An unbound $parameter would compile to a match-nothing predicate —
+	// a silent empty result. Only the statement layer can bind values.
+	if ps := pathexpr.Params(e); len(ps) > 0 {
+		return nil, fmt.Errorf("core: path has parameters ($%s); use Prepare and bind them", ps[0])
+	}
 	return pathexpr.Compile(e), nil
 }
 
 // Datalog runs a datalog program (semi-naive) and returns its IDB
-// relations.
+// relations. The parse is cached via the statement layer.
+//
+// Deprecated: use Prepare with a `datalog:` statement and Stmt.Query to
+// iterate the tuples.
 func (db *Database) Datalog(src string) (map[string]*datalog.Relation, error) {
-	prog, err := datalog.ParseProgram(src)
+	s, err := db.prepared("datalog: " + src)
 	if err != nil {
 		return nil, err
 	}
-	return datalog.NewEngine(db.snapshot().g).Run(prog, datalog.SemiNaive)
+	if s.lang != LangDatalog {
+		return nil, fmt.Errorf("core: %q is a %s statement, not datalog", src, s.lang)
+	}
+	return datalog.NewEngine(db.snapshot().g).Run(s.dl, datalog.SemiNaive)
 }
 
 // ---------------------------------------------------------------------------

@@ -1,0 +1,460 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/pathexpr"
+	"repro/internal/ssd"
+	"repro/internal/workload"
+)
+
+func TestSniffLang(t *testing.T) {
+	cases := []struct {
+		src  string
+		lang Lang
+		body string
+	}{
+		{`select T from DB.Entry.Movie.Title T`, LangQuery, `select T from DB.Entry.Movie.Title T`},
+		{`SELECT T from DB.a T`, LangQuery, `SELECT T from DB.a T`},
+		{`query: select T from DB.a T`, LangQuery, `select T from DB.a T`},
+		{`Entry.Movie.Title`, LangPath, `Entry.Movie.Title`},
+		{`path: delete`, LangPath, `delete`},
+		{`reach(X) :- root(X).`, LangDatalog, `reach(X) :- root(X).`},
+		{`datalog: reach(X) :- root(X).`, LangDatalog, `reach(X) :- root(X).`},
+		{`relabel Title to TITLE`, LangTransform, `relabel Title to TITLE`},
+		{`unql: delete References`, LangTransform, `delete References`},
+		// A ":-" inside a string literal is data, not a datalog rule.
+		{`_*."x:-y"`, LangPath, `_*."x:-y"`},
+	}
+	for _, c := range cases {
+		lang, body := SniffLang(c.src)
+		if lang != c.lang || body != c.body {
+			t.Errorf("SniffLang(%q) = (%s, %q), want (%s, %q)", c.src, lang, body, c.lang, c.body)
+		}
+	}
+}
+
+// TestStmtQueryParams: prepare once, execute many with different
+// arguments; results match the equivalent literal queries.
+func TestStmtQueryParams(t *testing.T) {
+	db := fig1DB(t)
+	s, err := db.Prepare(`select {Title: T} from DB.Entry.Movie M, M.Title T, M.Cast._* A where A = $who`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Params(); len(got) != 1 || got[0] != "who" {
+		t.Fatalf("Params = %v", got)
+	}
+	for _, who := range []string{"Allen", "Bogart"} {
+		res, err := s.Exec(context.Background(), P("who", who))
+		if err != nil {
+			t.Fatal(err)
+		}
+		lit, err := db.Query(fmt.Sprintf(`select {Title: T} from DB.Entry.Movie M, M.Title T, M.Cast._* A where A = "%s"`, who))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Equal(lit) {
+			t.Errorf("who=%s: prepared result differs from literal query", who)
+		}
+	}
+	// Argument validation.
+	if _, err := s.Exec(context.Background()); err == nil {
+		t.Error("missing parameter should error")
+	}
+	if _, err := s.Exec(context.Background(), P("who", "Allen"), P("x", 1)); err == nil {
+		t.Error("unknown parameter should error")
+	}
+	if _, err := s.Exec(context.Background(), P("who", "Allen"), P("who", "Bogart")); err == nil {
+		t.Error("duplicate parameter should error")
+	}
+}
+
+// TestStmtRowsStreaming: the Rows cursor yields the same tuples as the
+// materializing QueryRows wrapper, and Scan reads typed columns.
+func TestStmtRowsStreaming(t *testing.T) {
+	db := fig1DB(t)
+	const src = `select T from DB.Entry.Movie M, M.Title T`
+	s, err := db.Prepare(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cols := s.Columns(); len(cols) != 2 || cols[0] != "M" || cols[1] != "T" {
+		t.Fatalf("Columns = %v", cols)
+	}
+	rows, err := s.Query(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rows.Close()
+	var streamed []ssd.NodeID
+	for rows.Next() {
+		var m, tn ssd.NodeID
+		if err := rows.Scan(&m, &tn); err != nil {
+			t.Fatal(err)
+		}
+		env := rows.Env()
+		if env.Trees["M"] != m || env.Trees["T"] != tn {
+			t.Fatal("Scan and Env disagree")
+		}
+		streamed = append(streamed, tn)
+	}
+	if err := rows.Err(); err != nil {
+		t.Fatal(err)
+	}
+	envs, err := db.QueryRows(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(envs) != len(streamed) {
+		t.Fatalf("QueryRows %d rows, streamed %d", len(envs), len(streamed))
+	}
+	for i, e := range envs {
+		if e.Trees["T"] != streamed[i] {
+			t.Errorf("row %d: QueryRows T=%d, streamed %d", i, e.Trees["T"], streamed[i])
+		}
+	}
+
+	// Label and path columns: Scan's positional slot reads must agree with
+	// Env's by-name lookups — this is the cross-check that keeps the
+	// statement layer's column order in sync with the planner's slots.
+	ls, err := db.Prepare(`select {%L: @P} from DB.@P X, X.%L Y where pathlen(@P) = 2`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cols := ls.Columns(); len(cols) != 4 || cols[0] != "X" || cols[1] != "Y" || cols[2] != "%L" || cols[3] != "@P" {
+		t.Fatalf("Columns = %v", cols)
+	}
+	lrows, err := ls.Query(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lrows.Close()
+	seen := 0
+	for lrows.Next() {
+		var x, y ssd.NodeID
+		var l ssd.Label
+		var p []ssd.Label
+		if err := lrows.Scan(&x, &y, &l, &p); err != nil {
+			t.Fatal(err)
+		}
+		env := lrows.Env()
+		if env.Trees["X"] != x || env.Trees["Y"] != y ||
+			!env.Labels["L"].Equal(l) || len(env.Paths["P"]) != len(p) {
+			t.Fatal("Scan and Env disagree on label/path columns")
+		}
+		seen++
+	}
+	if seen == 0 {
+		t.Fatal("label/path query yielded no rows")
+	}
+}
+
+// TestStmtPath: path statements stream nodes and support parameters.
+func TestStmtPath(t *testing.T) {
+	db := fig1DB(t)
+	s, err := db.Prepare(`path: Entry.$kind.Title`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Lang() != LangPath {
+		t.Fatalf("lang = %s", s.Lang())
+	}
+	drain := func(args ...Param) []ssd.NodeID {
+		rows, err := s.Query(context.Background(), args...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer rows.Close()
+		var out []ssd.NodeID
+		for rows.Next() {
+			var n ssd.NodeID
+			if err := rows.Scan(&n); err != nil {
+				t.Fatal(err)
+			}
+			out = append(out, n)
+		}
+		return out
+	}
+	movies := drain(P("kind", ssd.Sym("Movie")))
+	want, err := db.PathQuery("Entry.Movie.Title")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(movies) != len(want) {
+		t.Fatalf("param path %d nodes, literal %d", len(movies), len(want))
+	}
+	if shows := drain(P("kind", ssd.Sym("TV-Show"))); len(shows) != 1 {
+		t.Fatalf("TV-Show titles = %d, want 1", len(shows))
+	}
+	// Path statements have no graph result.
+	if _, err := s.Exec(context.Background(), P("kind", ssd.Sym("Movie"))); err == nil {
+		t.Error("Exec on path statement should error")
+	}
+	// The legacy entry points cannot bind parameters, so they must reject
+	// them rather than compile a match-nothing predicate.
+	if _, err := db.PathQueryIndexed("Entry.$kind.Title"); err == nil {
+		t.Error("PathQueryIndexed with $param should error")
+	}
+	if _, err := db.PathQuery("Entry.$kind.Title"); err == nil {
+		t.Error("PathQuery with $param should error")
+	}
+}
+
+// TestStmtDatalog: datalog statements stream the materialized tuples.
+func TestStmtDatalog(t *testing.T) {
+	db := fig1DB(t)
+	const prog = `reach(X) :- root(X). reach(Y) :- reach(X), edge(X, _, Y).`
+	s, err := db.Prepare("datalog: " + prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := s.Query(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rows.Close()
+	n := 0
+	for rows.Next() {
+		var rel, tup string
+		if err := rows.Scan(&rel, &tup); err != nil {
+			t.Fatal(err)
+		}
+		if rel != "reach" {
+			t.Fatalf("rel = %q", rel)
+		}
+		n++
+	}
+	rels, err := db.Datalog(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := rels["reach"].Len(); n != want {
+		t.Fatalf("streamed %d tuples, engine has %d", n, want)
+	}
+}
+
+// TestStmtTransform: the unql mini-language restructures like the legacy
+// Transform family, including a parameterized target label.
+func TestStmtTransform(t *testing.T) {
+	db := fig1DB(t)
+	s, err := db.Prepare(`unql: relabel Title to $new`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Exec(context.Background(), P("new", ssd.Sym("TITLE")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := db.RelabelWhere(pathexpr.ExactPred{L: ssd.Sym("Title")}, ssd.Sym("TITLE"))
+	if !got.Equal(want) {
+		t.Fatal("transform statement differs from RelabelWhere")
+	}
+	if _, err := s.Query(context.Background(), P("new", ssd.Sym("TITLE"))); err == nil {
+		t.Error("Query on transform statement should error")
+	}
+
+	del, err := db.Prepare(`unql: delete References`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trimmed, err := del.Exec(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if refs, _ := trimmed.PathQuery("_*.References"); len(refs) != 0 {
+		t.Fatalf("References survived delete: %d", len(refs))
+	}
+
+	// The deprecated Query wrapper must not silently execute a transform
+	// that its caller meant as (mistyped) query text.
+	if _, err := db.Query("delete Title"); err == nil {
+		t.Error("db.Query on transform text should error")
+	}
+}
+
+// TestPlanCacheInvalidation: a commit swaps the snapshot; the statement
+// re-plans lazily and sees the new data, while a cursor opened before the
+// commit keeps reading its own snapshot — a stale plan never touches a
+// new graph version.
+func TestPlanCacheInvalidation(t *testing.T) {
+	db := fig1DB(t)
+	const titles = `select T from DB.Entry.Movie.Title T`
+	s, err := db.Prepare(titles)
+	if err != nil {
+		t.Fatal(err)
+	}
+	countRows := func(rows *Rows) int {
+		defer rows.Close()
+		n := 0
+		for rows.Next() {
+			n++
+		}
+		return n
+	}
+	before, err := s.Query(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := countRows(before); got != 2 {
+		t.Fatalf("before commit: %d rows, want 2", got)
+	}
+
+	// Open a cursor, THEN commit, then drain: the cursor's snapshot is
+	// pinned, so it still sees the old state.
+	pinned, err := s.Query(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := db.Graph()
+	entry := g.LookupFirst(g.Root(), ssd.Sym("Entry"))
+	movie := g.LookupFirst(entry, ssd.Sym("Movie"))
+	b := db.Begin()
+	titleNode := b.AddNode()
+	leaf := b.AddNode()
+	if err := b.AddEdge(movie, ssd.Sym("Title"), titleNode); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AddEdge(titleNode, ssd.Str("Play It Again"), leaf); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Apply(b); err != nil {
+		t.Fatal(err)
+	}
+	if got := countRows(pinned); got != 2 {
+		t.Fatalf("pinned cursor after commit: %d rows, want 2 (old snapshot)", got)
+	}
+
+	// A fresh execution re-plans against the new snapshot.
+	after, err := s.Query(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := countRows(after); got != 3 {
+		t.Fatalf("after commit: %d rows, want 3", got)
+	}
+}
+
+// TestStmtCancellation: a context cancelled mid-iteration stops the Rows
+// cursor promptly and surfaces context.Canceled.
+func TestStmtCancellation(t *testing.T) {
+	db := FromGraph(workload.Movies(workload.DefaultMovieConfig(2000)))
+	s, err := db.Prepare(`select X from DB._* X`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	rows, err := s.Query(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rows.Close()
+	if !rows.Next() {
+		t.Fatal("no first row")
+	}
+	cancel()
+	extra := 0
+	for rows.Next() {
+		extra++
+	}
+	if rows.Err() != context.Canceled {
+		t.Fatalf("Err = %v, want context.Canceled", rows.Err())
+	}
+	if extra > 100 {
+		t.Fatalf("cursor produced %d rows after cancellation", extra)
+	}
+
+	// Path statements cancel the same way.
+	ps, err := db.Prepare(`path: _*`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pctx, pcancel := context.WithCancel(context.Background())
+	prows, err := ps.Query(pctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer prows.Close()
+	if !prows.Next() {
+		t.Fatal("no first path row")
+	}
+	pcancel()
+	for prows.Next() {
+	}
+	if prows.Err() != context.Canceled {
+		t.Fatalf("path Err = %v, want context.Canceled", prows.Err())
+	}
+}
+
+// TestConcurrentStmtQueryDuringCommits is the -race test: many goroutines
+// execute one shared prepared statement while a writer commits batches.
+// Every execution must see a consistent snapshot (2 + commits-so-far
+// titles) and never race on plan state.
+func TestConcurrentStmtQueryDuringCommits(t *testing.T) {
+	db := fig1DB(t)
+	s, err := db.Prepare(`select T from DB.Entry.Movie.Title T`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const (
+		readers = 8
+		rounds  = 20
+		commits = 15
+	)
+	var wg sync.WaitGroup
+	errs := make(chan error, readers*rounds+1)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < commits; i++ {
+			g := db.Graph()
+			entry := g.LookupFirst(g.Root(), ssd.Sym("Entry"))
+			movie := g.LookupFirst(entry, ssd.Sym("Movie"))
+			b := db.Begin()
+			titleNode := b.AddNode()
+			leaf := b.AddNode()
+			if err := b.AddEdge(movie, ssd.Sym("Title"), titleNode); err != nil {
+				errs <- err
+				return
+			}
+			if err := b.AddEdge(titleNode, ssd.Str(fmt.Sprintf("Sequel %d", i)), leaf); err != nil {
+				errs <- err
+				return
+			}
+			if err := db.Apply(b); err != nil {
+				errs <- err
+				return
+			}
+		}
+	}()
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				rows, err := s.Query(context.Background())
+				if err != nil {
+					errs <- err
+					return
+				}
+				n := 0
+				for rows.Next() {
+					n++
+				}
+				rows.Close()
+				if n < 2 || n > 2+commits {
+					errs <- fmt.Errorf("inconsistent row count %d", n)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}

@@ -231,6 +231,15 @@ type CmpPred struct {
 func (p CmpPred) Match(l ssd.Label) bool { return p.Op.Apply(l, p.Rhs) }
 func (p CmpPred) String() string         { return p.Op.String() + " " + p.Rhs.String() }
 
+// ParamPred is a named query parameter in atom position; written `$name`.
+// It is a placeholder: evaluating an automaton that still contains one
+// matches nothing. BindParams substitutes actual label values before
+// compilation — the statement layer calls it once per execution.
+type ParamPred struct{ Name string }
+
+func (p ParamPred) Match(ssd.Label) bool { return false }
+func (p ParamPred) String() string       { return "$" + p.Name }
+
 // NotPred negates a predicate; written `!p`.
 type NotPred struct{ Sub Pred }
 
@@ -243,6 +252,141 @@ type AndPred struct{ A, B Pred }
 
 func (p AndPred) Match(l ssd.Label) bool { return p.A.Match(l) && p.B.Match(l) }
 func (p AndPred) String() string         { return "(" + p.A.String() + " & " + p.B.String() + ")" }
+
+// ---------------------------------------------------------------------------
+// Parameters
+
+// Params returns the names of the $parameters occurring in e, in first-
+// occurrence order (depth-first, left to right).
+func Params(e Expr) []string {
+	var names []string
+	seen := map[string]bool{}
+	var walkPred func(Pred)
+	walkPred = func(p Pred) {
+		switch t := p.(type) {
+		case ParamPred:
+			if !seen[t.Name] {
+				seen[t.Name] = true
+				names = append(names, t.Name)
+			}
+		case NotPred:
+			walkPred(t.Sub)
+		case AndPred:
+			walkPred(t.A)
+			walkPred(t.B)
+		}
+	}
+	var walk func(Expr)
+	walk = func(e Expr) {
+		switch t := e.(type) {
+		case Atom:
+			walkPred(t.Pred)
+		case Seq:
+			for _, p := range t.Parts {
+				walk(p)
+			}
+		case Alt:
+			for _, a := range t.Alts {
+				walk(a)
+			}
+		case Star:
+			walk(t.Sub)
+		case Plus:
+			walk(t.Sub)
+		case Opt:
+			walk(t.Sub)
+		}
+	}
+	walk(e)
+	return names
+}
+
+// BindParams returns a copy of e with every $parameter replaced by an
+// exact-label atom for its value. Unbound parameters are an error; unused
+// values are ignored (the caller validates arity against Params).
+func BindParams(e Expr, vals map[string]ssd.Label) (Expr, error) {
+	var bindPred func(Pred) (Pred, error)
+	bindPred = func(p Pred) (Pred, error) {
+		switch t := p.(type) {
+		case ParamPred:
+			v, ok := vals[t.Name]
+			if !ok {
+				return nil, fmt.Errorf("pathexpr: parameter $%s not bound", t.Name)
+			}
+			return ExactPred{v}, nil
+		case NotPred:
+			sub, err := bindPred(t.Sub)
+			if err != nil {
+				return nil, err
+			}
+			return NotPred{sub}, nil
+		case AndPred:
+			a, err := bindPred(t.A)
+			if err != nil {
+				return nil, err
+			}
+			b, err := bindPred(t.B)
+			if err != nil {
+				return nil, err
+			}
+			return AndPred{a, b}, nil
+		default:
+			return p, nil
+		}
+	}
+	var bind func(Expr) (Expr, error)
+	bind = func(e Expr) (Expr, error) {
+		switch t := e.(type) {
+		case Atom:
+			pr, err := bindPred(t.Pred)
+			if err != nil {
+				return nil, err
+			}
+			return Atom{pr}, nil
+		case Seq:
+			parts := make([]Expr, len(t.Parts))
+			for i, p := range t.Parts {
+				np, err := bind(p)
+				if err != nil {
+					return nil, err
+				}
+				parts[i] = np
+			}
+			return Seq{parts}, nil
+		case Alt:
+			alts := make([]Expr, len(t.Alts))
+			for i, a := range t.Alts {
+				na, err := bind(a)
+				if err != nil {
+					return nil, err
+				}
+				alts[i] = na
+			}
+			return Alt{alts}, nil
+		case Star:
+			sub, err := bind(t.Sub)
+			if err != nil {
+				return nil, err
+			}
+			return Star{sub}, nil
+		case Plus:
+			sub, err := bind(t.Sub)
+			if err != nil {
+				return nil, err
+			}
+			return Plus{sub}, nil
+		case Opt:
+			sub, err := bind(t.Sub)
+			if err != nil {
+				return nil, err
+			}
+			return Opt{sub}, nil
+		default:
+			return e, nil
+		}
+	}
+	return bind(e)
+}
 
 // ---------------------------------------------------------------------------
 // Convenience constructors

@@ -1,6 +1,10 @@
 package pathexpr
 
-import "repro/internal/ssd"
+import (
+	"context"
+
+	"repro/internal/ssd"
+)
 
 // Traversal is a resumable, pull-based product-graph traversal: the iterator
 // form of Automaton.Eval. It explores (node, lazy-DFA state) pairs and yields
@@ -24,6 +28,42 @@ type Traversal struct {
 	visited [][]uint32
 	emitted []uint32 // generation stamps for already-yielded result nodes
 	gen     uint32
+
+	// Cancellation: when ctx is non-nil, Next polls it (strided, so the
+	// common case stays one atomic-free comparison) and stops the run by
+	// reporting exhaustion. err distinguishes "cancelled" from "done".
+	ctx    context.Context
+	ctxErr error
+	polls  uint32
+}
+
+// SetContext attaches a cancellation context to the traversal. A cancelled
+// context makes Next return ok=false within one pull; Err then reports the
+// context's error. A nil context disables the checks (the default).
+func (t *Traversal) SetContext(ctx context.Context) { t.ctx = ctx }
+
+// Err returns the context error that stopped the traversal, if any. It is
+// reset by Reset.
+func (t *Traversal) Err() error { return t.ctxErr }
+
+// cancelled polls the context, one real check per 64 calls (ctx.Err takes a
+// lock; the stride keeps the pull loop's common case branch-only).
+func (t *Traversal) cancelled() bool {
+	if t.ctxErr != nil {
+		return true
+	}
+	if t.ctx == nil {
+		return false
+	}
+	t.polls++
+	if t.polls&63 != 1 {
+		return false
+	}
+	if err := t.ctx.Err(); err != nil {
+		t.ctxErr = err
+		return true
+	}
+	return false
 }
 
 // NewTraversal prepares a reusable traversal of g. Call Reset before the
@@ -51,6 +91,7 @@ func (t *Traversal) Reset(start ssd.NodeID) {
 	}
 	t.gen++
 	t.stack = t.stack[:0]
+	t.ctxErr = nil
 	d0 := t.au.dstateOf(t.au.closure[t.au.start])
 	t.push(start, d0)
 }
@@ -71,9 +112,24 @@ func (t *Traversal) push(n ssd.NodeID, d int) bool {
 }
 
 // Next yields the next accepting node, or ok=false when the product graph is
-// exhausted. Each node is yielded at most once per Reset.
+// exhausted or the attached context is cancelled. Each node is yielded at
+// most once per Reset. Cancellation is checked once per pull and strided
+// inside the expansion loop, so a cancelled context stops the traversal
+// within one Next call.
 func (t *Traversal) Next() (ssd.NodeID, bool) {
+	if t.ctx != nil {
+		if t.ctxErr != nil {
+			return ssd.InvalidNode, false
+		}
+		if err := t.ctx.Err(); err != nil {
+			t.ctxErr = err
+			return ssd.InvalidNode, false
+		}
+	}
 	for len(t.stack) > 0 {
+		if t.cancelled() {
+			return ssd.InvalidNode, false
+		}
 		it := t.stack[len(t.stack)-1]
 		t.stack = t.stack[:len(t.stack)-1]
 		for _, e := range t.g.Out(it.node) {

@@ -1,0 +1,117 @@
+package pathexpr
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"repro/internal/ssd"
+)
+
+// bigChain builds {a: {a: ... {v: 1} ...}} of the given depth — enough
+// product states that a traversal cannot finish in one pull.
+func bigChain(t *testing.T, depth int) *ssd.Graph {
+	t.Helper()
+	var b strings.Builder
+	for i := 0; i < depth; i++ {
+		b.WriteString("{a: ")
+	}
+	b.WriteString(`{v: 1}`)
+	for i := 0; i < depth; i++ {
+		b.WriteString("}")
+	}
+	g, err := ssd.Parse(b.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// TestTraversalCancellation: a cancelled context stops the traversal
+// within one pull — the very next Next returns ok=false and Err reports
+// the cancellation.
+func TestTraversalCancellation(t *testing.T) {
+	g := bigChain(t, 500)
+	au := MustCompile("_*")
+	ctx, cancel := context.WithCancel(context.Background())
+	tr := au.NewTraversal(g)
+	tr.SetContext(ctx)
+	tr.Reset(g.Root())
+
+	if _, ok := tr.Next(); !ok {
+		t.Fatal("first pull yielded nothing")
+	}
+	cancel()
+	if n, ok := tr.Next(); ok {
+		t.Fatalf("Next after cancel yielded node %d", n)
+	}
+	if tr.Err() != context.Canceled {
+		t.Fatalf("Err = %v, want context.Canceled", tr.Err())
+	}
+
+	// Reset clears the sticky error and the traversal is reusable with a
+	// fresh context.
+	tr.SetContext(context.Background())
+	tr.Reset(g.Root())
+	count := 0
+	for {
+		if _, ok := tr.Next(); !ok {
+			break
+		}
+		count++
+	}
+	if tr.Err() != nil {
+		t.Fatalf("Err after clean run = %v", tr.Err())
+	}
+	if count != 503 { // root + 500 chain nodes + v-holder + data leaf
+		t.Fatalf("clean run yielded %d nodes, want 503", count)
+	}
+}
+
+// TestTraversalNilContext: the default (no context) traversal is
+// unaffected by the cancellation plumbing.
+func TestTraversalNilContext(t *testing.T) {
+	g := bigChain(t, 10)
+	au := MustCompile("_*")
+	tr := au.NewTraversal(g)
+	tr.Reset(g.Root())
+	count := 0
+	for {
+		if _, ok := tr.Next(); !ok {
+			break
+		}
+		count++
+	}
+	if count != 13 {
+		t.Fatalf("yielded %d nodes, want 13", count)
+	}
+}
+
+// TestPathParams: $parameters parse, list, and bind.
+func TestPathParams(t *testing.T) {
+	e, err := Parse("Entry.$kind.Title")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := Params(e); len(got) != 1 || got[0] != "kind" {
+		t.Fatalf("Params = %v", got)
+	}
+	if _, err := BindParams(e, nil); err == nil {
+		t.Fatal("BindParams with missing value should error")
+	}
+	bound, err := BindParams(e, map[string]ssd.Label{"kind": ssd.Sym("Movie")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bound.String() != "Entry.Movie.Title" {
+		t.Fatalf("bound = %s", bound)
+	}
+	// An unbound ParamPred matches nothing.
+	g := ssd.MustParse(`{Entry: {Movie: {Title: "x"}}}`)
+	if hits := Compile(e).Eval(g, g.Root()); len(hits) != 0 {
+		t.Fatalf("unbound param matched %d nodes", len(hits))
+	}
+	if hits := Compile(bound).Eval(g, g.Root()); len(hits) != 1 {
+		t.Fatalf("bound param matched %d nodes, want 1", len(hits))
+	}
+}

@@ -16,7 +16,7 @@ import (
 //	seq     := postfix ('.' postfix)*
 //	postfix := primary ('*' | '+' | '?')*
 //	primary := '(' alt ')' | atom
-//	atom    := '_' | '!' atom | cmp literal | 'like' string
+//	atom    := '_' | '$' ident | '!' atom | cmp literal | 'like' string
 //	         | 'isint' | 'isfloat' | 'isstring' | 'issymbol' | 'isbool'
 //	         | 'isoid' | 'isdata'
 //	         | ident | string | int | float | 'true' | 'false'
@@ -66,6 +66,7 @@ const (
 	peString
 	peInt
 	peFloat
+	peParam // $ident; text carries the name
 	peError
 )
 
@@ -144,6 +145,14 @@ func (lx *peLexer) next() {
 		lx.tok = peRParen
 	case c == '"':
 		lx.lexString()
+	case c == '$':
+		lx.pos++
+		if lx.pos >= len(lx.src) || !isPeIdentStart(rune(lx.src[lx.pos])) {
+			lx.errorf("expected parameter name after $")
+			return
+		}
+		lx.lexIdent()
+		lx.tok = peParam
 	case c == '-' || c >= '0' && c <= '9':
 		lx.lexNumber()
 	case c == '_' && !followsIdent(lx.src, lx.pos):
@@ -366,6 +375,10 @@ func (p *peParser) parsePred() (Pred, error) {
 	case peUnder:
 		lx.next()
 		return AnyPred{}, nil
+	case peParam:
+		name := lx.text
+		lx.next()
+		return ParamPred{name}, nil
 	case peBang:
 		lx.next()
 		sub, err := p.parsePred()

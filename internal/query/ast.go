@@ -37,6 +37,12 @@ type Query struct {
 	Select Template
 	From   []Binding
 	Where  Cond // nil when absent
+
+	// Params lists the $parameter names occurring in the query, in first-
+	// occurrence order (from-paths before where). Populated by Parse; a
+	// query with parameters must be executed through a parameter-aware
+	// entry point (Plan.Cursor, Options.Params, or SubstParams).
+	Params []string
 }
 
 // Binding is one comma-separated element of the from clause: it walks Path
@@ -52,10 +58,12 @@ type Binding struct {
 // fragment or a label-variable binder.
 type PathStep interface{ isStep() }
 
-// RegexStep is a (possibly multi-edge) regular path fragment.
+// RegexStep is a (possibly multi-edge) regular path fragment. It carries
+// only the expression: every evaluation context (a plan, a naive
+// evaluator) compiles its own automaton, because automata hold mutable
+// lazy-DFA caches and sharing one across concurrent executions races.
 type RegexStep struct {
 	Expr pathexpr.Expr
-	au   *pathexpr.Automaton // compiled lazily
 }
 
 // LabelVarStep traverses exactly one edge and binds its label to Name.
@@ -67,18 +75,16 @@ type LabelVarStep struct{ Name string }
 // tree variables and possibly path variables"). Written `@P`.
 type PathVarStep struct{ Name string }
 
+// ParamStep traverses exactly one edge whose label equals the value bound
+// to the named $parameter at execution time. The planner resolves the name
+// to a reserved parameter slot, so re-executing a prepared plan with new
+// arguments involves no re-planning.
+type ParamStep struct{ Name string }
+
 func (*RegexStep) isStep()   {}
 func (LabelVarStep) isStep() {}
 func (PathVarStep) isStep()  {}
-
-// Automaton returns the compiled automaton for the fragment, compiling on
-// first use.
-func (s *RegexStep) Automaton() *pathexpr.Automaton {
-	if s.au == nil {
-		s.au = pathexpr.Compile(s.Expr)
-	}
-	return s.au
-}
+func (ParamStep) isStep()    {}
 
 // ---------------------------------------------------------------------------
 // Select templates
@@ -193,10 +199,15 @@ type LitTerm struct{ L ssd.Label }
 // pathlen(@P). It lets conditions constrain path depth.
 type PathLenTerm struct{ Name string }
 
+// ParamTerm is a named $parameter in term position; its value is supplied
+// at execution time.
+type ParamTerm struct{ Name string }
+
 func (VarTerm) isTerm()     {}
 func (LabelTerm) isTerm()   {}
 func (LitTerm) isTerm()     {}
 func (PathLenTerm) isTerm() {}
+func (ParamTerm) isTerm()   {}
 
 // ---------------------------------------------------------------------------
 // Printing (used in error messages and the CLI's explain output)
@@ -295,6 +306,8 @@ func writeSteps(b *strings.Builder, steps []PathStep) {
 			b.WriteString("%" + s.Name)
 		case PathVarStep:
 			b.WriteString("@" + s.Name)
+		case ParamStep:
+			b.WriteString("$" + s.Name)
 		}
 	}
 }
@@ -309,5 +322,7 @@ func writeTerm(b *strings.Builder, t Term) {
 		b.WriteString(tt.L.String())
 	case PathLenTerm:
 		b.WriteString("pathlen(@" + tt.Name + ")")
+	case ParamTerm:
+		b.WriteString("$" + tt.Name)
 	}
 }

@@ -1,0 +1,106 @@
+package query
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/ssd"
+)
+
+// Cursor is the exported streaming face of the iterator executor: the
+// run-many half of a prepared statement. It pulls binding rows directly
+// from the Volcano pipeline — nothing is materialized — and exposes them
+// through reusable-slot accessors, so the per-row cost is whatever the
+// join itself does, not map building.
+//
+// A Cursor (like the executor it wraps) mutates the plan's automaton DFA
+// caches and is therefore not safe for concurrent use; open one cursor per
+// goroutine (the statement layer pools plans to make that cheap).
+type Cursor struct {
+	ex *executor
+}
+
+// Cursor opens a streaming execution of the plan. params supplies a value
+// for every $parameter the plan declares (Params); missing or unknown
+// names are an error. ctx cancellation stops iteration within one pull:
+// Next returns false and Err reports the context error.
+func (p *Plan) Cursor(ctx context.Context, params map[string]ssd.Label) (*Cursor, error) {
+	var vals []ssd.Label
+	if len(p.paramName) > 0 {
+		vals = make([]ssd.Label, len(p.paramName))
+		for i, name := range p.paramName {
+			v, ok := params[name]
+			if !ok {
+				return nil, fmt.Errorf("query: parameter $%s not bound", name)
+			}
+			vals[i] = v
+		}
+	}
+	for name := range params {
+		if _, ok := p.paramSlot[name]; !ok {
+			return nil, fmt.Errorf("query: unknown parameter $%s", name)
+		}
+	}
+	return &Cursor{ex: p.exec(ctx, vals)}, nil
+}
+
+// Next advances to the next binding row, returning false when the space is
+// exhausted, a pre-condition fails, or the context is cancelled (check Err
+// to distinguish).
+func (c *Cursor) Next() bool { return c.ex.Next() }
+
+// Err returns the error that terminated iteration early (currently only
+// context cancellation), or nil after a clean exhaustion.
+func (c *Cursor) Err() error { return c.ex.ctxErr }
+
+// Env materializes the current row as a fresh Env. Prefer EnvInto or the
+// slot accessors on hot paths.
+func (c *Cursor) Env() Env { return c.ex.Env() }
+
+// EnvInto writes the current row into e, reusing its maps (allocating them
+// on first use). The filled Env is valid until the next Next call in the
+// sense that path-variable slices are shared with the engine and must be
+// treated as read-only.
+func (c *Cursor) EnvInto(e *Env) {
+	ex := c.ex
+	if e.Trees == nil {
+		e.Trees = make(map[string]ssd.NodeID, len(ex.p.treeName))
+	} else {
+		clear(e.Trees)
+	}
+	if e.Labels == nil {
+		e.Labels = make(map[string]ssd.Label, len(ex.p.labelName))
+	} else {
+		clear(e.Labels)
+	}
+	if e.Paths == nil {
+		e.Paths = make(map[string][]ssd.Label, len(ex.p.pathName))
+	} else {
+		clear(e.Paths)
+	}
+	for i, name := range ex.p.treeName {
+		e.Trees[name] = ex.regs.trees[i]
+	}
+	for i, name := range ex.p.labelName {
+		e.Labels[name] = ex.regs.labels[i]
+	}
+	for i, name := range ex.p.pathName {
+		e.Paths[name] = ex.regs.paths[i]
+	}
+}
+
+// Tree returns the node bound to tree-variable slot i. Tree slots follow
+// the from-clause binding order.
+func (c *Cursor) Tree(i int) ssd.NodeID { return c.ex.regs.trees[i] }
+
+// Label returns the label bound to label-variable slot i. Label slots
+// follow first-occurrence order over the from clause.
+func (c *Cursor) Label(i int) ssd.Label { return c.ex.regs.labels[i] }
+
+// Path returns the witness path bound to path-variable slot i (first-
+// occurrence order). The slice is shared with the engine; treat it as
+// read-only and copy it if it must outlive the current row.
+func (c *Cursor) Path(i int) []ssd.Label { return c.ex.regs.paths[i] }
+
+// Plan returns the plan this cursor executes.
+func (c *Cursor) Plan() *Plan { return c.ex.p }

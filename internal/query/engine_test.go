@@ -15,48 +15,62 @@ import (
 // exercises, under every combination of planner inputs.
 
 type engineCase struct {
-	name  string
-	graph string // ssd text, or "" for the Figure 1 fixture
-	query string
+	name   string
+	graph  string // ssd text, or "" for the Figure 1 fixture
+	query  string
+	params map[string]ssd.Label // $parameter values, nil when none
 }
 
 // engineCases mirrors every evaluable query in query_test.go and
 // pathvar_test.go, plus a few planner-specific shapes (index-seek,
 // backward-chain, guide-able atoms).
 var engineCases = []engineCase{
-	{"titles", "", `select T from DB.Entry.Movie.Title T`},
-	{"template", "", `select {Movie: {Title: T}} from DB.Entry.Movie.Title T`},
-	{"allen", "", `select {Title: T} from DB.Entry.Movie M, M.Title T, M.Cast._* A where A = "Allen"`},
-	{"big-ints", "", `select {Big: X} from DB._*.isint X where X > 65536 or not X = X`},
-	{"big-labels", "", `select {Big: %N} from DB._* X, X.%N Y where isint(%N) and %N > 65536`},
-	{"label-join", `{a: {x: 1}, b: {x: 2}, c: {y: 3}}`, `select {Shared: %L} from DB.a A, A.%L V, DB.b B, B.%L W`},
-	{"label-as-edge", "", `select {%L} from DB.Entry.Movie M, M.%L X`},
-	{"like", "", `select {%L} from DB._* X, X.%L Y where %L like "Cast%"`},
-	{"exists", "", `select {Title: T} from DB.Entry.Movie M, M.Title T where exists M.References`},
-	{"not-exists", "", `select {Title: T} from DB.Entry.Movie M, M.Title T where not exists M.References`},
-	{"exists-deep", "", `select {Title: T} from DB.Entry.Movie M, M.Title T where exists M.Cast._*."Allen"`},
-	{"two-casts", "", `select {Actor: A} from DB.Entry.Movie M, M.Cast.(isint|Credit.Actors)? A`},
-	{"two-casts-names", "", `select {Name: %N} from DB.Entry.Movie M, M.Cast.(isint)?.(Credit.Actors)? A, A.%N L where isstring(%N)`},
-	{"cross-ref", "", `select {RefTitle: T} from DB.Entry.Movie M, M.References.Movie.Title T`},
-	{"union-set", `{a: {v: 1}, b: {v: 1}}`, `select {Out: X} from DB.(a|b) X`},
-	{"cyclic", `#r{next: #r, tag: "loop"}`, `select X from DB.next X`},
-	{"empty", "", `select T from DB.Entry.Movie.Nonexistent T`},
-	{"typetest-tree", `{a: {v: 1}, b: {v: "s"}}`, `select {IntHolder: %L} from DB.%L X, X.v V where isint(V)`},
-	{"shared-node", `{a: #x{v: 1}, b: #x}`, `select X from DB._ X`},
-	{"pathvar", "", `select @P from DB.@P X where X = "Casablanca"`},
-	{"pathvar-struct", "", `select {Found: {At: @P}} from DB.@P X where X = "Allen"`},
-	{"pathlen", "", `select X from DB.@P X where pathlen(@P) = 2`},
-	{"pathvar-cycle", `#r{a: {b: #r, v: 1}}`, `select @P from DB.@P X where X = 1`},
-	{"seek-shape", "", `select X from DB._*.Title X`},
-	{"chain", "", `select X from DB.Entry.Movie.Title X`},
-	{"wildcard-all", "", `select X from DB._* X`},
-	{"or-cond", "", `select T from DB.Entry.Movie M, M.Title T where T = "Casablanca" or exists M.References`},
-	{"label-var-rebind", "", `select {%L: {%K}} from DB.Entry.%L M, M.%K X`},
+	{"titles", "", `select T from DB.Entry.Movie.Title T`, nil},
+	{"template", "", `select {Movie: {Title: T}} from DB.Entry.Movie.Title T`, nil},
+	{"allen", "", `select {Title: T} from DB.Entry.Movie M, M.Title T, M.Cast._* A where A = "Allen"`, nil},
+	{"big-ints", "", `select {Big: X} from DB._*.isint X where X > 65536 or not X = X`, nil},
+	{"big-labels", "", `select {Big: %N} from DB._* X, X.%N Y where isint(%N) and %N > 65536`, nil},
+	{"label-join", `{a: {x: 1}, b: {x: 2}, c: {y: 3}}`, `select {Shared: %L} from DB.a A, A.%L V, DB.b B, B.%L W`, nil},
+	{"label-as-edge", "", `select {%L} from DB.Entry.Movie M, M.%L X`, nil},
+	{"like", "", `select {%L} from DB._* X, X.%L Y where %L like "Cast%"`, nil},
+	{"exists", "", `select {Title: T} from DB.Entry.Movie M, M.Title T where exists M.References`, nil},
+	{"not-exists", "", `select {Title: T} from DB.Entry.Movie M, M.Title T where not exists M.References`, nil},
+	{"exists-deep", "", `select {Title: T} from DB.Entry.Movie M, M.Title T where exists M.Cast._*."Allen"`, nil},
+	{"two-casts", "", `select {Actor: A} from DB.Entry.Movie M, M.Cast.(isint|Credit.Actors)? A`, nil},
+	{"two-casts-names", "", `select {Name: %N} from DB.Entry.Movie M, M.Cast.(isint)?.(Credit.Actors)? A, A.%N L where isstring(%N)`, nil},
+	{"cross-ref", "", `select {RefTitle: T} from DB.Entry.Movie M, M.References.Movie.Title T`, nil},
+	{"union-set", `{a: {v: 1}, b: {v: 1}}`, `select {Out: X} from DB.(a|b) X`, nil},
+	{"cyclic", `#r{next: #r, tag: "loop"}`, `select X from DB.next X`, nil},
+	{"empty", "", `select T from DB.Entry.Movie.Nonexistent T`, nil},
+	{"typetest-tree", `{a: {v: 1}, b: {v: "s"}}`, `select {IntHolder: %L} from DB.%L X, X.v V where isint(V)`, nil},
+	{"shared-node", `{a: #x{v: 1}, b: #x}`, `select X from DB._ X`, nil},
+	{"pathvar", "", `select @P from DB.@P X where X = "Casablanca"`, nil},
+	{"pathvar-struct", "", `select {Found: {At: @P}} from DB.@P X where X = "Allen"`, nil},
+	{"pathlen", "", `select X from DB.@P X where pathlen(@P) = 2`, nil},
+	{"pathvar-cycle", `#r{a: {b: #r, v: 1}}`, `select @P from DB.@P X where X = 1`, nil},
+	{"seek-shape", "", `select X from DB._*.Title X`, nil},
+	{"chain", "", `select X from DB.Entry.Movie.Title X`, nil},
+	{"wildcard-all", "", `select X from DB._* X`, nil},
+	{"or-cond", "", `select T from DB.Entry.Movie M, M.Title T where T = "Casablanca" or exists M.References`, nil},
+	{"label-var-rebind", "", `select {%L: {%K}} from DB.Entry.%L M, M.%K X`, nil},
 	// Repeated label variables inside an exists-path must join on equality
 	// even when the variable is not bound in the from clause: only b has a
 	// repeated label along a 2-step path.
-	{"exists-labelvar-join", `{a: {p: {q: 1}}, b: {r: {r: 2}}}`, `select X from DB._ X where exists X.%L.%L`},
-	{"exists-labelvar-filter", "", `select {%L} from DB.Entry.%L M where exists M.Title`},
+	{"exists-labelvar-join", `{a: {p: {q: 1}}, b: {r: {r: 2}}}`, `select X from DB._ X where exists X.%L.%L`, nil},
+	{"exists-labelvar-filter", "", `select {%L} from DB.Entry.%L M where exists M.Title`, nil},
+	// Parameterized statements: the planned engine binds $values into plan
+	// slots, the naive engine substitutes them into the AST — both must
+	// agree byte-for-byte, like every other case.
+	{"param-where", "", `select {Title: T} from DB.Entry.Movie M, M.Title T, M.Cast._* A where A = $who`,
+		map[string]ssd.Label{"who": ssd.Str("Allen")}},
+	{"param-step", "", `select X from DB.Entry.$kind.Title X`,
+		map[string]ssd.Label{"kind": ssd.Sym("Movie")}},
+	{"param-step-source", "", `select {%L} from DB.Entry.$kind M, M.%L X`,
+		map[string]ssd.Label{"kind": ssd.Sym("TV-Show")}},
+	{"param-exists", "", `select {Title: T} from DB.Entry.Movie M, M.Title T where exists M.$attr`,
+		map[string]ssd.Label{"attr": ssd.Sym("References")}},
+	{"param-both", "", `select T from DB.Entry.$kind M, M.Title T where T != $skip`,
+		map[string]ssd.Label{"kind": ssd.Sym("Movie"), "skip": ssd.Str("Casablanca")}},
 }
 
 func caseGraph(t *testing.T, c engineCase) *ssd.Graph {
@@ -72,7 +86,7 @@ func TestEnginesAgree(t *testing.T) {
 		t.Run(c.name, func(t *testing.T) {
 			g := caseGraph(t, c)
 			q := MustParse(c.query)
-			want, err := EvalNaive(q, g)
+			want, err := EvalOpts(q, g, Options{Minimize: true, Engine: EngineNaive, Params: c.params})
 			if err != nil {
 				t.Fatalf("naive: %v", err)
 			}
@@ -85,7 +99,7 @@ func TestEnginesAgree(t *testing.T) {
 				"index+guide": {Label: ix, Guide: guide},
 			}
 			for vn, po := range variants {
-				got, err := EvalOpts(q, g, Options{Minimize: true, Engine: EnginePlanned, Plan: po})
+				got, err := EvalOpts(q, g, Options{Minimize: true, Engine: EnginePlanned, Plan: po, Params: c.params})
 				if err != nil {
 					t.Fatalf("planned/%s: %v", vn, err)
 				}

@@ -1,6 +1,7 @@
 package query
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -67,6 +68,10 @@ type Options struct {
 	// Plan supplies optional index/dataguide structures to the planner.
 	// Ignored by the naive engine.
 	Plan PlanOptions
+	// Params binds values to the query's $parameters. The planned engine
+	// resolves them to reserved plan slots; the naive engine substitutes
+	// them into the AST before evaluation — both see identical semantics.
+	Params map[string]ssd.Label
 }
 
 // Eval evaluates the query over g and returns the result tree (a fresh
@@ -87,6 +92,12 @@ func EvalNaive(q *Query, g *ssd.Graph) (*ssd.Graph, error) {
 // EvalOpts evaluates with explicit options.
 func EvalOpts(q *Query, g *ssd.Graph, opts Options) (*ssd.Graph, error) {
 	if opts.Engine == EngineNaive {
+		if len(q.Params) > 0 {
+			var err error
+			if q, err = q.SubstParams(opts.Params); err != nil {
+				return nil, err
+			}
+		}
 		rows, err := EvalRows(q, g, opts.MaxRows)
 		if err != nil {
 			return nil, err
@@ -111,12 +122,24 @@ func EvalOpts(q *Query, g *ssd.Graph, opts Options) (*ssd.Graph, error) {
 // for every surviving row. The plan can be reused across calls (compile
 // once, run many).
 func (p *Plan) EvalGraph(opts Options) (*ssd.Graph, error) {
-	ex := p.Exec()
+	return p.EvalGraphCtx(nil, opts)
+}
+
+// EvalGraphCtx is EvalGraph with cancellation: a cancelled context aborts
+// the pull loop within one row and returns the context's error. Parameter
+// values come from opts.Params. A nil ctx disables the checks.
+func (p *Plan) EvalGraphCtx(ctx context.Context, opts Options) (*ssd.Graph, error) {
+	cur, err := p.Cursor(ctx, opts.Params)
+	if err != nil {
+		return nil, err
+	}
 	res := ssd.New()
 	graftCache := map[ssd.NodeID]ssd.NodeID{}
 	rows := 0
-	for ex.Next() {
-		if err := instantiate(res, res.Root(), p.q.Select, ex.Env(), p.g, graftCache); err != nil {
+	var env Env
+	for cur.Next() {
+		cur.EnvInto(&env)
+		if err := instantiate(res, res.Root(), p.q.Select, env, p.g, graftCache); err != nil {
 			return nil, err
 		}
 		rows++
@@ -124,16 +147,23 @@ func (p *Plan) EvalGraph(opts Options) (*ssd.Graph, error) {
 			break
 		}
 	}
+	if err := cur.Err(); err != nil {
+		return nil, err
+	}
 	return finishResult(res, opts)
 }
 
 // Rows drives the executor and materializes the surviving binding tuples —
-// the planned counterpart of EvalRows, used by cross-check tests.
+// the planned counterpart of EvalRows, used by cross-check tests. Plans
+// with parameters yield no rows here; use Cursor with values instead.
 func (p *Plan) Rows(maxRows int) []Env {
-	ex := p.Exec()
+	cur, err := p.Cursor(nil, nil)
+	if err != nil {
+		return nil
+	}
 	var rows []Env
-	for ex.Next() {
-		rows = append(rows, ex.Env())
+	for cur.Next() {
+		rows = append(rows, cur.Env())
 		if maxRows > 0 && len(rows) >= maxRows {
 			break
 		}
@@ -154,8 +184,12 @@ func finishResult(res *ssd.Graph, opts Options) (*ssd.Graph, error) {
 
 // EvalRows evaluates the from/where clauses and returns the surviving
 // binding tuples. When maxRows > 0 the result is truncated at that many
-// tuples (no error).
+// tuples (no error). Queries with $parameters must be substituted first
+// (SubstParams); this evaluator has no binding mechanism of its own.
 func EvalRows(q *Query, g *ssd.Graph, maxRows int) ([]Env, error) {
+	if len(q.Params) > 0 {
+		return nil, fmt.Errorf("query: query has parameters ($%s); substitute them before naive evaluation", q.Params[0])
+	}
 	ev := &evaluator{g: g, q: q, maxRows: maxRows}
 	env := Env{Trees: map[string]ssd.NodeID{}, Labels: map[string]ssd.Label{}, Paths: map[string][]ssd.Label{}}
 	if err := ev.bind(0, env); err != nil && err != errRowCap {
@@ -169,6 +203,23 @@ type evaluator struct {
 	q       *Query
 	rows    []Env
 	maxRows int
+	// aus holds this evaluation's compiled automata, one per regex step.
+	// Compiling per evaluation (rather than using RegexStep's shared memo)
+	// keeps concurrent evaluations of one parsed query race-free: automata
+	// carry a mutable lazy-DFA cache.
+	aus map[*RegexStep]*pathexpr.Automaton
+}
+
+func (ev *evaluator) auOf(t *RegexStep) *pathexpr.Automaton {
+	au := ev.aus[t]
+	if au == nil {
+		if ev.aus == nil {
+			ev.aus = map[*RegexStep]*pathexpr.Automaton{}
+		}
+		au = pathexpr.Compile(t.Expr)
+		ev.aus[t] = au
+	}
+	return au
 }
 
 var errRowCap = fmt.Errorf("query: row cap exceeded")
@@ -192,7 +243,7 @@ func (ev *evaluator) bind(i int, env Env) error {
 	if b.Source != "DB" {
 		src = env.Trees[b.Source]
 	}
-	matches := walkSteps(ev.g, src, b.Path, env.Labels)
+	matches := ev.walkSteps(src, b.Path, env.Labels)
 	for _, m := range matches {
 		// Clone only what this match actually changes: the tree map always
 		// gains b.Var, but the label/path maps are shared when the match
@@ -240,7 +291,8 @@ type match struct {
 // walkSteps evaluates a step sequence from src, threading label-variable
 // bindings. Already-bound label variables act as filters (joins on labels),
 // so `DB.%L.x A, DB.%L.y B` requires the same first label on both paths.
-func walkSteps(g *ssd.Graph, src ssd.NodeID, steps []PathStep, bound map[string]ssd.Label) []match {
+func (ev *evaluator) walkSteps(src ssd.NodeID, steps []PathStep, bound map[string]ssd.Label) []match {
+	g := ev.g
 	cur := []match{{node: src, labels: map[string]ssd.Label{}, paths: map[string][]ssd.Label{}}}
 	for _, st := range steps {
 		var next []match
@@ -254,7 +306,7 @@ func walkSteps(g *ssd.Graph, src ssd.NodeID, steps []PathStep, bound map[string]
 		}
 		switch t := st.(type) {
 		case *RegexStep:
-			au := t.Automaton()
+			au := ev.auOf(t)
 			for _, m := range cur {
 				for _, to := range au.Eval(g, m.node) {
 					add(match{node: to, labels: m.labels, paths: m.paths})
@@ -395,7 +447,7 @@ func (ev *evaluator) cond(c Cond, env Env) (bool, error) {
 		if !ok {
 			return false, fmt.Errorf("query: exists source %q unbound at evaluation", t.Source)
 		}
-		return len(walkSteps(ev.g, src, t.Path, env.Labels)) > 0, nil
+		return len(ev.walkSteps(src, t.Path, env.Labels)) > 0, nil
 	default:
 		return false, fmt.Errorf("query: unknown condition %T", c)
 	}

@@ -1,6 +1,7 @@
 package query
 
 import (
+	"context"
 	"sort"
 
 	"repro/internal/pathexpr"
@@ -26,26 +27,38 @@ type regs struct {
 	paths  [][]ssd.Label
 }
 
-// executor evaluates a Plan. Obtain one with Plan.Exec; drive it with Next
-// and read bindings through Env or the slot accessors.
+// executor evaluates a Plan. Obtain one through Plan.Cursor; drive it with
+// Next and read bindings through Env or the slot accessors.
 type executor struct {
-	p    *Plan
-	g    *ssd.Graph
-	regs regs
+	p      *Plan
+	g      *ssd.Graph
+	regs   regs
+	params []ssd.Label // one value per plan parameter slot
 
 	atoms   []atomState
 	travs   []*pathexpr.Traversal // one per planStep id, lazily created
 	started bool
 	done    bool
+
+	// Cancellation: ctx is polled once per pull plus strided inside the
+	// join loop; on cancellation the executor reports exhaustion and
+	// records the error for Cursor.Err.
+	ctx    context.Context
+	ctxErr error
+	polls  uint32
 }
 
-// Exec prepares an executor for the plan. The executor is single-use per
-// result set but cheap to recreate: all heavy state (DFA caches, statistics)
-// lives in the Plan and its automata.
-func (p *Plan) Exec() *executor {
+// exec prepares an executor for the plan; Plan.Cursor is the public entry
+// (it validates parameter bindings first — stepParam and termParam index
+// the params slice unguarded). The executor is single-use per result set
+// but cheap to recreate: all heavy state (DFA caches, statistics) lives in
+// the Plan and its automata.
+func (p *Plan) exec(ctx context.Context, params []ssd.Label) *executor {
 	ex := &executor{
-		p: p,
-		g: p.g,
+		p:      p,
+		g:      p.g,
+		ctx:    ctx,
+		params: params,
 		regs: regs{
 			trees:  make([]ssd.NodeID, len(p.treeName)),
 			labels: make([]ssd.Label, len(p.labelName)+p.nExistsLocals),
@@ -64,15 +77,56 @@ func (ex *executor) trav(st *planStep) *pathexpr.Traversal {
 	t := ex.travs[st.id]
 	if t == nil {
 		t = st.au.NewTraversal(ex.g)
+		if ex.ctx != nil {
+			t.SetContext(ex.ctx)
+		}
 		ex.travs[st.id] = t
 	}
 	return t
 }
 
+// finish marks the executor exhausted and reports false. A cancelled
+// traversal presents as exhaustion to the join loop (its Next just stops
+// yielding), so this final poll is what keeps a cancellation-truncated run
+// from looking like clean completion: if the context was cancelled at any
+// point before the space "ran out", Err reports it and callers discard
+// the partial result.
+func (ex *executor) finish() bool {
+	ex.done = true
+	if ex.ctx != nil && ex.ctxErr == nil {
+		ex.ctxErr = ex.ctx.Err()
+	}
+	return false
+}
+
+// cancelled polls the context: callers at pull granularity pass force=true
+// (one real check per Next call); the inner join loop passes force=false
+// and pays one real check per 64 iterations.
+func (ex *executor) cancelled(force bool) bool {
+	if ex.ctxErr != nil {
+		return true
+	}
+	if ex.ctx == nil {
+		return false
+	}
+	if !force {
+		ex.polls++
+		if ex.polls&63 != 0 {
+			return false
+		}
+	}
+	if err := ex.ctx.Err(); err != nil {
+		ex.ctxErr = err
+		ex.done = true
+		return true
+	}
+	return false
+}
+
 // Next advances to the next binding row that satisfies every placed filter,
 // returning false when the space is exhausted. On true, regs holds the row.
 func (ex *executor) Next() bool {
-	if ex.done {
+	if ex.done || ex.cancelled(true) {
 		return false
 	}
 	n := len(ex.atoms)
@@ -81,13 +135,11 @@ func (ex *executor) Next() bool {
 		ex.started = true
 		for _, c := range ex.p.preConds {
 			if !c.eval(ex) {
-				ex.done = true
-				return false
+				return ex.finish()
 			}
 		}
 		if n == 0 {
-			ex.done = true
-			return false
+			return ex.finish()
 		}
 		i = 0
 		ex.openAtom(0)
@@ -95,6 +147,9 @@ func (ex *executor) Next() bool {
 		i = n - 1
 	}
 	for i >= 0 {
+		if ex.cancelled(false) {
+			return false
+		}
 		as := &ex.atoms[i]
 		dst, ok := as.next(ex)
 		if !ok {
@@ -111,8 +166,7 @@ func (ex *executor) Next() bool {
 		i++
 		ex.openAtom(i)
 	}
-	ex.done = true
-	return false
+	return ex.finish()
 }
 
 func (ex *executor) openAtom(i int) {
@@ -309,7 +363,7 @@ func (c *stepCursor) seed(ex *executor, src ssd.NodeID) {
 	switch c.st.kind {
 	case stepRegex:
 		ex.trav(c.st).Reset(src)
-	case stepLabelVar:
+	case stepLabelVar, stepParam:
 		c.edges = ex.g.Out(src)
 		c.ei = 0
 	case stepPathVar:
@@ -354,6 +408,17 @@ func (c *stepCursor) advance(ex *executor) bool {
 				} else {
 					ex.regs.labels[c.st.slot] = e.Label
 				}
+			}
+			c.node = e.To
+			return true
+		}
+		return false
+	case stepParam:
+		for c.ei < len(c.edges) {
+			e := c.edges[c.ei]
+			c.ei++
+			if !e.Label.Equal(ex.params[c.st.slot]) {
+				continue
 			}
 			c.node = e.To
 			return true
@@ -446,6 +511,16 @@ func (ex *executor) pathExists(src ssd.NodeID, steps []*planStep, i int) bool {
 				return true
 			}
 		}
+	case stepParam:
+		for _, e := range ex.g.Out(src) {
+			if !e.Label.Equal(ex.params[st.slot]) {
+				continue
+			}
+			if ex.pathExists(e.To, steps, i+1) {
+				return true
+			}
+		}
+		return false
 	default: // stepLabelVar (stepPathVar is rewritten to regex at compile)
 		for _, e := range ex.g.Out(src) {
 			if st.slot >= 0 {

@@ -24,6 +24,7 @@ const (
 	qDot
 	qPercent
 	qAt
+	qDollar
 	qPipe
 	qStar
 	qPlus
@@ -141,6 +142,9 @@ func (lx *qLexer) next() {
 	case c == '@':
 		lx.pos++
 		lx.tok = qAt
+	case c == '$':
+		lx.pos++
+		lx.tok = qDollar
 	case c == '|':
 		lx.pos++
 		lx.tok = qPipe

@@ -1,0 +1,72 @@
+package query
+
+import (
+	"fmt"
+
+	"repro/internal/pathexpr"
+	"repro/internal/ssd"
+)
+
+// SubstParams returns a copy of q with every $parameter replaced by its
+// literal value: ParamStep becomes an exact-label regex step, ParamTerm a
+// literal term. The result is parameter-free and can run on any engine —
+// this is how the naive evaluator executes prepared statements identically
+// to the planned engine (which binds parameters into plan slots instead).
+func (q *Query) SubstParams(vals map[string]ssd.Label) (*Query, error) {
+	for _, name := range q.Params {
+		if _, ok := vals[name]; !ok {
+			return nil, fmt.Errorf("query: parameter $%s not bound", name)
+		}
+	}
+	nq := &Query{Select: q.Select, Where: q.Where}
+	nq.From = make([]Binding, len(q.From))
+	for i, b := range q.From {
+		nb := b
+		nb.Path = substSteps(b.Path, vals)
+		nq.From[i] = nb
+	}
+	if q.Where != nil {
+		nq.Where = substCond(q.Where, vals)
+	}
+	return nq, nil
+}
+
+func substSteps(steps []PathStep, vals map[string]ssd.Label) []PathStep {
+	out := make([]PathStep, len(steps))
+	for i, st := range steps {
+		if ps, ok := st.(ParamStep); ok {
+			out[i] = &RegexStep{Expr: pathexpr.Label(vals[ps.Name])}
+			continue
+		}
+		out[i] = st
+	}
+	return out
+}
+
+func substCond(c Cond, vals map[string]ssd.Label) Cond {
+	switch t := c.(type) {
+	case And:
+		return And{substCond(t.L, vals), substCond(t.R, vals)}
+	case Or:
+		return Or{substCond(t.L, vals), substCond(t.R, vals)}
+	case Not:
+		return Not{substCond(t.Sub, vals)}
+	case Cmp:
+		return Cmp{Op: t.Op, L: substTerm(t.L, vals), R: substTerm(t.R, vals)}
+	case TypeTest:
+		return TypeTest{Pred: t.Pred, T: substTerm(t.T, vals)}
+	case LikeCond:
+		return LikeCond{T: substTerm(t.T, vals), Pattern: t.Pattern}
+	case Exists:
+		return Exists{Source: t.Source, Path: substSteps(t.Path, vals)}
+	default:
+		return c
+	}
+}
+
+func substTerm(t Term, vals map[string]ssd.Label) Term {
+	if pt, ok := t.(ParamTerm); ok {
+		return LitTerm{vals[pt.Name]}
+	}
+	return t
+}

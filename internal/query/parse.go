@@ -274,6 +274,15 @@ func (p *qParser) parsePathSteps() ([]PathStep, error) {
 			lx.next()
 			continue
 		}
+		if lx.tok == qDollar {
+			lx.next()
+			if lx.tok != qIdent {
+				return nil, fmt.Errorf("query: offset %d: expected parameter name after $", lx.pos)
+			}
+			steps = append(steps, ParamStep{lx.text})
+			lx.next()
+			continue
+		}
 		e, err := p.parsePathPostfix()
 		if err != nil {
 			return nil, err
@@ -625,6 +634,14 @@ func (p *qParser) parseTerm() (Term, error) {
 		name := lx.text
 		lx.next()
 		return LabelTerm{name}, nil
+	case qDollar:
+		lx.next()
+		if lx.tok != qIdent {
+			return nil, fmt.Errorf("query: offset %d: expected parameter name after $", lx.pos)
+		}
+		name := lx.text
+		lx.next()
+		return ParamTerm{name}, nil
 	case qIdent:
 		if qKeywords[lx.text] {
 			return nil, fmt.Errorf("query: offset %d: unexpected keyword %q in term", lx.pos, lx.text)
@@ -663,6 +680,13 @@ func resolve(q *Query) error {
 	treeVars := map[string]bool{}
 	labelVars := map[string]bool{}
 	pathVars := map[string]bool{}
+	seenParam := map[string]bool{}
+	addParam := func(name string) {
+		if !seenParam[name] {
+			seenParam[name] = true
+			q.Params = append(q.Params, name)
+		}
+	}
 	for i, b := range q.From {
 		if b.Source != "DB" && !treeVars[b.Source] {
 			return fmt.Errorf("query: binding %d: source %q is neither DB nor an earlier variable", i+1, b.Source)
@@ -676,6 +700,8 @@ func resolve(q *Query) error {
 				labelVars[t.Name] = true
 			case PathVarStep:
 				pathVars[t.Name] = true
+			case ParamStep:
+				addParam(t.Name)
 			}
 		}
 		treeVars[b.Var] = true
@@ -691,8 +717,42 @@ func resolve(q *Query) error {
 		if err != nil {
 			return err
 		}
+		collectCondParams(q.Where, addParam)
 	}
 	return nil
+}
+
+// collectCondParams registers $parameters appearing in where conditions
+// (terms and exists-paths), in syntactic order.
+func collectCondParams(c Cond, add func(string)) {
+	addTerm := func(t Term) {
+		if pt, ok := t.(ParamTerm); ok {
+			add(pt.Name)
+		}
+	}
+	switch t := c.(type) {
+	case And:
+		collectCondParams(t.L, add)
+		collectCondParams(t.R, add)
+	case Or:
+		collectCondParams(t.L, add)
+		collectCondParams(t.R, add)
+	case Not:
+		collectCondParams(t.Sub, add)
+	case Cmp:
+		addTerm(t.L)
+		addTerm(t.R)
+	case TypeTest:
+		addTerm(t.T)
+	case LikeCond:
+		addTerm(t.T)
+	case Exists:
+		for _, st := range t.Path {
+			if ps, ok := st.(ParamStep); ok {
+				add(ps.Name)
+			}
+		}
+	}
 }
 
 // scopes carries the variable sets of a query during resolution.

@@ -71,6 +71,7 @@ const (
 	stepRegex stepKind = iota
 	stepLabelVar
 	stepPathVar
+	stepParam // one edge whose label equals a $parameter's bound value
 )
 
 // planStep is one compiled path step. Steps carry a plan-unique id used by
@@ -114,9 +115,11 @@ type Plan struct {
 	treeSlot  map[string]int
 	labelSlot map[string]int
 	pathSlot  map[string]int
+	paramSlot map[string]int
 	treeName  []string
 	labelName []string
 	pathName  []string
+	paramName []string
 
 	preConds []cCond // variable-free conjuncts, checked once per execution
 	nSteps   int
@@ -147,6 +150,10 @@ func (p *Plan) Atoms() []AtomInfo {
 	return out
 }
 
+// Params returns the plan's parameter names in slot order. Executions must
+// supply a value for every name.
+func (p *Plan) Params() []string { return p.paramName }
+
 // ---------------------------------------------------------------------------
 // Planning
 
@@ -167,13 +174,25 @@ func NewPlan(q *Query, g *ssd.Graph, opts PlanOptions) (*Plan, error) {
 		treeSlot:  map[string]int{},
 		labelSlot: map[string]int{},
 		pathSlot:  map[string]int{},
+		paramSlot: map[string]int{},
 		opts:      opts,
 	}
 	pl := &planner{p: p}
 	pl.gatherStats()
 
+	// Parameters get reserved slots up front: executions bind values into a
+	// flat array positionally, so re-running a cached plan never re-resolves
+	// names.
+	for _, name := range q.Params {
+		p.paramSlot[name] = len(p.paramName)
+		p.paramName = append(p.paramName, name)
+	}
+
 	// Slot assignment: every variable named anywhere in the query gets a
-	// fixed slot up front, independent of atom order.
+	// fixed slot up front, independent of atom order. The order — tree
+	// slots in from-clause order, label/path slots by first occurrence —
+	// is a contract: Cursor's slot accessors expose it, and the statement
+	// layer (core/stmt.go) derives its result columns from the same walk.
 	for _, b := range q.From {
 		if _, dup := p.treeSlot[b.Var]; dup {
 			return nil, fmt.Errorf("query: duplicate variable %q", b.Var)
@@ -303,6 +322,10 @@ func (pl *planner) estimate(b Binding, boundLabels map[string]bool) float64 {
 			}
 		case PathVarStep:
 			cost *= pl.nodes
+		case ParamStep:
+			// An exact-label filter with the label unknown at plan time:
+			// assume it is selective, like a generic predicate atom.
+			cost *= pl.avgDeg() / 2
 		}
 		if cost > 1e18 {
 			return 1e18
@@ -375,7 +398,10 @@ func (pl *planner) compileAtom(b Binding, boundLabels map[string]bool, est float
 		if err != nil {
 			return nil, err
 		}
-		if ps.kind != stepRegex {
+		// Variable-binding steps make destinations non-dedupable (two rows
+		// can reach the same node with different bindings); a parameter step
+		// is a pure filter and keeps dedup legal.
+		if ps.kind == stepLabelVar || ps.kind == stepPathVar {
 			a.dedup = false
 		}
 		a.steps = append(a.steps, ps)
@@ -393,7 +419,11 @@ func (pl *planner) compileStep(st PathStep, localBound map[string]bool, labelSlo
 	switch t := st.(type) {
 	case *RegexStep:
 		ps.kind = stepRegex
-		ps.au = t.Automaton()
+		// Per-plan automaton: the statement layer hands each concurrent
+		// cursor its own pooled plan on the promise that plans own their
+		// automata (and their mutable lazy-DFA caches) exclusively, so a
+		// shared compiled form on the AST would race.
+		ps.au = pathexpr.Compile(t.Expr)
 	case LabelVarStep:
 		ps.kind = stepLabelVar
 		if slot, ok := labelSlot[t.Name]; ok {
@@ -401,6 +431,13 @@ func (pl *planner) compileStep(st PathStep, localBound map[string]bool, labelSlo
 			ps.filter = localBound[t.Name]
 			localBound[t.Name] = true
 		}
+	case ParamStep:
+		ps.kind = stepParam
+		slot, ok := pl.p.paramSlot[t.Name]
+		if !ok {
+			return nil, fmt.Errorf("query: parameter $%s not registered", t.Name)
+		}
+		ps.slot = slot
 	case PathVarStep:
 		if slot, ok := pathSlot[t.Name]; ok {
 			ps.kind = stepPathVar
@@ -701,6 +738,7 @@ const (
 	termTree
 	termLabel
 	termPathLen
+	termParam
 )
 
 // cTerm is a slot-resolved term. Its value set is enumerated without
@@ -721,6 +759,8 @@ func (t cTerm) each(ex *executor, f func(ssd.Label) bool) bool {
 		return f(ex.regs.labels[t.slot])
 	case termPathLen:
 		return f(ssd.Int(int64(len(ex.regs.paths[t.slot]))))
+	case termParam:
+		return f(ex.params[t.slot])
 	default: // termTree: the labels of the node's data edges
 		n := ex.regs.trees[t.slot]
 		for _, e := range ex.g.Out(n) {
@@ -882,6 +922,12 @@ func (pl *planner) compileTerm(t Term) (cTerm, error) {
 			return cTerm{}, fmt.Errorf("query: path variable @%s unbound", tt.Name)
 		}
 		return cTerm{kind: termPathLen, slot: slot}, nil
+	case ParamTerm:
+		slot, ok := pl.p.paramSlot[tt.Name]
+		if !ok {
+			return cTerm{}, fmt.Errorf("query: parameter $%s not registered", tt.Name)
+		}
+		return cTerm{kind: termParam, slot: slot}, nil
 	default:
 		return cTerm{}, fmt.Errorf("query: unknown term %T", t)
 	}
@@ -894,8 +940,11 @@ func (pl *planner) compileTerm(t Term) (cTerm, error) {
 // cardinalities, and filter placement.
 func (p *Plan) Explain() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "plan: %d atoms, %d tree / %d label / %d path slots\n",
-		len(p.atoms), len(p.treeName), len(p.labelName), len(p.pathName))
+	fmt.Fprintf(&b, "plan: %d atoms, %d tree / %d label / %d path slots", len(p.atoms), len(p.treeName), len(p.labelName), len(p.pathName))
+	if len(p.paramName) > 0 {
+		fmt.Fprintf(&b, ", %d params", len(p.paramName))
+	}
+	b.WriteByte('\n')
 	if len(p.preConds) > 0 {
 		fmt.Fprintf(&b, "  pre-filter: %d constant condition(s)\n", len(p.preConds))
 	}
