@@ -1,0 +1,73 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+// ---------------------------------------------------------------------------
+// E15: intra-query parallelism — the morsel-driven parallel scan vs the
+// serial executor, at 1/2/4 workers, through the statement layer (so the
+// worker plans come from the per-statement pool exactly as ssdserve's
+// requests draw them). The merge is order-preserving, so every arm streams
+// identical rows; the table reports wall time per full drain and the
+// speedup over serial. On a single-core host the parallel arms can only
+// show their overhead — the speedup column is what CI's multi-core runners
+// and production hardware see.
+
+func runE15Parallel(scale int) {
+	entries := 10000 * scale
+	g := workload.Movies(workload.DefaultMovieConfig(entries))
+	fmt.Printf("  %d-entry movie DB, GOMAXPROCS=%d\n\n", entries, runtime.GOMAXPROCS(0))
+
+	shapes := []struct {
+		name string
+		src  string
+		args []core.Param
+	}{
+		{"e1-path-heavy", `select {Title: T} from DB.Entry.Movie M, M.Title T, M.Cast._* A where A = $who`,
+			[]core.Param{core.P("who", "Allen")}},
+		{"label-join", `select {T: %L} from DB.Entry.%L M, M.Title T`, nil},
+	}
+
+	const reps = 3
+	t := newTable("query", "workers", "drain", "rows", "speedup vs serial")
+	for _, sh := range shapes {
+		var serial int64
+		for _, workers := range []int{1, 2, 4} {
+			db := core.FromGraph(g)
+			db.SetParallelism(workers)
+			s, err := db.Prepare(sh.src)
+			if err != nil {
+				panic(err)
+			}
+			rows := 0
+			drain := func() {
+				r, err := s.Query(context.Background(), sh.args...)
+				if err != nil {
+					panic(err)
+				}
+				rows = 0
+				for r.Next() {
+					rows++
+				}
+				if err := r.Err(); err != nil {
+					panic(err)
+				}
+				r.Close()
+			}
+			drain() // warm the pool and the snapshot's lazy structures
+			d := timeBest(reps, drain)
+			if workers == 1 {
+				serial = int64(d)
+			}
+			t.add(sh.name, workers, d, rows,
+				fmt.Sprintf("%.2fx", float64(serial)/float64(int64(d))))
+		}
+	}
+	t.print()
+}

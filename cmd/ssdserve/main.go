@@ -1,0 +1,119 @@
+// Command ssdserve serves a semistructured database over HTTP/JSON: the
+// network front door to the query engine.
+//
+// Usage:
+//
+//	ssdserve -db movie.ssdg [-wal movie.wal] [-addr :8080] [-parallelism 4]
+//	ssdserve -demo 5000                       # serve a generated movie DB
+//
+// Endpoints (see internal/server):
+//
+//	POST /query    {"query": "...", "params": {...}, "timeout_ms": 1000}
+//	               → NDJSON rows, one {"row": {...}} per line, terminated
+//	               by {"done": true, "rows": N} or {"error": "..."}
+//	POST /mutate   mutation script (ssdq format) → one committed batch
+//	GET  /healthz  liveness + snapshot stats
+//
+// Example:
+//
+//	curl -s localhost:8080/query -d '{
+//	  "query": "select {Title: T} from DB.Entry.Movie M, M.Title T, M.Cast._* A where A = $who",
+//	  "params": {"who": "\"Allen\""}
+//	}'
+//
+// SIGINT/SIGTERM triggers graceful shutdown: new requests get 503, and the
+// process exits once every in-flight cursor drains (bounded by -grace).
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/server"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", ":8080", "listen address")
+		dbPath      = flag.String("db", "", "database file (storage binary format)")
+		text        = flag.String("text", "", "database file in the text syntax (alternative to -db)")
+		walPath     = flag.String("wal", "", "write-ahead log to attach (replays, then logs commits)")
+		demo        = flag.Int("demo", 0, "serve a generated movie database with this many entries instead of a file")
+		parallelism = flag.Int("parallelism", 0, "intra-query parallel workers (0/1 = serial)")
+		timeout     = flag.Duration("timeout", 30*time.Second, "default per-request timeout (0 = none)")
+		maxTimeout  = flag.Duration("max-timeout", 5*time.Minute, "cap on per-request timeout_ms (0 = uncapped)")
+		maxRows     = flag.Int("max-rows", 0, "cap on rows streamed per request (0 = unlimited)")
+		grace       = flag.Duration("grace", 30*time.Second, "shutdown drain deadline")
+	)
+	flag.Parse()
+
+	db, err := openDatabase(*dbPath, *text, *demo)
+	if err != nil {
+		log.Fatalf("ssdserve: %v", err)
+	}
+	if *walPath != "" {
+		if err := db.OpenWAL(*walPath); err != nil {
+			log.Fatalf("ssdserve: open WAL: %v", err)
+		}
+		defer db.CloseWAL()
+	}
+
+	srv := server.New(db, server.Config{
+		Parallelism:    *parallelism,
+		DefaultTimeout: *timeout,
+		MaxTimeout:     *maxTimeout,
+		MaxRows:        *maxRows,
+	})
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		<-sig
+		log.Printf("ssdserve: shutting down (grace %s)", *grace)
+		ctx, cancel := context.WithTimeout(context.Background(), *grace)
+		defer cancel()
+		// Stop admitting and drain cursors first, then close connections.
+		if err := srv.Shutdown(ctx); err != nil {
+			log.Printf("ssdserve: drain: %v", err)
+		}
+		if err := httpSrv.Shutdown(ctx); err != nil {
+			log.Printf("ssdserve: http shutdown: %v", err)
+		}
+	}()
+
+	log.Printf("ssdserve: serving %s on %s (parallelism %d)", db.Describe(), *addr, db.Parallelism())
+	if err := httpSrv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+		log.Fatalf("ssdserve: %v", err)
+	}
+	<-done
+}
+
+func openDatabase(dbPath, text string, demo int) (*core.Database, error) {
+	switch {
+	case demo > 0:
+		return core.FromGraph(workload.Movies(workload.DefaultMovieConfig(demo))), nil
+	case dbPath != "":
+		return core.Open(dbPath)
+	case text != "":
+		src, err := os.ReadFile(text)
+		if err != nil {
+			return nil, err
+		}
+		return core.ParseText(string(src))
+	default:
+		return nil, fmt.Errorf("one of -db, -text or -demo is required")
+	}
+}

@@ -48,6 +48,20 @@
 // (core.Database.OpenWAL) makes commits durable and replayable. Ablated by
 // BenchmarkIncrementalVsRebuild and `ssdbench -exp e13`.
 //
+// # Parallel execution and serving
+//
+// Queries can fan their join work across a pool of shared-nothing worker
+// executors (internal/query/parallel.go): the leading atom's rows are
+// materialized in serial order, partitioned into morsels, executed by
+// per-worker compiled plans, and merged in morsel order — so parallel
+// output is byte-identical to serial output. core.Database.SetParallelism
+// sets the per-database default Stmt.Query picks up; the per-statement
+// plan pool hands out one plan per worker. cmd/ssdserve serves it all over
+// HTTP/JSON (streamed NDJSON rows, $name parameters, per-request
+// timeouts, WAL-backed writes via /mutate, graceful drain), backed by the
+// database's LRU statement cache. Ablated by BenchmarkParallelVsSerial and
+// `ssdbench -exp e15`.
+//
 // See README.md for a tour, DESIGN.md for the system inventory, and
 // EXPERIMENTS.md for the reproduced results. The root package holds only
 // the benchmark harness (bench_test.go); the library lives under

@@ -23,6 +23,7 @@
 package core
 
 import (
+	"container/list"
 	"context"
 	"fmt"
 	"sort"
@@ -54,44 +55,71 @@ type Database struct {
 	writeMu sync.Mutex // serializes Begin-to-Commit writers and WAL state
 	wal     *mutate.WAL
 
-	// Statement cache: the legacy one-shot methods route through Prepare,
-	// and this keeps their repeat executions on the prepare-once path.
-	// Entries hold parsed ASTs and per-snapshot plan pools; a commit does
-	// not evict them — each Stmt re-plans lazily when it notices the
-	// snapshot changed.
-	stmtMu sync.Mutex
-	stmts  map[string]*Stmt
+	// Statement cache: the legacy one-shot methods and the serving layer
+	// route through PrepareCached, and this keeps their repeat executions
+	// on the prepare-once path. Entries hold parsed ASTs and per-snapshot
+	// plan pools; a commit does not evict them — each Stmt re-plans lazily
+	// when it notices the snapshot changed. Eviction is LRU (stmtLRU front
+	// = most recently used), so a hot query survives any number of
+	// distinct cold ones passing through.
+	stmtMu  sync.Mutex
+	stmts   map[string]*list.Element // value: *stmtEntry
+	stmtLRU list.List
+
+	// parallelism is the default worker count Stmt.Query fans queries out
+	// to (see SetParallelism). 0 or 1 = serial.
+	parallelism atomic.Int32
 }
 
-// stmtCacheMax bounds the statement cache. Eviction is random (Go map
-// iteration order): fine for a cache whose working set is hot statements.
+// stmtCacheMax bounds the statement cache.
 const stmtCacheMax = 256
 
-// prepared returns a cached prepared statement for src, preparing and
-// caching it on first use. Shared Stmts are safe for concurrent use.
+// stmtEntry is one LRU cache slot.
+type stmtEntry struct {
+	src string
+	s   *Stmt
+}
+
+// PrepareCached returns a shared prepared statement for src, preparing and
+// caching it on first use in the database's bounded LRU statement cache.
+// It is the entry point for serving layers (ssdserve keys its request
+// statements by query text through it) and for the legacy one-shot
+// wrappers. Shared Stmts are safe for concurrent use; unlike Prepare, the
+// returned statement may be shared with other callers.
+func (db *Database) PrepareCached(src string) (*Stmt, error) { return db.prepared(src) }
+
+// prepared implements PrepareCached. The parse/plan happens outside the
+// cache lock; when two goroutines race to prepare the same text, the first
+// insert wins and the loser adopts it, so the cache never holds two Stmts
+// for one key.
 func (db *Database) prepared(src string) (*Stmt, error) {
 	db.stmtMu.Lock()
-	s, ok := db.stmts[src]
-	db.stmtMu.Unlock()
-	if ok {
+	if e, ok := db.stmts[src]; ok {
+		db.stmtLRU.MoveToFront(e)
+		s := e.Value.(*stmtEntry).s
+		db.stmtMu.Unlock()
 		return s, nil
 	}
+	db.stmtMu.Unlock()
 	s, err := db.Prepare(src)
 	if err != nil {
 		return nil, err
 	}
 	db.stmtMu.Lock()
+	defer db.stmtMu.Unlock()
+	if e, ok := db.stmts[src]; ok { // lost the race: adopt the winner
+		db.stmtLRU.MoveToFront(e)
+		return e.Value.(*stmtEntry).s, nil
+	}
 	if db.stmts == nil {
-		db.stmts = make(map[string]*Stmt)
+		db.stmts = make(map[string]*list.Element, stmtCacheMax)
 	}
-	if len(db.stmts) >= stmtCacheMax {
-		for k := range db.stmts {
-			delete(db.stmts, k)
-			break
-		}
+	for len(db.stmts) >= stmtCacheMax {
+		oldest := db.stmtLRU.Back()
+		db.stmtLRU.Remove(oldest)
+		delete(db.stmts, oldest.Value.(*stmtEntry).src)
 	}
-	db.stmts[src] = s
-	db.stmtMu.Unlock()
+	db.stmts[src] = db.stmtLRU.PushFront(&stmtEntry{src: src, s: s})
 	return s, nil
 }
 
@@ -100,11 +128,27 @@ func (db *Database) prepared(src string) (*Stmt, error) {
 // keep their checked-out plan and pinned snapshot until Close, by design.
 func (db *Database) invalidateStmtPlans() {
 	db.stmtMu.Lock()
-	for _, s := range db.stmts {
-		s.invalidate()
+	for _, e := range db.stmts {
+		e.Value.(*stmtEntry).s.invalidate()
 	}
 	db.stmtMu.Unlock()
 }
+
+// SetParallelism sets the default intra-query parallelism for Stmt.Query:
+// the number of worker executors the morsel-driven parallel scan fans a
+// query out to. n <= 1 (the default) runs queries serially. Results are
+// byte-identical either way; the statement layer draws the extra compiled
+// plans from its per-statement pool. Safe to call concurrently with
+// queries; executions in flight keep the setting they started with.
+func (db *Database) SetParallelism(n int) {
+	if n < 0 {
+		n = 0
+	}
+	db.parallelism.Store(int32(n))
+}
+
+// Parallelism reports the database's default intra-query parallelism.
+func (db *Database) Parallelism() int { return int(db.parallelism.Load()) }
 
 // snapshot is one immutable graph version with its lazily built derived
 // structures. The graph never changes after the snapshot is published; the
@@ -181,9 +225,28 @@ func (db *Database) Apply(b *mutate.Batch) error { return db.commit(b, false) }
 // half-applied batch.
 func (db *Database) Commit(b *mutate.Batch) error { return db.commit(b, true) }
 
+// MutateScript parses src in the ssdq mutation script format (see
+// mutate.ParseScript) against the current snapshot and commits it as one
+// batch, logging to the WAL if one is open. The writer lock is held across
+// parse and commit, so the script's node references can never be
+// invalidated by an interleaving writer.
+func (db *Database) MutateScript(src string) error {
+	db.writeMu.Lock()
+	defer db.writeMu.Unlock()
+	b, err := mutate.ParseScript(src, db.snapshot().g)
+	if err != nil {
+		return err
+	}
+	return db.commitLocked(b, true)
+}
+
 func (db *Database) commit(b *mutate.Batch, logIt bool) error {
 	db.writeMu.Lock()
 	defer db.writeMu.Unlock()
+	return db.commitLocked(b, logIt)
+}
+
+func (db *Database) commitLocked(b *mutate.Batch, logIt bool) error {
 	old := db.snapshot()
 	g2, res, err := mutate.ApplyCOW(old.g, b)
 	if err != nil {

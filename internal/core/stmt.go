@@ -170,8 +170,11 @@ type Stmt struct {
 }
 
 // maxPooledPlans bounds how many idle compiled plans a statement keeps.
-// More concurrent executions than this simply re-plan on checkout.
-const maxPooledPlans = 8
+// More concurrent executions than this simply re-plan on checkout. A
+// parallel execution borrows 1+N plans at once (seeder plus workers), so
+// the bound leaves room for a couple of concurrent parallel executions to
+// recycle their whole sets.
+const maxPooledPlans = 16
 
 // colKind discriminates result columns.
 type colKind int
@@ -373,6 +376,29 @@ func (s *Stmt) checkinPlan(snap *snapshot, p *query.Plan) {
 	s.mu.Unlock()
 }
 
+// checkoutPlans draws n sibling plans for one parallel execution — the
+// pool handing out N plans per execution is what gives every worker its
+// own automata and lazy-DFA caches without recompiling on the hot path.
+// On error, every plan already drawn is returned.
+func (s *Stmt) checkoutPlans(snap *snapshot, n int) ([]*query.Plan, error) {
+	plans := make([]*query.Plan, 0, n)
+	for i := 0; i < n; i++ {
+		p, err := s.checkoutPlan(snap)
+		if err != nil {
+			s.checkinPlans(snap, plans)
+			return nil, err
+		}
+		plans = append(plans, p)
+	}
+	return plans, nil
+}
+
+func (s *Stmt) checkinPlans(snap *snapshot, plans []*query.Plan) {
+	for _, p := range plans {
+		s.checkinPlan(snap, p)
+	}
+}
+
 // invalidate drops the pooled plans and the snapshot reference. The
 // Database calls it on every cached statement when it publishes a new
 // snapshot, so cold statements do not pin superseded graph versions until
@@ -422,7 +448,13 @@ func (s *Stmt) checkinAutomaton(au *pathexpr.Automaton) {
 // first (the engine is inherently bottom-up) and streams the tuples.
 // Transform statements have no rows; use Exec.
 //
-// The returned Rows must be Closed to recycle the compiled plan. A
+// When the database's parallelism default (SetParallelism) is above one
+// and the plan has join work to fan out, the rows stream through the
+// morsel-driven parallel executor: the pool hands out one plan per worker
+// plus the seeding plan, and the merged output is byte-identical to serial
+// execution.
+//
+// The returned Rows must be Closed to recycle the compiled plan(s). A
 // cancelled ctx stops iteration within one pull; Rows.Err reports it.
 func (s *Stmt) Query(ctx context.Context, args ...Param) (*Rows, error) {
 	vals, err := s.bindArgs(args)
@@ -436,12 +468,25 @@ func (s *Stmt) Query(ctx context.Context, args ...Param) (*Rows, error) {
 		if err != nil {
 			return nil, err
 		}
-		cur, err := p.Cursor(ctx, vals)
+		var workers []*query.Plan
+		if n := s.db.Parallelism(); n > 1 && p.Parallelizable() {
+			// Best effort: a plan-compile failure here cannot happen for a
+			// plan that just compiled against the same snapshot, but fall
+			// back to serial rather than failing the query if it does.
+			workers, _ = s.checkoutPlans(snap, n)
+		}
+		var cur *query.Cursor
+		if len(workers) > 0 {
+			cur, err = p.CursorParallel(ctx, vals, workers, 0)
+		} else {
+			cur, err = p.Cursor(ctx, vals)
+		}
 		if err != nil {
 			s.checkinPlan(snap, p)
+			s.checkinPlans(snap, workers)
 			return nil, err
 		}
-		return &Rows{stmt: s, cols: s.cols, qb: &queryBackend{cur: cur, plan: p, snap: snap}}, nil
+		return &Rows{stmt: s, cols: s.cols, g: snap.g, qb: &queryBackend{cur: cur, plan: p, workers: workers, snap: snap}}, nil
 	case LangPath:
 		au, pooled, err := s.checkoutAutomaton(vals)
 		if err != nil {
@@ -452,7 +497,7 @@ func (s *Stmt) Query(ctx context.Context, args ...Param) (*Rows, error) {
 			tr.SetContext(ctx)
 		}
 		tr.Reset(snap.g.Root())
-		return &Rows{stmt: s, cols: s.cols, pb: &pathBackend{trav: tr, au: au, pooled: pooled}}, nil
+		return &Rows{stmt: s, cols: s.cols, g: snap.g, pb: &pathBackend{trav: tr, au: au, pooled: pooled}}, nil
 	case LangDatalog:
 		if ctx != nil {
 			if err := ctx.Err(); err != nil {
@@ -463,7 +508,7 @@ func (s *Stmt) Query(ctx context.Context, args ...Param) (*Rows, error) {
 		if err != nil {
 			return nil, err
 		}
-		return &Rows{stmt: s, cols: s.cols, db2: newDatalogBackend(rels)}, nil
+		return &Rows{stmt: s, cols: s.cols, g: snap.g, db2: newDatalogBackend(rels)}, nil
 	default:
 		return nil, fmt.Errorf("core: transform statements produce no rows; use Exec")
 	}
@@ -514,6 +559,7 @@ func (s *Stmt) Exec(ctx context.Context, args ...Param) (*Database, error) {
 type Rows struct {
 	stmt   *Stmt
 	cols   []col
+	g      *ssd.Graph // the pinned snapshot's graph; see Graph
 	closed bool
 
 	qb  *queryBackend
@@ -523,10 +569,16 @@ type Rows struct {
 	shared query.Env // Env()'s reusable row; see Env
 }
 
+// Graph returns the graph of the snapshot this result set is bound to —
+// the graph node columns refer into. It stays valid (and immutable) for
+// the life of the Rows even if commits publish newer snapshots meanwhile.
+func (r *Rows) Graph() *ssd.Graph { return r.g }
+
 type queryBackend struct {
-	cur  *query.Cursor
-	plan *query.Plan
-	snap *snapshot
+	cur     *query.Cursor
+	plan    *query.Plan
+	workers []*query.Plan // borrowed by the parallel cursor's worker pool
+	snap    *snapshot
 }
 
 type pathBackend struct {
@@ -710,9 +762,11 @@ func (r *Rows) Env() query.Env {
 // only.
 func (r *Rows) envFresh() query.Env { return r.qb.cur.Env() }
 
-// Close releases the cursor, returning the compiled plan (or automaton) to
-// the statement's pool for reuse. Close is idempotent and always nil; the
-// error return mirrors database/sql for easy drop-in use with defer.
+// Close releases the cursor, returning the compiled plan(s) (or automaton)
+// to the statement's pool for reuse. For a parallel cursor this first stops
+// the worker pool and waits for it to quiesce, so no returned plan is still
+// being mutated. Close is idempotent and always nil; the error return
+// mirrors database/sql for easy drop-in use with defer.
 func (r *Rows) Close() error {
 	if r.closed {
 		return nil
@@ -720,7 +774,9 @@ func (r *Rows) Close() error {
 	r.closed = true
 	switch {
 	case r.qb != nil:
+		r.qb.cur.Close()
 		r.stmt.checkinPlan(r.qb.snap, r.qb.plan)
+		r.stmt.checkinPlans(r.qb.snap, r.qb.workers)
 	case r.pb != nil:
 		if r.pb.pooled {
 			r.stmt.checkinAutomaton(r.pb.au)

@@ -13,18 +13,25 @@ import (
 // through reusable-slot accessors, so the per-row cost is whatever the
 // join itself does, not map building.
 //
-// A Cursor (like the executor it wraps) mutates the plan's automaton DFA
-// caches and is therefore not safe for concurrent use; open one cursor per
-// goroutine (the statement layer pools plans to make that cheap).
+// A Cursor may be serial (one executor, rows pulled in place) or parallel
+// (a morsel-driven worker pool merged in order; see CursorParallel). Both
+// faces behave identically: same row order, same slot accessors, same
+// error reporting. A Cursor mutates plan-owned DFA caches and is therefore
+// not safe for concurrent use; open one cursor per goroutine (the
+// statement layer pools plans to make that cheap).
 type Cursor struct {
-	ex *executor
+	p    *Plan
+	regs *regs // the current row: ex's registers, or the parallel merge view
+
+	ex     *executor  // serial execution
+	par    *parCursor // parallel execution (nil when serial)
+	closed bool
+	err    error // terminal error snapshotted at Close; see Err
 }
 
-// Cursor opens a streaming execution of the plan. params supplies a value
-// for every $parameter the plan declares (Params); missing or unknown
-// names are an error. ctx cancellation stops iteration within one pull:
-// Next returns false and Err reports the context error.
-func (p *Plan) Cursor(ctx context.Context, params map[string]ssd.Label) (*Cursor, error) {
+// paramVals validates params against the plan's declared parameters and
+// returns them as a positional slice in slot order.
+func (p *Plan) paramVals(params map[string]ssd.Label) ([]ssd.Label, error) {
 	var vals []ssd.Label
 	if len(p.paramName) > 0 {
 		vals = make([]ssd.Label, len(p.paramName))
@@ -41,66 +48,124 @@ func (p *Plan) Cursor(ctx context.Context, params map[string]ssd.Label) (*Cursor
 			return nil, fmt.Errorf("query: unknown parameter $%s", name)
 		}
 	}
-	return &Cursor{ex: p.exec(ctx, vals)}, nil
+	return vals, nil
+}
+
+// Cursor opens a streaming execution of the plan. params supplies a value
+// for every $parameter the plan declares (Params); missing or unknown
+// names are an error. ctx cancellation stops iteration within one pull:
+// Next returns false and Err reports the context error.
+func (p *Plan) Cursor(ctx context.Context, params map[string]ssd.Label) (*Cursor, error) {
+	vals, err := p.paramVals(params)
+	if err != nil {
+		return nil, err
+	}
+	ex := p.exec(ctx, vals)
+	return &Cursor{p: p, regs: &ex.regs, ex: ex}, nil
 }
 
 // Next advances to the next binding row, returning false when the space is
-// exhausted, a pre-condition fails, or the context is cancelled (check Err
-// to distinguish).
-func (c *Cursor) Next() bool { return c.ex.Next() }
+// exhausted, the context is cancelled, execution failed, or the cursor was
+// closed (check Err to distinguish).
+func (c *Cursor) Next() bool {
+	if c.closed {
+		return false
+	}
+	if c.ex != nil {
+		return c.ex.Next()
+	}
+	return c.par.Next()
+}
 
-// Err returns the error that terminated iteration early (currently only
-// context cancellation), or nil after a clean exhaustion.
-func (c *Cursor) Err() error { return c.ex.ctxErr }
+// Err returns the terminal error that ended iteration early — context
+// cancellation, a recovered execution panic, or a parallel worker failure —
+// or nil after a clean exhaustion. Err remains valid after Close (the
+// database/sql idiom): Close snapshots it before the executor is recycled,
+// so it can never observe a later execution's state.
+func (c *Cursor) Err() error {
+	if c.closed {
+		return c.err
+	}
+	if c.ex != nil {
+		return c.ex.err
+	}
+	return c.par.Err()
+}
+
+// Close releases the cursor's execution resources. A serial cursor hands
+// its executor (and the scratch arrays it grew) back to the plan for the
+// next execution; a parallel cursor stops the worker pool and waits for
+// the workers to quiesce, so the plans they borrowed are safe to reuse
+// afterwards. Close is idempotent. Iterating a closed cursor reports
+// exhaustion.
+func (c *Cursor) Close() {
+	if c.closed {
+		return
+	}
+	// Snapshot the terminal error before releasing: the executor may be
+	// recycled by the plan's next execution, and Err-after-Close is a
+	// documented pattern.
+	if c.ex != nil {
+		c.err = c.ex.err
+	} else {
+		c.err = c.par.Err()
+	}
+	c.closed = true
+	if c.par != nil {
+		c.par.Close()
+	} else {
+		c.ex.release()
+	}
+}
 
 // Env materializes the current row as a fresh Env. Prefer EnvInto or the
 // slot accessors on hot paths.
-func (c *Cursor) Env() Env { return c.ex.Env() }
+func (c *Cursor) Env() Env { return c.p.envFrom(c.regs) }
 
 // EnvInto writes the current row into e, reusing its maps (allocating them
 // on first use). The filled Env is valid until the next Next call in the
 // sense that path-variable slices are shared with the engine and must be
 // treated as read-only.
 func (c *Cursor) EnvInto(e *Env) {
-	ex := c.ex
+	p := c.p
 	if e.Trees == nil {
-		e.Trees = make(map[string]ssd.NodeID, len(ex.p.treeName))
+		e.Trees = make(map[string]ssd.NodeID, len(p.treeName))
 	} else {
 		clear(e.Trees)
 	}
 	if e.Labels == nil {
-		e.Labels = make(map[string]ssd.Label, len(ex.p.labelName))
+		e.Labels = make(map[string]ssd.Label, len(p.labelName))
 	} else {
 		clear(e.Labels)
 	}
 	if e.Paths == nil {
-		e.Paths = make(map[string][]ssd.Label, len(ex.p.pathName))
+		e.Paths = make(map[string][]ssd.Label, len(p.pathName))
 	} else {
 		clear(e.Paths)
 	}
-	for i, name := range ex.p.treeName {
-		e.Trees[name] = ex.regs.trees[i]
+	for i, name := range p.treeName {
+		e.Trees[name] = c.regs.trees[i]
 	}
-	for i, name := range ex.p.labelName {
-		e.Labels[name] = ex.regs.labels[i]
+	for i, name := range p.labelName {
+		e.Labels[name] = c.regs.labels[i]
 	}
-	for i, name := range ex.p.pathName {
-		e.Paths[name] = ex.regs.paths[i]
+	for i, name := range p.pathName {
+		e.Paths[name] = c.regs.paths[i]
 	}
 }
 
 // Tree returns the node bound to tree-variable slot i. Tree slots follow
 // the from-clause binding order.
-func (c *Cursor) Tree(i int) ssd.NodeID { return c.ex.regs.trees[i] }
+func (c *Cursor) Tree(i int) ssd.NodeID { return c.regs.trees[i] }
 
 // Label returns the label bound to label-variable slot i. Label slots
 // follow first-occurrence order over the from clause.
-func (c *Cursor) Label(i int) ssd.Label { return c.ex.regs.labels[i] }
+func (c *Cursor) Label(i int) ssd.Label { return c.regs.labels[i] }
 
 // Path returns the witness path bound to path-variable slot i (first-
 // occurrence order). The slice is shared with the engine; treat it as
 // read-only and copy it if it must outlive the current row.
-func (c *Cursor) Path(i int) []ssd.Label { return c.ex.regs.paths[i] }
+func (c *Cursor) Path(i int) []ssd.Label { return c.regs.paths[i] }
 
 // Plan returns the plan this cursor executes.
-func (c *Cursor) Plan() *Plan { return c.ex.p }
+func (c *Cursor) Plan() *Plan { return c.p }

@@ -72,6 +72,15 @@ type Options struct {
 	// resolves them to reserved plan slots; the naive engine substitutes
 	// them into the AST before evaluation — both see identical semantics.
 	Params map[string]ssd.Label
+	// Parallelism is the number of worker executors for the planned
+	// engine's morsel-driven parallel scan (0 or 1 = serial). Results are
+	// byte-identical to serial execution; plans with fewer than two atoms
+	// always run serially. Ignored by the naive engine.
+	Parallelism int
+	// MorselSize overrides the number of leading-atom rows per parallel
+	// morsel (0 = DefaultMorselSize). Exposed mainly so tests can force
+	// many small morsels.
+	MorselSize int
 }
 
 // Eval evaluates the query over g and returns the result tree (a fresh
@@ -127,12 +136,31 @@ func (p *Plan) EvalGraph(opts Options) (*ssd.Graph, error) {
 
 // EvalGraphCtx is EvalGraph with cancellation: a cancelled context aborts
 // the pull loop within one row and returns the context's error. Parameter
-// values come from opts.Params. A nil ctx disables the checks.
+// values come from opts.Params. A nil ctx disables the checks. When
+// opts.Parallelism > 1, sibling plans are compiled and the rows stream
+// through the morsel-driven parallel cursor; the result is byte-identical
+// to serial evaluation. (The statement layer avoids the sibling compiles
+// by drawing worker plans from its pool instead.)
 func (p *Plan) EvalGraphCtx(ctx context.Context, opts Options) (*ssd.Graph, error) {
-	cur, err := p.Cursor(ctx, opts.Params)
+	var cur *Cursor
+	var err error
+	if opts.Parallelism > 1 && len(p.atoms) >= 2 {
+		workers := make([]*Plan, 0, opts.Parallelism)
+		for i := 0; i < opts.Parallelism; i++ {
+			wp, werr := NewPlan(p.q, p.g, p.opts)
+			if werr != nil {
+				return nil, werr
+			}
+			workers = append(workers, wp)
+		}
+		cur, err = p.CursorParallel(ctx, opts.Params, workers, opts.MorselSize)
+	} else {
+		cur, err = p.Cursor(ctx, opts.Params)
+	}
 	if err != nil {
 		return nil, err
 	}
+	defer cur.Close()
 	res := ssd.New()
 	graftCache := map[ssd.NodeID]ssd.NodeID{}
 	rows := 0
@@ -161,6 +189,7 @@ func (p *Plan) Rows(maxRows int) []Env {
 	if err != nil {
 		return nil
 	}
+	defer cur.Close()
 	var rows []Env
 	for cur.Next() {
 		rows = append(rows, cur.Env())

@@ -2,6 +2,7 @@ package query
 
 import (
 	"context"
+	"fmt"
 	"sort"
 
 	"repro/internal/pathexpr"
@@ -40,20 +41,40 @@ type executor struct {
 	started bool
 	done    bool
 
-	// Cancellation: ctx is polled once per pull plus strided inside the
-	// join loop; on cancellation the executor reports exhaustion and
-	// records the error for Cursor.Err.
-	ctx    context.Context
-	ctxErr error
-	polls  uint32
+	// base is the first atom index this executor owns. Serial execution
+	// uses 0; a parallel worker executes atoms[1:] from seed rows the
+	// coordinator materialized for atom 0 (see parallel.go) and uses 1.
+	base int
+
+	// relaxedPoll drops the one-real-context-check-per-pull guarantee down
+	// to the strided check. Parallel workers and the seeder use it: the
+	// consumer-facing cursor enforces per-pull promptness itself, so the
+	// pool's executors only need cancellation for teardown, and a mutexed
+	// ctx.Err per row is measurable overhead at fan-out row rates.
+	relaxedPoll bool
+
+	// Termination: err records the failure that ended iteration early —
+	// context cancellation, or any panic the pull loop recovered (a stale
+	// index referencing nodes the graph no longer has, a corrupted plan).
+	// Exhaustion with err == nil is the only clean completion. ctx is
+	// polled once per pull plus strided inside the join loop.
+	ctx   context.Context
+	err   error
+	polls uint32
 }
 
 // exec prepares an executor for the plan; Plan.Cursor is the public entry
 // (it validates parameter bindings first — stepParam and termParam index
-// the params slice unguarded). The executor is single-use per result set
-// but cheap to recreate: all heavy state (DFA caches, statistics) lives in
-// the Plan and its automata.
+// the params slice unguarded). The executor is single-use per result set;
+// a closed cursor releases its executor back to the plan's idle slot, so
+// repeat executions of a pooled plan reuse the scratch arrays, pooled
+// traversals and materialized scans instead of reallocating them.
 func (p *Plan) exec(ctx context.Context, params []ssd.Label) *executor {
+	if ex := p.idleEx; ex != nil {
+		p.idleEx = nil
+		ex.reset(ctx, params)
+		return ex
+	}
 	ex := &executor{
 		p:      p,
 		g:      p.g,
@@ -72,6 +93,28 @@ func (p *Plan) exec(ctx context.Context, params []ssd.Label) *executor {
 	}
 	return ex
 }
+
+// reset rewinds a recycled executor for a fresh execution. Scratch state
+// that is either generation-stamped (dedup marks, traversal bitmaps) or
+// invariant for the plan's graph (materialized root-anchored scans) is
+// deliberately kept; everything run-scoped is cleared.
+func (ex *executor) reset(ctx context.Context, params []ssd.Label) {
+	ex.ctx = ctx
+	ex.params = params
+	ex.started, ex.done = false, false
+	ex.base = 0
+	ex.relaxedPoll = false
+	ex.err = nil
+	ex.polls = 0
+	for _, t := range ex.travs {
+		if t != nil {
+			t.SetContext(ctx)
+		}
+	}
+}
+
+// release hands the executor back to its plan's idle slot for reuse.
+func (ex *executor) release() { ex.p.idleEx = ex }
 
 func (ex *executor) trav(st *planStep) *pathexpr.Traversal {
 	t := ex.travs[st.id]
@@ -93,9 +136,21 @@ func (ex *executor) trav(st *planStep) *pathexpr.Traversal {
 // the partial result.
 func (ex *executor) finish() bool {
 	ex.done = true
-	if ex.ctx != nil && ex.ctxErr == nil {
-		ex.ctxErr = ex.ctx.Err()
+	if ex.ctx != nil && ex.err == nil {
+		ex.err = ex.ctx.Err()
 	}
+	return false
+}
+
+// fail records a terminal error and marks the executor done. Unlike the old
+// ctxErr-only path, any failure source — cancellation, a recovered panic, a
+// worker error — ends up here, so no terminal condition can masquerade as a
+// clean exhaustion.
+func (ex *executor) fail(err error) bool {
+	if ex.err == nil {
+		ex.err = err
+	}
+	ex.done = true
 	return false
 }
 
@@ -103,20 +158,20 @@ func (ex *executor) finish() bool {
 // (one real check per Next call); the inner join loop passes force=false
 // and pays one real check per 64 iterations.
 func (ex *executor) cancelled(force bool) bool {
-	if ex.ctxErr != nil {
+	if ex.err != nil {
 		return true
 	}
 	if ex.ctx == nil {
 		return false
 	}
-	if !force {
+	if !force || ex.relaxedPoll {
 		ex.polls++
 		if ex.polls&63 != 0 {
 			return false
 		}
 	}
 	if err := ex.ctx.Err(); err != nil {
-		ex.ctxErr = err
+		ex.err = err
 		ex.done = true
 		return true
 	}
@@ -125,28 +180,42 @@ func (ex *executor) cancelled(force bool) bool {
 
 // Next advances to the next binding row that satisfies every placed filter,
 // returning false when the space is exhausted. On true, regs holds the row.
-func (ex *executor) Next() bool {
+// A panic raised anywhere in the pull loop (lower-layer iterators included)
+// is recovered into Err rather than crashing the caller: a server streaming
+// rows to a remote client must report "this result set died", not fall over.
+func (ex *executor) Next() (ok bool) {
 	if ex.done || ex.cancelled(true) {
 		return false
 	}
+	defer func() {
+		if r := recover(); r != nil {
+			ok = ex.fail(fmt.Errorf("query: execution failed: %v", r))
+		}
+	}()
+	return ex.next()
+}
+
+func (ex *executor) next() bool {
 	n := len(ex.atoms)
 	var i int
 	if !ex.started {
 		ex.started = true
-		for _, c := range ex.p.preConds {
-			if !c.eval(ex) {
-				return ex.finish()
+		if ex.base == 0 {
+			for _, c := range ex.p.preConds {
+				if !c.eval(ex) {
+					return ex.finish()
+				}
 			}
 		}
-		if n == 0 {
+		if n <= ex.base {
 			return ex.finish()
 		}
-		i = 0
-		ex.openAtom(0)
+		i = ex.base
+		ex.openAtom(i)
 	} else {
 		i = n - 1
 	}
-	for i >= 0 {
+	for i >= ex.base {
 		if ex.cancelled(false) {
 			return false
 		}
@@ -189,20 +258,24 @@ func (ex *executor) evalConds(conds []cCond) bool {
 
 // Env materializes the current row as a naive-engine Env — used to feed the
 // select-template instantiation, which only runs for surviving rows.
-func (ex *executor) Env() Env {
+func (ex *executor) Env() Env { return ex.p.envFrom(&ex.regs) }
+
+// envFrom materializes a register row as a fresh Env under the plan's slot
+// naming — shared by the serial executor and the parallel merge cursor.
+func (p *Plan) envFrom(r *regs) Env {
 	e := Env{
-		Trees:  make(map[string]ssd.NodeID, len(ex.p.treeName)),
-		Labels: make(map[string]ssd.Label, len(ex.p.labelName)),
-		Paths:  make(map[string][]ssd.Label, len(ex.p.pathName)),
+		Trees:  make(map[string]ssd.NodeID, len(p.treeName)),
+		Labels: make(map[string]ssd.Label, len(p.labelName)),
+		Paths:  make(map[string][]ssd.Label, len(p.pathName)),
 	}
-	for i, name := range ex.p.treeName {
-		e.Trees[name] = ex.regs.trees[i]
+	for i, name := range p.treeName {
+		e.Trees[name] = r.trees[i]
 	}
-	for i, name := range ex.p.labelName {
-		e.Labels[name] = ex.regs.labels[i]
+	for i, name := range p.labelName {
+		e.Labels[name] = r.labels[i]
 	}
-	for i, name := range ex.p.pathName {
-		e.Paths[name] = ex.regs.paths[i]
+	for i, name := range p.pathName {
+		e.Paths[name] = r.paths[i]
 	}
 	return e
 }

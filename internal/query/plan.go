@@ -130,6 +130,15 @@ type Plan struct {
 	nExistsLocals int
 	opts          PlanOptions
 	reach         []bool // reachability from root; built only for index access
+
+	// idleEx is the executor released by the last closed cursor, reused by
+	// the next execution. Executors carry large per-graph scratch arrays
+	// (traversal visited/emitted bitmaps, dedup stamps, materialized
+	// scans), so a pooled plan serving many executions pays for them once.
+	// Plans are single-owner between checkout and checkin, which is what
+	// makes the single cached slot safe; an unclosed cursor simply leaves
+	// the slot empty and the next execution allocates fresh.
+	idleEx *executor
 }
 
 // AtomInfo is the externally visible summary of one planned atom, for
@@ -153,6 +162,12 @@ func (p *Plan) Atoms() []AtomInfo {
 // Params returns the plan's parameter names in slot order. Executions must
 // supply a value for every name.
 func (p *Plan) Params() []string { return p.paramName }
+
+// Parallelizable reports whether the plan has join work the morsel-driven
+// parallel scan can fan out: at least two atoms, so workers get atoms[1:]
+// while the coordinator seeds the leading atom. Callers use it to avoid
+// checking out worker plans that CursorParallel would ignore anyway.
+func (p *Plan) Parallelizable() bool { return len(p.atoms) >= 2 }
 
 // ---------------------------------------------------------------------------
 // Planning

@@ -1,0 +1,368 @@
+// Package server is the HTTP/JSON serving layer over a core.Database: the
+// front door that turns the prepared-statement lifecycle and the parallel
+// executor into a network service.
+//
+//	POST /query    — run a parameterized statement, stream rows as NDJSON
+//	POST /mutate   — apply a mutation script as one committed batch
+//	GET  /healthz  — liveness plus snapshot stats
+//
+// Statements are cached by query text through the database's LRU statement
+// cache (core.Database.PrepareCached), so a hot query pays lexing, parsing
+// and planning once across all connections; per-request work is binding
+// $parameters and pulling rows from a pooled (optionally parallel) plan.
+// Every request runs under its own context: client disconnects and
+// timeouts stop the cursor within one pull, and a drained shutdown waits
+// for in-flight cursors before returning.
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/ssd"
+)
+
+// Config tunes a Server. The zero value serves serially with no timeout.
+type Config struct {
+	// Parallelism is the per-database intra-query parallelism default
+	// applied at New (see core.Database.SetParallelism).
+	Parallelism int
+	// DefaultTimeout bounds requests that do not name a timeout_ms
+	// themselves. Zero = no default bound.
+	DefaultTimeout time.Duration
+	// MaxTimeout caps the per-request timeout_ms. Zero = uncapped.
+	MaxTimeout time.Duration
+	// MaxRows caps the rows streamed per request (0 = unlimited). A capped
+	// response reports "truncated" in its status line rather than posing
+	// as a complete result.
+	MaxRows int
+}
+
+// Server serves one core.Database over HTTP. Safe for concurrent use.
+type Server struct {
+	db  *core.Database
+	cfg Config
+	mux *http.ServeMux
+
+	// The drain gate. gateMu orders admissions against the start of a
+	// drain: every inflight.Add happens under the lock and before
+	// Shutdown flips draining, so Add can never race the Wait that
+	// follows (the sync.WaitGroup add-while-waiting-at-zero panic).
+	gateMu   sync.Mutex
+	draining bool
+	inflight sync.WaitGroup
+}
+
+// New builds a Server over db, applying cfg.Parallelism to the database.
+func New(db *core.Database, cfg Config) *Server {
+	if cfg.Parallelism > 0 {
+		db.SetParallelism(cfg.Parallelism)
+	}
+	s := &Server{db: db, cfg: cfg, mux: http.NewServeMux()}
+	s.mux.HandleFunc("POST /query", s.handleQuery)
+	s.mux.HandleFunc("POST /mutate", s.handleMutate)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	return s
+}
+
+// Handler returns the root handler, suitable for http.Server.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Shutdown stops admitting requests (new ones get 503) and waits until
+// every in-flight request — and therefore every open cursor — has drained,
+// or ctx expires. It does not close listeners; pair it with
+// http.Server.Shutdown, which handles the connection side.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.gateMu.Lock()
+	s.draining = true
+	s.gateMu.Unlock()
+	done := make(chan struct{})
+	go func() {
+		s.inflight.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// admit registers a request against the drain gate. It reports false (and
+// answers 503) when the server is shutting down.
+func (s *Server) admit(w http.ResponseWriter) bool {
+	s.gateMu.Lock()
+	if s.draining {
+		s.gateMu.Unlock()
+		httpError(w, http.StatusServiceUnavailable, fmt.Errorf("server: shutting down"))
+		return false
+	}
+	s.inflight.Add(1)
+	s.gateMu.Unlock()
+	return true
+}
+
+// queryRequest is the POST /query body.
+type queryRequest struct {
+	// Query is the statement text, any of the prepare-able languages
+	// (select-from-where, path:, datalog:, unql: — see core.SniffLang).
+	Query string `json:"query"`
+	// Params binds $name parameters. Strings follow the ssdq -param
+	// literal syntax: a bare word is a symbol ("Movie"), an embedded
+	// quoted form is a string ("\"Allen\""); numbers and booleans map to
+	// int/float/bool labels.
+	Params map[string]json.RawMessage `json:"params"`
+	// TimeoutMS bounds this request's execution, overriding the server
+	// default (subject to the configured cap).
+	TimeoutMS int `json:"timeout_ms"`
+	// Limit caps the rows returned for this request (0 = server default).
+	Limit int `json:"limit"`
+	// Render selects how node-valued columns are serialized: "" (default)
+	// as opaque node ids, "tree" as the node's subtree in the ssd text
+	// syntax — what a remote client without access to the graph usually
+	// wants. Rendering is against the snapshot the result set pinned.
+	Render string `json:"render"`
+}
+
+// rowLine and statusLine are the two NDJSON line shapes: every result row
+// streams as {"row": {col: value}}, and exactly one terminal line reports
+// how the stream ended — {"done": true, "rows": n} on success (with
+// "truncated" when a limit cut it short), or {"error": "..."} when the
+// cursor failed mid-stream. Clients must treat a stream without a terminal
+// line as failed (the connection died).
+type rowLine struct {
+	Row map[string]string `json:"row"`
+}
+
+type statusLine struct {
+	Done      bool   `json:"done,omitempty"`
+	Rows      int    `json:"rows"`
+	Truncated bool   `json:"truncated,omitempty"`
+	Error     string `json:"error,omitempty"`
+}
+
+func httpError(w http.ResponseWriter, code int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(statusLine{Error: err.Error()})
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	if !s.admit(w) {
+		return
+	}
+	defer s.inflight.Done()
+
+	var req queryRequest
+	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("server: bad request body: %w", err))
+		return
+	}
+	if req.Query == "" {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("server: empty query"))
+		return
+	}
+	params, err := decodeParams(req.Params)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+
+	// The request context already ends when the client disconnects; layer
+	// the timeout (request's own, else server default) on top.
+	ctx := r.Context()
+	timeout := s.cfg.DefaultTimeout
+	if req.TimeoutMS > 0 {
+		timeout = time.Duration(req.TimeoutMS) * time.Millisecond
+	}
+	if s.cfg.MaxTimeout > 0 && (timeout == 0 || timeout > s.cfg.MaxTimeout) {
+		timeout = s.cfg.MaxTimeout
+	}
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+
+	stmt, err := s.db.PrepareCached(req.Query)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	if stmt.Lang() == core.LangTransform {
+		httpError(w, http.StatusBadRequest,
+			fmt.Errorf("server: transform statements are not servable; use /mutate for writes"))
+		return
+	}
+	rows, err := stmt.Query(ctx, params...)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	defer rows.Close()
+
+	limit := req.Limit
+	if limit <= 0 || (s.cfg.MaxRows > 0 && limit > s.cfg.MaxRows) {
+		limit = s.cfg.MaxRows
+	}
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	cols := rows.Columns()
+
+	// Scan destinations: strings throughout, except that render=tree reads
+	// node-valued columns as NodeIDs and formats their subtrees.
+	renderTree := req.Render == "tree"
+	dests := make([]any, len(cols))
+	vals := make([]string, len(cols))
+	nodes := make([]ssd.NodeID, len(cols))
+	isNode := make([]bool, len(cols))
+	for i, c := range cols {
+		switch stmt.Lang() {
+		case core.LangQuery:
+			isNode[i] = !strings.HasPrefix(c, "%") && !strings.HasPrefix(c, "@")
+		case core.LangPath:
+			isNode[i] = c == "node"
+		}
+		if renderTree && isNode[i] {
+			dests[i] = &nodes[i]
+		} else {
+			dests[i] = &vals[i]
+		}
+	}
+	n, truncated := 0, false
+	for rows.Next() {
+		if err := rows.Scan(dests...); err != nil {
+			enc.Encode(statusLine{Rows: n, Error: err.Error()})
+			return
+		}
+		line := rowLine{Row: make(map[string]string, len(cols))}
+		for i, c := range cols {
+			if renderTree && isNode[i] {
+				line.Row[c] = ssd.Format(rows.Graph(), nodes[i])
+			} else {
+				line.Row[c] = vals[i]
+			}
+		}
+		if err := enc.Encode(line); err != nil {
+			return // client went away; ctx cancellation reaps the cursor
+		}
+		n++
+		if flusher != nil && n&63 == 0 {
+			flusher.Flush()
+		}
+		if limit > 0 && n >= limit {
+			truncated = true
+			break
+		}
+	}
+	if err := rows.Err(); err != nil {
+		enc.Encode(statusLine{Rows: n, Error: err.Error()})
+		return
+	}
+	enc.Encode(statusLine{Done: true, Rows: n, Truncated: truncated})
+	if flusher != nil {
+		flusher.Flush()
+	}
+}
+
+// decodeParams converts the request's JSON parameter values to labels.
+// Strings go through core.ParseLabelLiteral — the same literal syntax as
+// ssdq's -param flag — falling back to a plain string label when the text
+// is not a literal; numbers become int or float labels; booleans booleans.
+func decodeParams(raw map[string]json.RawMessage) ([]core.Param, error) {
+	if len(raw) == 0 {
+		return nil, nil
+	}
+	params := make([]core.Param, 0, len(raw))
+	for name, rv := range raw {
+		var v any
+		dec := json.NewDecoder(bytes.NewReader(rv))
+		dec.UseNumber()
+		if err := dec.Decode(&v); err != nil {
+			return nil, fmt.Errorf("server: parameter $%s: %w", name, err)
+		}
+		switch t := v.(type) {
+		case string:
+			l, err := core.ParseLabelLiteral(t)
+			if err != nil {
+				l = ssd.Str(t)
+			}
+			params = append(params, core.Param{Name: name, Value: l})
+		case json.Number:
+			if i, err := t.Int64(); err == nil {
+				params = append(params, core.Param{Name: name, Value: ssd.Int(i)})
+				break
+			}
+			f, err := t.Float64()
+			if err != nil {
+				return nil, fmt.Errorf("server: parameter $%s: bad number %q", name, t.String())
+			}
+			params = append(params, core.Param{Name: name, Value: ssd.Float(f)})
+		case bool:
+			params = append(params, core.Param{Name: name, Value: ssd.Bool(t)})
+		default:
+			return nil, fmt.Errorf("server: parameter $%s: unsupported JSON type %T", name, v)
+		}
+	}
+	return params, nil
+}
+
+// mutateResponse is the POST /mutate reply.
+type mutateResponse struct {
+	Applied bool `json:"applied"`
+	Nodes   int  `json:"nodes"`
+	Edges   int  `json:"edges"`
+}
+
+// handleMutate applies one mutation script (the ssdq script format, see
+// mutate.ParseScript) as a single committed batch. With a WAL open on the
+// database the batch is durable once the response is written. Concurrent
+// readers keep streaming from their pinned snapshots; the commit publishes
+// a new one.
+func (s *Server) handleMutate(w http.ResponseWriter, r *http.Request) {
+	if !s.admit(w) {
+		return
+	}
+	defer s.inflight.Done()
+
+	src, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	if err := s.db.MutateScript(string(src)); err != nil {
+		httpError(w, http.StatusConflict, err)
+		return
+	}
+	st := s.db.Stats()
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(mutateResponse{Applied: true, Nodes: st.Nodes, Edges: st.Edges})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	st := s.db.Stats()
+	s.gateMu.Lock()
+	draining := s.draining
+	s.gateMu.Unlock()
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(map[string]any{
+		"status":      "ok",
+		"nodes":       st.Nodes,
+		"edges":       st.Edges,
+		"parallelism": s.db.Parallelism(),
+		"draining":    draining,
+	})
+}
+

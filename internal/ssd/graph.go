@@ -182,8 +182,12 @@ func (g *Graph) NodeByOID(id string) NodeID {
 
 // SortEdges orders every node's edge set (by label, then target). It makes
 // traversal order deterministic for printing and tests; set semantics are
-// unaffected.
+// unaffected. The reverse-adjacency cache is dropped: it enumerates In()
+// edges in out-slice order, and a cache built before the sort would
+// disagree with one built after — a determinism leak, if not a correctness
+// one.
 func (g *Graph) SortEdges() {
+	g.rev.Store(nil)
 	for _, es := range g.out {
 		sort.Slice(es, func(i, j int) bool {
 			if c := es[i].Label.Compare(es[j].Label); c != 0 {

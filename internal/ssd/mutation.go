@@ -93,12 +93,15 @@ func (g *Graph) Relabel(from NodeID, old, new Label) int {
 	n := 0
 	for i := range g.out[from] {
 		if g.out[from][i].Label == old {
+			if n == 0 {
+				// Invalidate before the first in-place write, like
+				// DeleteEdge: there is never a window where out and a live
+				// rev cache disagree.
+				g.rev.Store(nil)
+			}
 			g.out[from][i].Label = new
 			n++
 		}
-	}
-	if n > 0 {
-		g.rev.Store(nil)
 	}
 	return n
 }

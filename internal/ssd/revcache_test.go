@@ -1,0 +1,171 @@
+package ssd
+
+import (
+	"sync"
+	"testing"
+)
+
+// revBase builds a small graph with known reverse structure:
+//
+//	root --x--> a --y--> b
+//	root --z--> b
+func revBase() (*Graph, NodeID, NodeID) {
+	g := New()
+	a := g.AddLeaf(g.Root(), Sym("x"))
+	b := g.AddLeaf(a, Sym("y"))
+	g.AddEdge(g.Root(), Sym("z"), b)
+	return g, a, b
+}
+
+// assertRevFresh checks that In() agrees with a from-scratch Reverse() on
+// every node — i.e. the cached reverse adjacency was invalidated by
+// whatever mutation just ran. Order is part of the contract: both are
+// built by the same out-slice walk.
+func assertRevFresh(t *testing.T, g *Graph) {
+	t.Helper()
+	want := g.Reverse()
+	for n := 0; n < g.NumNodes(); n++ {
+		got := g.In(NodeID(n))
+		if len(got) != len(want[n]) {
+			t.Fatalf("node %d: In() has %d edges, fresh reverse has %d — stale cache", n, len(got), len(want[n]))
+		}
+		for i := range got {
+			if got[i] != want[n][i] {
+				t.Fatalf("node %d edge %d: In() = %+v, fresh = %+v — stale cache", n, i, got[i], want[n][i])
+			}
+		}
+	}
+}
+
+// TestRevCacheInvalidation is the audit's table: every mutating primitive
+// must drop the cached reverse adjacency, so an In() issued right after the
+// mutation sees the new edges. Each case first forces the cache via In(),
+// then mutates, then cross-checks In() against a fresh Reverse().
+func TestRevCacheInvalidation(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(t *testing.T, g *Graph, a, b NodeID)
+	}{
+		{"AddNode", func(t *testing.T, g *Graph, a, b NodeID) {
+			// The new node has no edges, but In() must not serve a cache
+			// sized for the old node table.
+			n := g.AddNode()
+			if got := g.In(n); len(got) != 0 {
+				t.Fatalf("fresh node has %d in-edges", len(got))
+			}
+		}},
+		{"AddNodes", func(t *testing.T, g *Graph, a, b NodeID) {
+			first := g.AddNodes(3)
+			if got := g.In(first + 2); len(got) != 0 {
+				t.Fatalf("fresh node has %d in-edges", len(got))
+			}
+		}},
+		{"AddEdge", func(t *testing.T, g *Graph, a, b NodeID) {
+			g.AddEdge(b, Sym("back"), a)
+		}},
+		{"AddLeaf", func(t *testing.T, g *Graph, a, b NodeID) {
+			g.AddLeaf(a, Sym("leafed"))
+		}},
+		{"DeleteEdge", func(t *testing.T, g *Graph, a, b NodeID) {
+			if !g.DeleteEdge(a, Sym("y"), b) {
+				t.Fatal("edge not deleted")
+			}
+		}},
+		{"Relabel", func(t *testing.T, g *Graph, a, b NodeID) {
+			if g.Relabel(a, Sym("y"), Sym("y2")) != 1 {
+				t.Fatal("edge not relabeled")
+			}
+		}},
+		{"Union", func(t *testing.T, g *Graph, a, b NodeID) {
+			g.Union(g.Root(), a)
+		}},
+		{"Dedup", func(t *testing.T, g *Graph, a, b NodeID) {
+			g.AddEdge(a, Sym("y"), b) // duplicate to collapse
+			g.Dedup()
+		}},
+		{"SortEdges", func(t *testing.T, g *Graph, a, b NodeID) {
+			// Adding then sorting changes out-slice order, which is the
+			// order In() enumerates; the cache must not survive the sort.
+			g.AddEdge(g.Root(), Sym("a-first"), b)
+			g.In(b)
+			g.SortEdges()
+		}},
+		{"COW-PrivatizeOut-DeleteEdge", func(t *testing.T, g *Graph, a, b NodeID) {
+			// The write path's copy-on-write idiom: the clone privatizes a
+			// node's slice and edits in place. The clone starts with no
+			// cache; the edit must still invalidate any cache built on the
+			// clone in between.
+			h := g.CloneShared()
+			h.In(b) // build the clone's cache
+			h.PrivatizeOut(a)
+			if !h.DeleteEdge(a, Sym("y"), b) {
+				t.Fatal("edge not deleted on clone")
+			}
+			assertRevFresh(t, h)
+			// The original's cache must be untouched by the clone's edit.
+			assertRevFresh(t, g)
+		}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			g, a, b := revBase()
+			// Force the cache, then mutate through the primitive.
+			if got := g.In(b); len(got) != 2 {
+				t.Fatalf("base: b has %d in-edges, want 2", len(got))
+			}
+			c.mutate(t, g, a, b)
+			assertRevFresh(t, g)
+		})
+	}
+}
+
+// TestRevCacheMetadataOnlyPrimitives pins the other half of the audit:
+// SetRoot, SetOID and PrivatizeOut do not change the adjacency, so they may
+// keep the cache — and the cache they keep must still be correct.
+func TestRevCacheMetadataOnlyPrimitives(t *testing.T) {
+	g, a, b := revBase()
+	g.In(b)
+	g.SetRoot(a)
+	g.SetOID(b, "obj-b")
+	g.PrivatizeOut(a)
+	assertRevFresh(t, g)
+}
+
+// TestRevCacheConcurrentReaders is the -race test: many readers force and
+// share the lazy reverse build on one immutable snapshot (the
+// core.Database contract) while a writer mutates a privately cloned graph
+// — the copy-on-write discipline. The shared graph's cache must stay
+// consistent and the clone's edits must never leak into it.
+func TestRevCacheConcurrentReaders(t *testing.T) {
+	g, a, b := revBase()
+	want := g.Reverse()
+
+	var wg sync.WaitGroup
+	for r := 0; r < 8; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				in := g.In(b)
+				if len(in) != len(want[b]) {
+					t.Errorf("reader saw %d in-edges, want %d", len(in), len(want[b]))
+					return
+				}
+			}
+		}()
+	}
+	// Writer on a COW clone, concurrent with the readers above.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		h := g.CloneShared()
+		for i := 0; i < 100; i++ {
+			h.PrivatizeOut(a)
+			h.DeleteEdge(a, Sym("y"), b)
+			h.AddEdge(a, Sym("y"), b)
+			h.In(b)
+		}
+	}()
+	wg.Wait()
+	assertRevFresh(t, g)
+}
