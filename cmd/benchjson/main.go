@@ -1,0 +1,108 @@
+// Command benchjson converts `go test -bench` text output on stdin into a
+// machine-readable JSON document on stdout. CI uses it to publish each
+// run's benchmark numbers as an artifact (BENCH_pr5.json) that later runs
+// and external dashboards can consume without re-parsing the text format.
+//
+//	go test -run=NONE -bench=. -benchtime=3x -count=3 . | benchjson > BENCH_pr5.json
+//
+// Repeated -count runs of one benchmark appear as separate entries, in
+// order, so downstream tooling can compute its own dispersion statistics
+// (benchstat remains the comparison tool of record in CI).
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Run is one benchmark result line.
+type Run struct {
+	Name string `json:"name"`
+	// Iters is the b.N the line reports.
+	Iters int64 `json:"iters"`
+	// Metrics maps unit → value, e.g. "ns/op": 123.4, "B/op": 456,
+	// "allocs/op": 7, plus any custom b.ReportMetric units.
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// Report is the whole document.
+type Report struct {
+	Goos       string   `json:"goos,omitempty"`
+	Goarch     string   `json:"goarch,omitempty"`
+	Pkg        string   `json:"pkg,omitempty"`
+	CPU        string   `json:"cpu,omitempty"`
+	Benchmarks []Run    `json:"benchmarks"`
+	Failures   []string `json:"failures,omitempty"`
+}
+
+func main() {
+	rep, err := parse(os.Stdin)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+// parse consumes go test benchmark output. Unrecognized lines (test chatter,
+// PASS/ok trailers) are skipped; "--- FAIL"-style lines are collected so a
+// failing benchmark run still yields a useful document.
+func parse(r io.Reader) (*Report, error) {
+	rep := &Report{Benchmarks: []Run{}}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			rep.Goos = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+		case strings.HasPrefix(line, "goarch:"):
+			rep.Goarch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+		case strings.HasPrefix(line, "pkg:"):
+			rep.Pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+		case strings.HasPrefix(line, "cpu:"):
+			rep.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+		case strings.HasPrefix(line, "Benchmark"):
+			if run, ok := parseRun(line); ok {
+				rep.Benchmarks = append(rep.Benchmarks, run)
+			}
+		case strings.HasPrefix(line, "--- FAIL") || line == "FAIL" || strings.HasPrefix(line, "FAIL\t"):
+			rep.Failures = append(rep.Failures, line)
+		}
+	}
+	return rep, sc.Err()
+}
+
+// parseRun parses one result line: name, iteration count, then value/unit
+// pairs.
+//
+//	BenchmarkX/case-8   3   41558 ns/op   23112 B/op   170 allocs/op
+func parseRun(line string) (Run, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || len(fields)%2 != 0 {
+		return Run{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Run{}, false
+	}
+	run := Run{Name: fields[0], Iters: iters, Metrics: make(map[string]float64, (len(fields)-2)/2)}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Run{}, false
+		}
+		run.Metrics[fields[i+1]] = v
+	}
+	return run, true
+}

@@ -1,0 +1,70 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: repro
+cpu: AMD EPYC 7B13
+BenchmarkPlannedVsNaive/planned-8         	       3	     41558 ns/op	   23112 B/op	     170 allocs/op
+BenchmarkPlannedVsNaive/planned-8         	       3	     40912 ns/op	   23112 B/op	     170 allocs/op
+BenchmarkPlannedVsNaive/naive-8           	       3	   1638273 ns/op	 1204512 B/op	   12007 allocs/op
+BenchmarkParallelVsSerial/workers=2-8     	       3	    901221 ns/op
+PASS
+ok  	repro	4.201s
+`
+
+func TestParse(t *testing.T) {
+	rep, err := parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Goos != "linux" || rep.Goarch != "amd64" || rep.Pkg != "repro" || rep.CPU != "AMD EPYC 7B13" {
+		t.Fatalf("header mismatch: %+v", rep)
+	}
+	if len(rep.Benchmarks) != 4 {
+		t.Fatalf("parsed %d runs, want 4", len(rep.Benchmarks))
+	}
+	first := rep.Benchmarks[0]
+	if first.Name != "BenchmarkPlannedVsNaive/planned-8" || first.Iters != 3 {
+		t.Fatalf("first run = %+v", first)
+	}
+	if first.Metrics["ns/op"] != 41558 || first.Metrics["B/op"] != 23112 || first.Metrics["allocs/op"] != 170 {
+		t.Fatalf("first run metrics = %v", first.Metrics)
+	}
+	// -count repetitions stay separate entries.
+	if rep.Benchmarks[1].Name != first.Name || rep.Benchmarks[1].Metrics["ns/op"] != 40912 {
+		t.Fatalf("second repetition = %+v", rep.Benchmarks[1])
+	}
+	// A line with only ns/op parses too.
+	last := rep.Benchmarks[3]
+	if len(last.Metrics) != 1 || last.Metrics["ns/op"] != 901221 {
+		t.Fatalf("last run metrics = %v", last.Metrics)
+	}
+	if len(rep.Failures) != 0 {
+		t.Fatalf("unexpected failures: %v", rep.Failures)
+	}
+}
+
+func TestParseCollectsFailures(t *testing.T) {
+	rep, err := parse(strings.NewReader("--- FAIL: BenchmarkX\nFAIL\nFAIL\trepro\t0.1s\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Failures) != 3 {
+		t.Fatalf("failures = %v, want 3 lines", rep.Failures)
+	}
+}
+
+func TestParseSkipsChatter(t *testing.T) {
+	rep, err := parse(strings.NewReader("Benchmark output noise\nBenchmarkBad abc def\nrandom line\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Benchmarks) != 0 {
+		t.Fatalf("chatter parsed as runs: %+v", rep.Benchmarks)
+	}
+}

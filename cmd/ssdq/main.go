@@ -22,6 +22,11 @@
 //	ssdq -db in.ssd convert -o out.ssdg   (formats: .ssd text, .ssdg binary, .oem)
 //	ssdq -db file.ssdg -wal file.wal mutate 'addnode; addedge 0 Tag $0'
 //	ssdq -db file.ssdg -wal file.wal mutate script.mut   (load statements from a file)
+//	ssdq -db file.ssd save dbdir          # export as a durable directory
+//	ssdq open dbdir                       # recover it and report what that took
+//	ssdq -data dbdir query '...'          # any command against a durable directory
+//	ssdq -data dbdir mutate 'addnode; addedge 0 Tag $0'   # WAL-logged commit
+//	ssdq -data dbdir checkpoint           # fold the WAL into a new generation
 //	ssdq demo            # run the Figure 1 tour without a database file
 //
 // prepare parses a statement once and reports its sniffed language,
@@ -40,7 +45,15 @@
 // appends its batch to the log before applying it. With -o the mutated
 // database is also saved.
 //
-// With no -db flag, ssdq uses the built-in Figure 1 database.
+// Durable directories: `save <dir>` exports the loaded database as the
+// first snapshot generation of a durable directory; -data <dir> runs any
+// command against such a directory (recovering the newest generation and
+// replaying the WAL tail first), with mutate commits logged durably; the
+// checkpoint command folds the log into a fresh generation so the next
+// open replays nothing; `open <dir>` just recovers and reports what that
+// took. See internal/core's OpenPath/Checkpoint.
+//
+// With no -db or -data flag, ssdq uses the built-in Figure 1 database.
 package main
 
 import (
@@ -81,6 +94,7 @@ func (p *paramFlags) Set(s string) error {
 func main() {
 	var (
 		dbPath  = flag.String("db", "", "database file (.ssd text or .ssdg binary); default: built-in Figure 1")
+		dataDir = flag.String("data", "", "durable database directory (snapshots + WAL); alternative to -db")
 		depth   = flag.Int("depth", 3, "browse: maximum path depth")
 		limit   = flag.Int("limit", 40, "browse: maximum paths listed")
 		out     = flag.String("o", "", "convert/mutate: output file (.ssd or .ssdg)")
@@ -91,7 +105,7 @@ func main() {
 	)
 	flag.Var(&params, "param", "run: bind a $parameter as name=value (repeatable)")
 	flag.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: ssdq [flags] <stats|query|explain|prepare|run|path|datalog|browse|guide|schema|fmt|convert|mutate|demo> [arg]")
+		fmt.Fprintln(os.Stderr, "usage: ssdq [flags] <stats|query|explain|prepare|run|path|datalog|browse|guide|schema|fmt|convert|mutate|save|open|checkpoint|demo> [arg]")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -102,18 +116,40 @@ func main() {
 	}
 	cmd, rest := args[0], args[1:]
 
-	db, err := load(*dbPath)
-	if err != nil {
-		fatal(err)
+	if cmd == "open" {
+		// open recovers a durable directory and reports what that took; it
+		// takes the directory as its argument, not through -data.
+		runOpen(arg(rest, "open"))
+		return
 	}
-	if *wal != "" {
-		// Replay the log for every command, not just mutate: with a WAL the
-		// current state is snapshot + log, and querying the bare snapshot
-		// would silently serve stale data.
-		if err := db.OpenWAL(*wal); err != nil {
+
+	var db *core.Database
+	var err error
+	switch {
+	case *dataDir != "":
+		if *wal != "" {
+			fatal(fmt.Errorf("-wal conflicts with -data: the directory has its own log"))
+		}
+		if *dbPath != "" {
+			fatal(fmt.Errorf("-db conflicts with -data: the directory is the database (use `ssdq -db file save <dir>` to seed one)"))
+		}
+		if db, err = core.OpenPath(*dataDir); err != nil {
 			fatal(err)
 		}
 		defer db.CloseWAL()
+	default:
+		if db, err = load(*dbPath); err != nil {
+			fatal(err)
+		}
+		if *wal != "" {
+			// Replay the log for every command, not just mutate: with a WAL
+			// the current state is snapshot + log, and querying the bare
+			// snapshot would silently serve stale data.
+			if err := db.OpenWAL(*wal); err != nil {
+				fatal(err)
+			}
+			defer db.CloseWAL()
+		}
 	}
 
 	switch cmd {
@@ -234,6 +270,22 @@ func main() {
 		if err := runMutate(db, arg(rest, "mutate"), *out); err != nil {
 			fatal(err)
 		}
+	case "save":
+		dir := arg(rest, "save")
+		if err := db.SavePath(dir); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("saved %s as durable directory %s\n", db.Describe(), dir)
+	case "checkpoint":
+		if !db.Durable() {
+			fatal(fmt.Errorf("checkpoint requires -data"))
+		}
+		info, err := db.Checkpoint()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("checkpointed generation %d: %s (%d bytes, %d batches folded)\n",
+			info.Seq, info.Path, info.Bytes, info.Truncated)
 	case "demo":
 		demo(db)
 	default:
@@ -381,6 +433,24 @@ func runStmt(db *core.Database, src string, params []core.Param, eng query.Engin
 		fmt.Printf("%d rows\n", n)
 	}
 	return nil
+}
+
+// runOpen recovers a durable directory and reports the recovery cost: the
+// generation recovered from and how much of the log it had to replay.
+func runOpen(dir string) {
+	db, err := core.OpenPath(dir)
+	if err != nil {
+		fatal(err)
+	}
+	defer db.CloseWAL()
+	ri := db.LastRecovery()
+	if ri.SnapshotPath == "" {
+		fmt.Printf("opened %s: no snapshot yet, %d batches replayed from the log\n", dir, ri.Replayed)
+	} else {
+		fmt.Printf("opened %s: generation %d, %d batches skipped (already folded), %d replayed\n",
+			dir, ri.SnapshotSeq, ri.Skipped, ri.Replayed)
+	}
+	fmt.Println(db.Describe())
 }
 
 func clip(s string, n int) string {

@@ -3,16 +3,19 @@
 //
 // Usage:
 //
+//	ssdserve -data dbdir                      # durable: snapshots + WAL in dbdir
+//	ssdserve -data dbdir -demo 5000           # seed a fresh dbdir, then serve it
 //	ssdserve -db movie.ssdg [-wal movie.wal] [-addr :8080] [-parallelism 4]
-//	ssdserve -demo 5000                       # serve a generated movie DB
+//	ssdserve -demo 5000                       # serve a generated movie DB (volatile)
 //
 // Endpoints (see internal/server):
 //
-//	POST /query    {"query": "...", "params": {...}, "timeout_ms": 1000}
-//	               → NDJSON rows, one {"row": {...}} per line, terminated
-//	               by {"done": true, "rows": N} or {"error": "..."}
-//	POST /mutate   mutation script (ssdq format) → one committed batch
-//	GET  /healthz  liveness + snapshot stats
+//	POST /query      {"query": "...", "params": {...}, "timeout_ms": 1000}
+//	                 → NDJSON rows, one {"row": {...}} per line, terminated
+//	                 by {"done": true, "rows": N} or {"error": "..."}
+//	POST /mutate     mutation script (ssdq format) → one committed batch
+//	POST /checkpoint force a durable checkpoint now (with -data)
+//	GET  /healthz    liveness + snapshot stats + WAL size
 //
 // Example:
 //
@@ -21,8 +24,19 @@
 //	  "params": {"who": "\"Allen\""}
 //	}'
 //
-// SIGINT/SIGTERM triggers graceful shutdown: new requests get 503, and the
-// process exits once every in-flight cursor drains (bounded by -grace).
+// With -data the database lives in a durable directory (core.OpenPath):
+// every /mutate commit is WAL-logged, and a background checkpointer folds
+// the log into a new snapshot generation every -checkpoint-interval or as
+// soon as the log exceeds -checkpoint-max-wal bytes, whichever comes
+// first — so a restart replays only the short WAL tail. Checkpoints run
+// against a pinned MVCC snapshot: queries and mutations keep flowing while
+// one is written. Seeding: if dbdir is empty and -db/-text/-demo names a
+// source, the source becomes generation 1; once initialized, the directory
+// itself is the single source of truth and the seed flags are rejected.
+//
+// SIGINT/SIGTERM triggers graceful shutdown: new requests get 503, the
+// process exits once every in-flight cursor drains (bounded by -grace),
+// and with -data a final checkpoint bounds the next start's replay.
 package main
 
 import (
@@ -44,36 +58,40 @@ import (
 
 func main() {
 	var (
-		addr        = flag.String("addr", ":8080", "listen address")
-		dbPath      = flag.String("db", "", "database file (storage binary format)")
-		text        = flag.String("text", "", "database file in the text syntax (alternative to -db)")
-		walPath     = flag.String("wal", "", "write-ahead log to attach (replays, then logs commits)")
-		demo        = flag.Int("demo", 0, "serve a generated movie database with this many entries instead of a file")
-		parallelism = flag.Int("parallelism", 0, "intra-query parallel workers (0/1 = serial)")
-		timeout     = flag.Duration("timeout", 30*time.Second, "default per-request timeout (0 = none)")
-		maxTimeout  = flag.Duration("max-timeout", 5*time.Minute, "cap on per-request timeout_ms (0 = uncapped)")
-		maxRows     = flag.Int("max-rows", 0, "cap on rows streamed per request (0 = unlimited)")
-		grace       = flag.Duration("grace", 30*time.Second, "shutdown drain deadline")
+		addr         = flag.String("addr", ":8080", "listen address")
+		dataDir      = flag.String("data", "", "durable database directory (snapshots + WAL); seeds from -db/-text/-demo when empty")
+		dbPath       = flag.String("db", "", "database file (storage binary format)")
+		text         = flag.String("text", "", "database file in the text syntax (alternative to -db)")
+		walPath      = flag.String("wal", "", "write-ahead log to attach (replays, then logs commits)")
+		demo         = flag.Int("demo", 0, "serve a generated movie database with this many entries instead of a file")
+		parallelism  = flag.Int("parallelism", 0, "intra-query parallel workers (0/1 = serial)")
+		timeout      = flag.Duration("timeout", 30*time.Second, "default per-request timeout (0 = none)")
+		maxTimeout   = flag.Duration("max-timeout", 5*time.Minute, "cap on per-request timeout_ms (0 = uncapped)")
+		maxRows      = flag.Int("max-rows", 0, "cap on rows streamed per request (0 = unlimited)")
+		grace        = flag.Duration("grace", 30*time.Second, "shutdown drain deadline")
+		ckptInterval = flag.Duration("checkpoint-interval", 5*time.Minute, "with -data: background checkpoint timer (0 = off)")
+		ckptMaxWAL   = flag.Int64("checkpoint-max-wal", 64<<20, "with -data: checkpoint when the WAL exceeds this many bytes (0 = off)")
 	)
 	flag.Parse()
 
-	db, err := openDatabase(*dbPath, *text, *demo)
+	db, err := openServeDatabase(*dataDir, *dbPath, *text, *walPath, *demo)
 	if err != nil {
 		log.Fatalf("ssdserve: %v", err)
 	}
-	if *walPath != "" {
-		if err := db.OpenWAL(*walPath); err != nil {
-			log.Fatalf("ssdserve: open WAL: %v", err)
-		}
-		defer db.CloseWAL()
-	}
+	defer db.CloseWAL()
 
-	srv := server.New(db, server.Config{
+	cfg := server.Config{
 		Parallelism:    *parallelism,
 		DefaultTimeout: *timeout,
 		MaxTimeout:     *maxTimeout,
 		MaxRows:        *maxRows,
-	})
+		Logf:           log.Printf,
+	}
+	if db.Durable() {
+		cfg.CheckpointInterval = *ckptInterval
+		cfg.CheckpointMaxWAL = *ckptMaxWAL
+	}
+	srv := server.New(db, cfg)
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
 
 	done := make(chan struct{})
@@ -92,6 +110,16 @@ func main() {
 		if err := httpSrv.Shutdown(ctx); err != nil {
 			log.Printf("ssdserve: http shutdown: %v", err)
 		}
+		if db.Durable() {
+			// Fold the WAL tail into a final generation so the next start
+			// replays (nearly) nothing.
+			if info, err := db.Checkpoint(); err != nil {
+				log.Printf("ssdserve: final checkpoint: %v", err)
+			} else {
+				log.Printf("ssdserve: final checkpoint: generation %d (%d batches folded)",
+					info.Seq, info.Truncated)
+			}
+		}
 	}()
 
 	log.Printf("ssdserve: serving %s on %s (parallelism %d)", db.Describe(), *addr, db.Parallelism())
@@ -99,6 +127,54 @@ func main() {
 		log.Fatalf("ssdserve: %v", err)
 	}
 	<-done
+}
+
+// openServeDatabase resolves the flag combinations to one database. With
+// -data, the directory is authoritative: a fresh one may be seeded from
+// -db/-text/-demo, an initialized one rejects them (serving a file over an
+// existing durable history would silently fork it).
+func openServeDatabase(dataDir, dbPath, text, walPath string, demo int) (*core.Database, error) {
+	if dataDir == "" {
+		db, err := openDatabase(dbPath, text, demo)
+		if err != nil {
+			return nil, err
+		}
+		if walPath != "" {
+			if err := db.OpenWAL(walPath); err != nil {
+				return nil, fmt.Errorf("open WAL: %w", err)
+			}
+		}
+		return db, nil
+	}
+	if walPath != "" {
+		return nil, fmt.Errorf("-wal conflicts with -data: the directory has its own log")
+	}
+	initialized, err := core.PathInitialized(dataDir)
+	if err != nil {
+		return nil, err
+	}
+	hasSeed := dbPath != "" || text != "" || demo > 0
+	if initialized && hasSeed {
+		return nil, fmt.Errorf("-data %s is already initialized; drop -db/-text/-demo", dataDir)
+	}
+	if !initialized && hasSeed {
+		seed, err := openDatabase(dbPath, text, demo)
+		if err != nil {
+			return nil, err
+		}
+		if err := seed.SavePath(dataDir); err != nil {
+			return nil, err
+		}
+		log.Printf("ssdserve: seeded %s (%s)", dataDir, seed.Describe())
+	}
+	db, err := core.OpenPath(dataDir)
+	if err != nil {
+		return nil, err
+	}
+	ri := db.LastRecovery()
+	log.Printf("ssdserve: recovered %s: generation %d, %d batches skipped, %d replayed",
+		dataDir, ri.SnapshotSeq, ri.Skipped, ri.Replayed)
+	return db, nil
 }
 
 func openDatabase(dbPath, text string, demo int) (*core.Database, error) {
@@ -114,6 +190,6 @@ func openDatabase(dbPath, text string, demo int) (*core.Database, error) {
 		}
 		return core.ParseText(string(src))
 	default:
-		return nil, fmt.Errorf("one of -db, -text or -demo is required")
+		return nil, fmt.Errorf("one of -data, -db, -text or -demo is required")
 	}
 }

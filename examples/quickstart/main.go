@@ -1,6 +1,6 @@
 // Quickstart: build a small semistructured database from text, prepare a
 // statement once, execute it with different parameters, stream the rows,
-// and look at the data without a schema.
+// look at the data without a schema, and make the whole thing durable.
 //
 //	go run ./examples/quickstart
 package main
@@ -9,6 +9,7 @@ import (
 	"context"
 	"fmt"
 	"log"
+	"os"
 	"strings"
 
 	"repro/internal/core"
@@ -108,4 +109,31 @@ func main() {
 	s := db.InferSchema()
 	fmt.Println("\ninferred schema:", s)
 	fmt.Println("data conforms:", db.Conforms(s))
+
+	// 7. Make it durable: export as a directory of checkpointed snapshots
+	// plus a WAL, reopen it, commit through the log, and checkpoint so the
+	// next open replays nothing. (`ssdq save`/`ssdq open` and
+	// `ssdserve -data` wrap exactly these calls.)
+	dir, err := os.MkdirTemp("", "quickstart-db")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	if err := db.SavePath(dir); err != nil {
+		log.Fatal(err)
+	}
+	durable, err := core.OpenPath(dir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer durable.CloseWAL()
+	if err := durable.MutateScript(`addnode; addedge 0 person $0; addnode; addedge $0 name $1`); err != nil {
+		log.Fatal(err)
+	}
+	info, err := durable.Checkpoint()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ndurable: %s — checkpointed generation %d (%d batches folded)\n",
+		durable.Describe(), info.Seq, info.Truncated)
 }

@@ -26,6 +26,7 @@ import (
 	"container/list"
 	"context"
 	"fmt"
+	"os"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -69,6 +70,23 @@ type Database struct {
 	// parallelism is the default worker count Stmt.Query fans queries out
 	// to (see SetParallelism). 0 or 1 = serial.
 	parallelism atomic.Int32
+
+	// walRO mirrors wal for lock-free readers (WALSize): monitoring must
+	// not queue behind a writer holding writeMu through a log truncation.
+	walRO atomic.Pointer[mutate.WAL]
+
+	// Durable-directory state (see durable.go). dir is empty unless the
+	// database was opened with OpenPath; snapSeq is the newest snapshot
+	// generation on disk and recovery describes what open recovered.
+	// dirLock holds the directory's advisory file lock for the life of the
+	// handle. ckptMu serializes whole checkpoints against each other
+	// without blocking the writer: only the brief pin and the log
+	// truncation take writeMu.
+	dir      string
+	snapSeq  uint64
+	recovery RecoveryInfo
+	dirLock  *os.File
+	ckptMu   sync.Mutex
 }
 
 // stmtCacheMax bounds the statement cache.
@@ -247,6 +265,12 @@ func (db *Database) commit(b *mutate.Batch, logIt bool) error {
 }
 
 func (db *Database) commitLocked(b *mutate.Batch, logIt bool) error {
+	if db.dir != "" && db.wal == nil {
+		// A directory-backed database without its log is closed: accepting
+		// the commit would publish a state no generation or log holds, and
+		// the next OpenPath would silently drop it.
+		return fmt.Errorf("core: database is closed")
+	}
 	old := db.snapshot()
 	g2, res, err := mutate.ApplyCOW(old.g, b)
 	if err != nil {
@@ -293,6 +317,9 @@ func (db *Database) commitLocked(b *mutate.Batch, logIt bool) error {
 func (db *Database) OpenWAL(path string) error {
 	db.writeMu.Lock()
 	defer db.writeMu.Unlock()
+	if db.dir != "" {
+		return fmt.Errorf("core: database is directory-backed; its log lives in %s", db.dir)
+	}
 	if db.wal != nil {
 		return fmt.Errorf("core: WAL already open")
 	}
@@ -314,30 +341,42 @@ func (db *Database) OpenWAL(path string) error {
 		db.invalidateStmtPlans()
 	}
 	db.wal = w
+	db.walRO.Store(w)
 	return nil
 }
 
 // CompactWAL rewrites the snapshot file at path from the current graph and
 // truncates the open WAL: snapshot + empty log replays to the same state as
-// the old snapshot + full log.
+// the old snapshot + full log. On a durable database (OpenPath) use
+// Checkpoint instead — it owns the directory's generation bookkeeping.
 func (db *Database) CompactWAL(path string) error {
 	db.writeMu.Lock()
 	defer db.writeMu.Unlock()
+	if db.dir != "" {
+		return fmt.Errorf("core: database is directory-backed; use Checkpoint")
+	}
 	if db.wal == nil {
 		return fmt.Errorf("core: no WAL open")
 	}
 	return db.wal.Compact(path, db.snapshot().g)
 }
 
-// CloseWAL detaches and closes the write-ahead log, if one is open.
+// CloseWAL detaches and closes the write-ahead log, if one is open. On a
+// directory-backed database this is the close operation: it also releases
+// the directory lock, letting another process OpenPath it.
 func (db *Database) CloseWAL() error {
 	db.writeMu.Lock()
 	defer db.writeMu.Unlock()
+	if db.dirLock != nil {
+		db.dirLock.Close() // releases the advisory lock
+		db.dirLock = nil
+	}
 	if db.wal == nil {
 		return nil
 	}
 	err := db.wal.Close()
 	db.wal = nil
+	db.walRO.Store(nil)
 	return err
 }
 

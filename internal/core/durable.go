@@ -1,0 +1,414 @@
+package core
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"syscall"
+
+	"repro/internal/mutate"
+	"repro/internal/ssd"
+	"repro/internal/storage"
+)
+
+// This file is the durable face of a Database: a directory holding
+// checkpointed snapshot generations plus one write-ahead log.
+//
+//	dir/
+//	  snap-<seq>.ssds   snapshot generations (storage snapshot format)
+//	  wal.log           the WAL, bound by fingerprint to one generation
+//
+// OpenPath recovers the newest valid generation and replays only the log
+// tail past it; Checkpoint writes the next generation from a pinned MVCC
+// snapshot — without blocking readers or the writer — and then truncates
+// exactly the log prefix the new generation folded in, under the writer
+// lock, so a commit can never land between snapshot publish and log
+// truncation and be silently dropped.
+//
+// Crash matrix (why every window is safe):
+//
+//   - during snapshot write: the temp file never got renamed; OpenPath
+//     ignores it and recovers from the previous generation + the full log.
+//   - between rename and truncation: the newest snapshot names the log's
+//     old binding (WALBaseFP) and how many of its batches it already holds
+//     (Applied); OpenPath skips that prefix, replays the tail, and
+//     completes the interrupted truncation.
+//   - during log truncation: the rewrite goes through temp+rename, so the
+//     log is either still the old one (previous case) or fully truncated.
+//   - after truncation: the normal case — snapshot fingerprint and log
+//     binding agree; replay everything in the log.
+
+const (
+	walFile    = "wal.log"
+	lockFile   = "LOCK"
+	snapSuffix = ".ssds"
+)
+
+// lockDir takes the directory's advisory lock (flock on dir/LOCK,
+// non-blocking). Exactly one process may hold a durable directory open:
+// two writers appending to one log at independent offsets would interleave
+// frames into a tail the next open silently truncates, and a checkpoint in
+// one process would rewrite the log out from under the other. The lock is
+// released by closing the returned file (CloseWAL, or process death — so
+// a crash never leaves a stale lock).
+func lockDir(dir string) (*os.File, error) {
+	f, err := os.OpenFile(filepath.Join(dir, lockFile), os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("core: %s is in use by another process: %w", dir, err)
+	}
+	return f, nil
+}
+
+func snapName(seq uint64) string { return fmt.Sprintf("snap-%016d%s", seq, snapSuffix) }
+
+// snapFile is one snapshot generation found on disk.
+type snapFile struct {
+	path string
+	seq  uint64
+}
+
+// snapshotFiles lists the snapshot generations in dir, newest first.
+// Temp files from interrupted writes do not match and are ignored.
+func snapshotFiles(dir string) ([]snapFile, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var out []snapFile
+	for _, e := range ents {
+		name := e.Name()
+		var seq uint64
+		if n, err := fmt.Sscanf(name, "snap-%d"+snapSuffix, &seq); n != 1 || err != nil {
+			continue
+		}
+		if name != snapName(seq) { // reject snap-1.ssds.tmp-style stragglers
+			continue
+		}
+		out = append(out, snapFile{path: filepath.Join(dir, name), seq: seq})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].seq > out[j].seq })
+	return out, nil
+}
+
+// PathInitialized reports whether dir already holds a durable database —
+// a snapshot generation or a write-ahead log. Serving layers use it to
+// decide between seeding a fresh directory (SavePath) and opening an
+// existing one (OpenPath).
+func PathInitialized(dir string) (bool, error) {
+	cands, err := snapshotFiles(dir)
+	if os.IsNotExist(err) {
+		return false, nil
+	}
+	if err != nil {
+		return false, err
+	}
+	if len(cands) > 0 {
+		return true, nil
+	}
+	if _, err := os.Stat(filepath.Join(dir, walFile)); err == nil {
+		return true, nil
+	}
+	return false, nil
+}
+
+// RecoveryInfo reports what OpenPath recovered: which snapshot generation
+// seeded the database, how many logged batches were already part of it
+// (skipped), and how many were replayed on top — the probe recovery tests
+// use to assert that a restart after a checkpoint pays only for the tail.
+type RecoveryInfo struct {
+	SnapshotPath string // "" when the directory had no snapshot yet
+	SnapshotSeq  uint64
+	Skipped      int // batches dropped: already folded into the snapshot
+	Replayed     int // batches applied on top of the snapshot
+}
+
+// OpenPath opens (creating if necessary) a durable database directory. It
+// loads the newest snapshot generation that decodes cleanly — falling back
+// past torn or corrupt files to the previous generation — then opens the
+// WAL and replays only the batches past the snapshot. A brand-new
+// directory starts as an empty database whose first commit is durable
+// immediately.
+//
+// The returned database logs every Commit to the directory's WAL; call
+// Checkpoint (or let a serving layer's background checkpointer do it) to
+// bound the log and the next open's replay work.
+func OpenPath(dir string) (*Database, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	lock, err := lockDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	opened := false
+	defer func() {
+		if !opened {
+			lock.Close()
+		}
+	}()
+	cands, err := snapshotFiles(dir)
+	if err != nil {
+		return nil, err
+	}
+	var (
+		snap     *storage.Snapshot
+		loaded   snapFile
+		firstErr error
+	)
+	for _, c := range cands {
+		s, err := storage.ReadSnapshotFile(c.path)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("%s: %w", c.path, err)
+			}
+			continue
+		}
+		snap, loaded = s, c
+		break
+	}
+	if snap == nil && len(cands) > 0 {
+		// Every generation is damaged: recovering as an empty database
+		// would quietly discard the data, so refuse.
+		return nil, fmt.Errorf("core: no valid snapshot in %s (newest: %v)", dir, firstErr)
+	}
+	if snap == nil {
+		g := ssd.New()
+		fp := mutate.Fingerprint(g)
+		snap = &storage.Snapshot{Graph: g, SelfFP: fp, WALBaseFP: fp}
+	}
+
+	w, matched, err := mutate.OpenWALMatching(filepath.Join(dir, walFile), snap.SelfFP, snap.WALBaseFP)
+	if err != nil {
+		return nil, err
+	}
+	skipped := 0
+	if matched != snap.SelfFP {
+		// The log is still bound to the snapshot's base: a crash interrupted
+		// the last checkpoint between snapshot rename and log truncation.
+		// The snapshot's first Applied batches are already folded in — skip
+		// them and complete the truncation.
+		if w.Batches() < int(snap.Applied) {
+			w.Close()
+			return nil, fmt.Errorf("core: %s: snapshot folds %d batches but log holds %d",
+				dir, snap.Applied, w.Batches())
+		}
+		if err := w.TruncatePrefix(int(snap.Applied), snap.SelfFP); err != nil {
+			w.Close()
+			return nil, err
+		}
+		skipped = int(snap.Applied)
+	}
+
+	// Replay the tail in place, maintaining the restored derived structures
+	// incrementally so recovery hands back a query-ready snapshot.
+	g := snap.Graph
+	labelIx, valueIx, guide := snap.Labels, snap.Values, snap.Guide
+	replayed := 0
+	if w.Batches() > 0 {
+		if err := w.Replay(func(b *mutate.Batch) error {
+			res, err := mutate.ApplyInPlace(g, b)
+			if err != nil {
+				return err
+			}
+			replayed++
+			if labelIx != nil {
+				labelIx = labelIx.Apply(res.Delta)
+			}
+			if valueIx != nil {
+				valueIx = valueIx.Apply(res.Delta)
+			}
+			if guide != nil {
+				if res.RootChanged {
+					guide = nil
+				} else if ng, ok := guide.ApplyDelta(g, res.Delta, 0); ok {
+					guide = ng
+				} else {
+					guide = nil // deletes in the accessible region: rebuild lazily
+				}
+			}
+			return nil
+		}); err != nil {
+			w.Close()
+			return nil, err
+		}
+	}
+
+	db := &Database{dir: dir, snapSeq: loaded.seq, dirLock: lock}
+	db.snap.Store(&snapshot{g: g, labelIx: labelIx, valueIx: valueIx, guide: guide})
+	db.wal = w
+	db.walRO.Store(w)
+	opened = true
+	db.recovery = RecoveryInfo{
+		SnapshotPath: loaded.path,
+		SnapshotSeq:  loaded.seq,
+		Skipped:      skipped,
+		Replayed:     replayed,
+	}
+	return db, nil
+}
+
+// LastRecovery reports what OpenPath recovered. Zero for databases not
+// opened from a durable directory.
+func (db *Database) LastRecovery() RecoveryInfo { return db.recovery }
+
+// Durable reports whether the database is backed by a durable directory
+// (opened with OpenPath) and therefore supports Checkpoint.
+func (db *Database) Durable() bool { return db.dir != "" }
+
+// WALSize returns the current size in bytes of the open write-ahead log
+// (0 without one) — the figure size-threshold checkpoint triggers and
+// /healthz watch. Lock-free: it must stay responsive while a checkpoint's
+// log truncation holds the writer lock.
+func (db *Database) WALSize() int64 {
+	w := db.walRO.Load()
+	if w == nil {
+		return 0
+	}
+	return w.Size()
+}
+
+// CheckpointInfo describes one completed checkpoint.
+type CheckpointInfo struct {
+	Path      string // snapshot file written (or current, when NoOp)
+	Seq       uint64 // its generation number
+	Bytes     int64  // its size (0 when NoOp)
+	Truncated int    // WAL batches folded in and removed from the log
+	// NoOp reports that nothing was written: a generation already exists
+	// and no batches have been committed since it was taken.
+	NoOp bool
+}
+
+// Checkpoint writes the next snapshot generation and truncates the log
+// prefix it covers. The expensive part — serializing the pinned MVCC
+// snapshot with its indexes and DataGuide to a temp file and renaming it
+// in — runs without any lock the read or write paths take: readers keep
+// streaming and the single writer keeps committing throughout. Only two
+// brief windows take the writer lock: pinning (snapshot pointer + log
+// position must be read consistently) and the final log truncation, which
+// removes exactly the prefix the new generation folded in, so commits that
+// landed during serialization survive in the tail.
+//
+// Checkpoints are serialized with each other; concurrent calls queue.
+func (db *Database) Checkpoint() (CheckpointInfo, error) {
+	if db.dir == "" {
+		return CheckpointInfo{}, fmt.Errorf("core: database was not opened with OpenPath")
+	}
+	db.ckptMu.Lock()
+	defer db.ckptMu.Unlock()
+
+	db.writeMu.Lock()
+	if db.wal == nil {
+		db.writeMu.Unlock()
+		return CheckpointInfo{}, fmt.Errorf("core: database is closed")
+	}
+	snap := db.snapshot()
+	folded := db.wal.Batches()
+	baseFP := db.wal.BaseFingerprint()
+	db.writeMu.Unlock()
+
+	if folded == 0 && db.snapSeq > 0 {
+		// Nothing committed since the newest generation: rewriting an
+		// identical snapshot (and its indexes) would be pure I/O. An idle
+		// database checkpoints for free.
+		return CheckpointInfo{
+			Path: filepath.Join(db.dir, snapName(db.snapSeq)),
+			Seq:  db.snapSeq,
+			NoOp: true,
+		}, nil
+	}
+
+	// Force-build the linear-cost indexes so the generation restores a
+	// query-ready database; the DataGuide (potentially exponential) is
+	// included only if this snapshot already built it.
+	labels := snap.labels()
+	values := snap.values()
+	snap.mu.Lock()
+	guide := snap.guide
+	snap.mu.Unlock()
+
+	seq := db.snapSeq + 1
+	path := filepath.Join(db.dir, snapName(seq))
+	s := &storage.Snapshot{
+		Graph:     snap.g,
+		Labels:    labels,
+		Values:    values,
+		Guide:     guide,
+		WALBaseFP: baseFP,
+		Applied:   uint64(folded),
+	}
+	n, err := storage.WriteSnapshotFile(path, s)
+	if err != nil {
+		return CheckpointInfo{}, err
+	}
+
+	// The generation is durable; now drop its prefix from the log. Under
+	// the writer lock: a commit must either be in the folded prefix (it
+	// was, by the pin) or survive in the tail — never vanish in between.
+	db.writeMu.Lock()
+	err = db.wal.TruncatePrefix(folded, s.SelfFP)
+	db.writeMu.Unlock()
+	if err != nil {
+		return CheckpointInfo{}, fmt.Errorf("core: checkpoint %s written but log truncation failed: %w", path, err)
+	}
+	db.snapSeq = seq
+	db.pruneSnapshots(seq)
+	return CheckpointInfo{Path: path, Seq: seq, Bytes: n, Truncated: folded}, nil
+}
+
+// pruneSnapshots removes generations older than the previous one. The
+// previous generation is kept as the fallback for a torn newest file;
+// anything older can never be chosen by OpenPath while a newer valid one
+// exists. Best-effort: a prune failure only costs disk.
+func (db *Database) pruneSnapshots(cur uint64) {
+	cands, err := snapshotFiles(db.dir)
+	if err != nil {
+		return
+	}
+	for _, c := range cands {
+		if c.seq+1 < cur {
+			os.Remove(c.path)
+		}
+	}
+}
+
+// SavePath exports the database's current snapshot as the first generation
+// of a new durable directory — the bridge from the in-memory loaders
+// (ParseText, Open, FromGraph) to OpenPath. It refuses a directory that
+// already holds a snapshot or log: merging histories silently could orphan
+// the existing log's commits.
+func (db *Database) SavePath(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	cands, err := snapshotFiles(dir)
+	if err != nil {
+		return err
+	}
+	if len(cands) > 0 {
+		return fmt.Errorf("core: %s already holds snapshot generations", dir)
+	}
+	if _, err := os.Stat(filepath.Join(dir, walFile)); err == nil {
+		return fmt.Errorf("core: %s already holds a write-ahead log", dir)
+	}
+	snap := db.snapshot()
+	labels := snap.labels()
+	values := snap.values()
+	snap.mu.Lock()
+	guide := snap.guide
+	snap.mu.Unlock()
+	fp := mutate.Fingerprint(snap.g)
+	s := &storage.Snapshot{
+		Graph:     snap.g,
+		Labels:    labels,
+		Values:    values,
+		Guide:     guide,
+		WALBaseFP: fp, // fresh directory: the log will start at this state
+	}
+	_, err = storage.WriteSnapshotFile(filepath.Join(dir, snapName(1)), s)
+	return err
+}

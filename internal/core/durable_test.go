@@ -1,0 +1,488 @@
+package core
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"repro/internal/bisim"
+	"repro/internal/mutate"
+	"repro/internal/ssd"
+	"repro/internal/storage"
+)
+
+func canonDB(db *Database) string { return ssd.FormatRoot(bisim.Canonicalize(db.Graph())) }
+
+// commitN commits n single-edge scripts, each adding one distinctly
+// labeled leaf under the root, so states after different counts are
+// distinguishable.
+func commitN(t *testing.T, db *Database, start, n int) {
+	t.Helper()
+	for i := start; i < start+n; i++ {
+		if err := db.MutateScript(fmt.Sprintf("addnode; addedge 0 %d $0", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestOpenPathFreshRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	db, err := OpenPath(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	commitN(t, db, 0, 4)
+	want := canonDB(db)
+	if err := db.CloseWAL(); err != nil {
+		t.Fatal(err)
+	}
+
+	re, err := OpenPath(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.CloseWAL()
+	if got := canonDB(re); got != want {
+		t.Fatalf("recovered state differs:\nwant %s\ngot  %s", want, got)
+	}
+	ri := re.LastRecovery()
+	if ri.SnapshotPath != "" || ri.Replayed != 4 || ri.Skipped != 0 {
+		t.Fatalf("recovery = %+v, want full replay of 4 from empty", ri)
+	}
+}
+
+// TestCheckpointReplaysOnlyTail is the replay-count probe: after a
+// checkpoint covering N batches and M more commits, a restart must replay
+// exactly M — the WAL tail — and still be byte-identical to the live
+// database under bisim.Canonicalize.
+func TestCheckpointReplaysOnlyTail(t *testing.T) {
+	dir := t.TempDir()
+	db, err := OpenPath(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	commitN(t, db, 0, 5)
+	info, err := db.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Truncated != 5 || info.Seq != 1 {
+		t.Fatalf("checkpoint info = %+v, want 5 batches folded into seq 1", info)
+	}
+	commitN(t, db, 5, 3)
+	want := canonDB(db)
+	if err := db.CloseWAL(); err != nil {
+		t.Fatal(err)
+	}
+
+	re, err := OpenPath(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.CloseWAL()
+	ri := re.LastRecovery()
+	if ri.Replayed != 3 {
+		t.Fatalf("replayed %d batches, want only the 3-batch tail (recovery %+v)", ri.Replayed, ri)
+	}
+	if ri.SnapshotPath != info.Path || ri.SnapshotSeq != 1 {
+		t.Fatalf("recovered from %q seq %d, want %q seq 1", ri.SnapshotPath, ri.SnapshotSeq, info.Path)
+	}
+	if got := canonDB(re); got != want {
+		t.Fatalf("restart after checkpoint differs:\nwant %s\ngot  %s", want, got)
+	}
+	// The restored snapshot carries live derived structures.
+	if len(re.FindString("never-there")) != 0 {
+		t.Fatal("value index answered nonsense")
+	}
+}
+
+// TestCheckpointChain runs several checkpoint/commit rounds and checks
+// generation bookkeeping: old generations are pruned to current+previous,
+// and every restart replays only its tail.
+func TestCheckpointChain(t *testing.T) {
+	dir := t.TempDir()
+	db, err := OpenPath(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	at := 0
+	for round := 0; round < 4; round++ {
+		commitN(t, db, at, 2)
+		at += 2
+		if _, err := db.Checkpoint(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	commitN(t, db, at, 1)
+	want := canonDB(db)
+	if err := db.CloseWAL(); err != nil {
+		t.Fatal(err)
+	}
+
+	cands, err := snapshotFiles(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cands) != 2 || cands[0].seq != 4 || cands[1].seq != 3 {
+		t.Fatalf("generations on disk: %+v, want exactly seq 4 and 3", cands)
+	}
+	re, err := OpenPath(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.CloseWAL()
+	if ri := re.LastRecovery(); ri.SnapshotSeq != 4 || ri.Replayed != 1 {
+		t.Fatalf("recovery %+v, want seq 4 with a 1-batch tail", ri)
+	}
+	if got := canonDB(re); got != want {
+		t.Fatal("multi-round recovery differs from live state")
+	}
+}
+
+// TestCrashSafetyFallsBackToPreviousSnapshot simulates the three ways a
+// checkpoint write can die mid-flight — a temp file that never got renamed,
+// a truncated section, a CRC-corrupt section — and asserts recovery falls
+// back to the previous generation plus a full WAL replay, byte-identical
+// to the pre-crash state.
+func TestCrashSafetyFallsBackToPreviousSnapshot(t *testing.T) {
+	setup := func(t *testing.T) (dir, want string, snap1 []byte) {
+		dir = t.TempDir()
+		db, err := OpenPath(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		commitN(t, db, 0, 3)
+		if _, err := db.Checkpoint(); err != nil {
+			t.Fatal(err)
+		}
+		commitN(t, db, 3, 2) // the tail a fallback recovery must replay
+		want = canonDB(db)
+		if err := db.CloseWAL(); err != nil {
+			t.Fatal(err)
+		}
+		snap1, err = os.ReadFile(filepath.Join(dir, snapName(1)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return dir, want, snap1
+	}
+
+	check := func(t *testing.T, dir, want string) {
+		re, err := OpenPath(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer re.CloseWAL()
+		ri := re.LastRecovery()
+		if ri.SnapshotSeq != 1 || ri.Replayed != 2 {
+			t.Fatalf("recovery %+v, want fallback to seq 1 + 2-batch replay", ri)
+		}
+		if got := canonDB(re); got != want {
+			t.Fatalf("fallback recovery differs:\nwant %s\ngot  %s", want, got)
+		}
+	}
+
+	t.Run("missing rename", func(t *testing.T) {
+		dir, want, snap1 := setup(t)
+		// The interrupted write reached the temp name only.
+		tmp := filepath.Join(dir, snapName(2)+".tmp")
+		if err := os.WriteFile(tmp, snap1[:len(snap1)/2], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		check(t, dir, want)
+	})
+	t.Run("truncated section", func(t *testing.T) {
+		dir, want, snap1 := setup(t)
+		bad := filepath.Join(dir, snapName(2))
+		if err := os.WriteFile(bad, snap1[:len(snap1)-7], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		check(t, dir, want)
+	})
+	t.Run("bad crc", func(t *testing.T) {
+		dir, want, snap1 := setup(t)
+		mut := append([]byte(nil), snap1...)
+		mut[len(mut)/2] ^= 0x20
+		bad := filepath.Join(dir, snapName(2))
+		if err := os.WriteFile(bad, mut, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		check(t, dir, want)
+	})
+}
+
+// TestInterruptedTruncationSkipsFoldedPrefix simulates a crash between the
+// snapshot rename and the log truncation: the newest generation is valid
+// but the log is still bound to its base and holds batches the snapshot
+// already folded in. Recovery must skip exactly that prefix, replay the
+// tail, and complete the truncation.
+func TestInterruptedTruncationSkipsFoldedPrefix(t *testing.T) {
+	dir := t.TempDir()
+	db, err := OpenPath(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	commitN(t, db, 0, 5)
+	folded := db.Graph() // immutable snapshot: state after 5 batches
+	commitN(t, db, 5, 2)
+	want := canonDB(db)
+	if err := db.CloseWAL(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Hand-write what an interrupted checkpoint leaves: a valid generation
+	// recording (base binding, 5 folded batches), with the log untouched.
+	s := &storage.Snapshot{
+		Graph:     folded,
+		WALBaseFP: mutate.Fingerprint(ssd.New()), // the empty base OpenPath started from
+		Applied:   5,
+	}
+	if _, err := storage.WriteSnapshotFile(filepath.Join(dir, snapName(1)), s); err != nil {
+		t.Fatal(err)
+	}
+
+	re, err := OpenPath(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ri := re.LastRecovery()
+	if ri.Skipped != 5 || ri.Replayed != 2 {
+		t.Fatalf("recovery %+v, want 5 skipped + 2 replayed", ri)
+	}
+	if got := canonDB(re); got != want {
+		t.Fatalf("recovery differs:\nwant %s\ngot  %s", want, got)
+	}
+	if err := re.CloseWAL(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The truncation was completed: the next open sees a clean binding.
+	re2, err := OpenPath(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re2.CloseWAL()
+	if ri := re2.LastRecovery(); ri.Skipped != 0 || ri.Replayed != 2 {
+		t.Fatalf("second recovery %+v, want clean 2-batch tail", ri)
+	}
+}
+
+// TestCheckpointTruncateRace is the -race regression for the checkpoint/
+// commit interleaving: commits land continuously while checkpoints run,
+// and no batch may fall between a generation and the truncated log. The
+// final restart must reconstruct every committed batch.
+func TestCheckpointTruncateRace(t *testing.T) {
+	dir := t.TempDir()
+	db, err := OpenPath(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const commits = 60
+	var wg sync.WaitGroup
+	wg.Add(1)
+	done := make(chan struct{})
+	go func() {
+		defer wg.Done()
+		defer close(done)
+		for i := 0; i < commits; i++ {
+			if err := db.MutateScript(fmt.Sprintf("addnode; addedge 0 %d $0", i)); err != nil {
+				t.Errorf("commit %d: %v", i, err)
+				return
+			}
+		}
+	}()
+	for {
+		if _, err := db.Checkpoint(); err != nil {
+			t.Error(err)
+			break
+		}
+		select {
+		case <-done:
+		default:
+			continue
+		}
+		break
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+	// One final checkpoint after the writer stopped, then verify both the
+	// live state and a cold restart hold all committed batches.
+	if _, err := db.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	want := canonDB(db)
+	if got := db.Graph().NumEdges(); got != commits {
+		t.Fatalf("live state has %d edges, want %d", got, commits)
+	}
+	if err := db.CloseWAL(); err != nil {
+		t.Fatal(err)
+	}
+	re, err := OpenPath(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.CloseWAL()
+	if got := canonDB(re); got != want {
+		t.Fatal("restart after racing checkpoints lost a commit")
+	}
+	if ri := re.LastRecovery(); ri.Replayed != 0 {
+		t.Fatalf("final checkpoint covered everything, but %d batches replayed", ri.Replayed)
+	}
+}
+
+func TestSavePathThenOpenPath(t *testing.T) {
+	src, err := ParseText(`{movie: {title: "Casablanca", year: 1942}, movie: {title: "Sleeper"}}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src.DataGuide() // build it so the export carries a guide section
+	dir := t.TempDir()
+	if err := src.SavePath(dir); err != nil {
+		t.Fatal(err)
+	}
+	if err := src.SavePath(dir); err == nil {
+		t.Fatal("SavePath over an existing durable directory succeeded")
+	}
+
+	db, err := OpenPath(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.CloseWAL()
+	if got, want := canonDB(db), canonDB(src); got != want {
+		t.Fatalf("exported state differs:\nwant %s\ngot  %s", want, got)
+	}
+	// The export is a real durable directory: commits log and checkpoint.
+	commitN(t, db, 100, 1)
+	if _, err := db.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	res, err := db.Query(`select T from DB.movie.title T`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Graph().NumEdges() == 0 {
+		t.Fatal("query over restored database returned nothing")
+	}
+}
+
+// TestOpenPathExclusiveLock pins single-process ownership: a second open
+// of a held directory must fail (two writers would interleave WAL frames
+// and truncate each other's commits), and closing releases the lock.
+func TestOpenPathExclusiveLock(t *testing.T) {
+	dir := t.TempDir()
+	db, err := OpenPath(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenPath(dir); err == nil {
+		t.Fatal("second OpenPath succeeded while the directory is held")
+	}
+	if err := db.CloseWAL(); err != nil {
+		t.Fatal(err)
+	}
+	db2, err := OpenPath(dir)
+	if err != nil {
+		t.Fatalf("reopen after close: %v", err)
+	}
+	db2.CloseWAL()
+}
+
+// TestClosedDurableRefusesCommits: once CloseWAL has closed a directory-
+// backed database, a commit must fail rather than publish a state neither
+// the log nor any generation holds.
+func TestClosedDurableRefusesCommits(t *testing.T) {
+	dir := t.TempDir()
+	db, err := OpenPath(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	commitN(t, db, 0, 1)
+	if err := db.CloseWAL(); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.MutateScript("addnode; addedge 0 Lost $0"); err == nil {
+		t.Fatal("commit on a closed durable database succeeded")
+	}
+	b := db.Begin()
+	n := b.AddNode()
+	if err := b.AddEdge(db.Graph().Root(), ssd.Sym("Lost"), n); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Apply(b); err == nil {
+		t.Fatal("Apply on a closed durable database succeeded")
+	}
+	if _, err := db.Checkpoint(); err == nil {
+		t.Fatal("Checkpoint on a closed durable database succeeded")
+	}
+}
+
+// TestCheckpointNoOp: with nothing committed since the newest generation,
+// Checkpoint must not rewrite the snapshot — an idle database (and its
+// interval checkpointer) checkpoints for free.
+func TestCheckpointNoOp(t *testing.T) {
+	dir := t.TempDir()
+	db, err := OpenPath(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.CloseWAL()
+	// A brand-new directory has no generation: the first checkpoint writes
+	// one even with zero batches.
+	first, err := db.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.NoOp || first.Seq != 1 {
+		t.Fatalf("first checkpoint = %+v, want a real generation 1", first)
+	}
+	fi1, err := os.Stat(first.Path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := db.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !again.NoOp || again.Seq != 1 || again.Path != first.Path {
+		t.Fatalf("idle checkpoint = %+v, want NoOp pointing at generation 1", again)
+	}
+	fi2, err := os.Stat(first.Path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fi2.ModTime().Equal(fi1.ModTime()) || fi2.Size() != fi1.Size() {
+		t.Fatal("idle checkpoint rewrote the snapshot file")
+	}
+	// New commits make the next checkpoint real again.
+	commitN(t, db, 0, 1)
+	info, err := db.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.NoOp || info.Seq != 2 || info.Truncated != 1 {
+		t.Fatalf("post-commit checkpoint = %+v, want generation 2 folding 1", info)
+	}
+}
+
+func TestCheckpointRequiresOpenPath(t *testing.T) {
+	db, err := ParseText(`{a: 1}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Checkpoint(); err == nil {
+		t.Fatal("Checkpoint on a non-durable database succeeded")
+	}
+	dir := t.TempDir()
+	if err := db.OpenWAL(filepath.Join(dir, "x.wal")); err != nil {
+		t.Fatal(err)
+	}
+	defer db.CloseWAL()
+	if err := db.CompactWAL(filepath.Join(dir, "x.ssdg")); err != nil {
+		t.Fatal(err) // legacy path still works on non-durable databases
+	}
+}

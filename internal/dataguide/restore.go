@@ -1,0 +1,37 @@
+package dataguide
+
+import (
+	"fmt"
+
+	"repro/internal/ssd"
+)
+
+// Restore reconstructs a Guide from its persisted parts — the guide graph
+// and the per-node extents — against source, the data graph the guide
+// summarizes. It rebuilds the interning and membership table from the
+// extents, so a restored guide supports ApplyDelta exactly like a freshly
+// built one: recovery does not pay a subset construction, only a linear
+// pass over the extents.
+func Restore(guideGraph *ssd.Graph, extents [][]ssd.NodeID, source *ssd.Graph) (*Guide, error) {
+	if guideGraph.NumNodes() != len(extents) {
+		return nil, fmt.Errorf("dataguide: %d extents for %d guide nodes",
+			len(extents), guideGraph.NumNodes())
+	}
+	for gn, ext := range extents {
+		for _, v := range ext {
+			if int(v) >= source.NumNodes() {
+				return nil, fmt.Errorf("dataguide: extent of guide node %d references node %d beyond source (%d nodes)",
+					gn, v, source.NumNodes())
+			}
+		}
+	}
+	d := &Guide{
+		G:          guideGraph,
+		Extent:     extents,
+		source:     source,
+		builtNodes: guideGraph.NumNodes(),
+	}
+	d.tbl = rebuildTable(d)
+	d.tbl.owner = d
+	return d, nil
+}

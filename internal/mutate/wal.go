@@ -6,6 +6,7 @@ import (
 	"hash/crc32"
 	"os"
 	"path/filepath"
+	"sync/atomic"
 
 	"repro/internal/ssd"
 	"repro/internal/storage"
@@ -28,12 +29,22 @@ import (
 // aside completes that interrupted compaction. Append syncs after every
 // frame: once Append returns, the batch survives a crash.
 type WAL struct {
-	path     string
-	f        *os.File
-	end      int64    // offset past the last valid frame
+	path string
+	f    *os.File
+	fp   uint32 // fingerprint the header currently binds the log to
+	// end is the offset past the last valid frame. Only the (caller-
+	// serialized) write path moves it, but it is atomic so Size can be
+	// read lock-free by monitoring endpoints while a truncation holds the
+	// writer lock.
+	end      atomic.Int64
 	pending  [][]byte // batch payloads read at Open, consumed by Replay
 	batches  int      // batch frames appended + replayable
 	replayed bool
+	// broken latches the error of a truncation or compaction that failed
+	// after its point of no return (the on-disk log no longer matches this
+	// handle's state). Every subsequent write refuses with it: acking a
+	// commit that the on-disk log does not hold would be silent data loss.
+	broken error
 }
 
 const (
@@ -55,55 +66,84 @@ func headerPayload(fp uint32) []byte {
 // log's batches extend). Call Replay to apply the logged batches, then
 // Append to extend the log.
 func OpenWAL(path string, fp uint32) (*WAL, error) {
+	w, _, err := openWAL(path, []uint32{fp}, true)
+	return w, err
+}
+
+// OpenWALMatching opens the log at path accepting any of the given binding
+// fingerprints, and reports which one the header carried. Unlike OpenWAL it
+// never sets a mismatched log aside: in a durable directory (core.OpenPath)
+// a log bound to no known snapshot means lost commits, so the mismatch is
+// surfaced as an error instead of silently starting fresh. A missing or
+// empty log is created bound to fps[0].
+func OpenWALMatching(path string, fps ...uint32) (*WAL, uint32, error) {
+	return openWAL(path, fps, false)
+}
+
+func openWAL(path string, fps []uint32, sideline bool) (*WAL, uint32, error) {
 	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	data, err := os.ReadFile(path)
 	if err != nil {
 		f.Close()
-		return nil, err
+		return nil, 0, err
 	}
 	w := &WAL{path: path, f: f}
 	frames, end := scanFrames(data)
-	if len(data) > 0 && (len(frames) == 0 || string(frames[0]) != string(headerPayload(fp))) {
+	matched, headerOK := fps[0], false
+	if len(frames) > 0 {
+		for _, fp := range fps {
+			if string(frames[0]) == string(headerPayload(fp)) {
+				matched, headerOK = fp, true
+				break
+			}
+		}
+	}
+	if len(data) > 0 && !headerOK {
+		if !sideline {
+			f.Close()
+			return nil, 0, fmt.Errorf("mutate: WAL %s is bound to an unknown snapshot", path)
+		}
 		// Unreadable header, or a log bound to a different snapshot. Set the
 		// file aside rather than truncate — its batches may matter to someone
 		// (see the type comment) — and start fresh.
 		f.Close()
 		if err := os.Rename(path, path+".stale"); err != nil {
-			return nil, err
+			return nil, 0, err
 		}
 		if f, err = os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644); err != nil {
-			return nil, err
+			return nil, 0, err
 		}
 		w.f = f
 		frames, end = nil, 0
 		data = nil
 	}
+	w.fp = matched
 	if len(frames) == 0 {
 		// Fresh (or reset) log: write the binding header.
-		if err := w.writeFrame(headerPayload(fp)); err != nil {
+		if err := w.writeFrame(headerPayload(matched)); err != nil {
 			f.Close()
-			return nil, err
+			return nil, 0, err
 		}
-		return w, nil
+		return w, matched, nil
 	}
 	w.pending = frames[1:]
 	w.batches = len(w.pending)
-	w.end = end
-	if int64(len(data)) > w.end {
+	w.end.Store(end)
+	if int64(len(data)) > end {
 		// Drop the torn tail now so appends start at a clean boundary.
-		if err := f.Truncate(w.end); err != nil {
+		if err := f.Truncate(end); err != nil {
 			f.Close()
-			return nil, err
+			return nil, 0, err
 		}
 	}
-	if _, err := f.Seek(w.end, 0); err != nil {
+	if _, err := f.Seek(end, 0); err != nil {
 		f.Close()
-		return nil, err
+		return nil, 0, err
 	}
-	return w, nil
+	return w, matched, nil
 }
 
 // scanFrames parses the valid frame prefix of data, returning the frame
@@ -135,6 +175,15 @@ func scanFrames(data []byte) ([][]byte, int64) {
 // appended).
 func (w *WAL) Batches() int { return w.batches }
 
+// Size returns the log size in bytes up to the last valid frame — the
+// figure checkpoint size-threshold triggers and monitoring endpoints
+// watch. Safe to call without the writer lock.
+func (w *WAL) Size() int64 { return w.end.Load() }
+
+// BaseFingerprint returns the snapshot fingerprint the log header currently
+// binds the log to.
+func (w *WAL) BaseFingerprint() uint32 { return w.fp }
+
 // Replay decodes the batches found at Open, in order, and hands each to
 // apply. It may be called once; the frame payloads are released afterwards.
 func (w *WAL) Replay(apply func(*Batch) error) error {
@@ -165,16 +214,100 @@ func (w *WAL) Append(b *Batch) error {
 }
 
 func (w *WAL) writeFrame(payload []byte) error {
-	frame := binary.AppendUvarint(nil, uint64(len(payload)))
-	frame = binary.LittleEndian.AppendUint32(frame, crc32.ChecksumIEEE(payload))
-	frame = append(frame, payload...)
+	if w.broken != nil {
+		return w.broken
+	}
+	frame := appendFrame(nil, payload)
 	if _, err := w.f.Write(frame); err != nil {
 		return err
 	}
 	if err := w.f.Sync(); err != nil {
 		return err
 	}
-	w.end += int64(len(frame))
+	w.end.Add(int64(len(frame)))
+	return nil
+}
+
+// appendFrame appends one length+CRC framed payload to buf.
+func appendFrame(buf, payload []byte) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(payload)))
+	buf = binary.LittleEndian.AppendUint32(buf, crc32.ChecksumIEEE(payload))
+	return append(buf, payload...)
+}
+
+// TruncatePrefix removes the log's first k batch frames — those a durable
+// snapshot has folded in — and rebinds the header to newFP, the
+// fingerprint of that snapshot. It is the checkpoint side of log
+// truncation: after it returns, the log holds exactly the batches past the
+// checkpoint, bound to the checkpointed state. The rewrite goes through a
+// temp file and an atomic rename, so a crash leaves either the old log
+// (replayable against the previous binding) or the new one — never a torn
+// log.
+//
+// The caller must hold the writer lock that serializes Append: a commit
+// interleaving with the rewrite would be lost. internal/core enforces this
+// by truncating under the same lock its commits take.
+func (w *WAL) TruncatePrefix(k int, newFP uint32) error {
+	if w.broken != nil {
+		return w.broken
+	}
+	if k < 0 || k > w.batches {
+		return fmt.Errorf("mutate: truncate %d of %d batches", k, w.batches)
+	}
+	data, err := os.ReadFile(w.path)
+	if err != nil {
+		return err
+	}
+	frames, _ := scanFrames(data)
+	if len(frames) != w.batches+1 {
+		return fmt.Errorf("mutate: WAL %s has %d frames on disk, expected %d",
+			w.path, len(frames), w.batches+1)
+	}
+	buf := appendFrame(nil, headerPayload(newFP))
+	for _, p := range frames[1+k:] {
+		buf = appendFrame(buf, p)
+	}
+	// Write the replacement through a handle we keep: after the rename the
+	// same handle refers to the live log, so there is no reopen that could
+	// fail and leave the WAL appending to an unlinked inode.
+	tmp := w.path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(buf); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, w.path); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	// Point of no return: the truncated log is in place. A failure past
+	// here must poison the handle — acking commits the on-disk log will
+	// not replay would be silent data loss.
+	if err := syncDir(w.path); err != nil {
+		w.broken = fmt.Errorf("mutate: WAL %s truncated but directory sync failed: %w", w.path, err)
+		f.Close()
+		return w.broken
+	}
+	w.f.Close()
+	w.f = f
+	w.end.Store(int64(len(buf)))
+	w.batches -= k
+	w.fp = newFP
+	if !w.replayed && len(w.pending) >= k {
+		// The open-time replay list shrinks with the log: the dropped prefix
+		// is already part of the snapshot the caller recovered from.
+		w.pending = w.pending[k:]
+	}
 	return nil
 }
 
@@ -187,7 +320,14 @@ func (w *WAL) writeFrame(payload []byte) error {
 // rename, the old snapshot plus the full log; after it, the new snapshot
 // plus a log that OpenWAL will recognize (by its header fingerprint) as
 // belonging to the old snapshot and set aside.
+//
+// Like TruncatePrefix, Compact must run under the writer lock that
+// serializes Append: a commit landing between the snapshot rename and the
+// log reset would be truncated away and lost.
 func (w *WAL) Compact(snapshotPath string, g *ssd.Graph) error {
+	if w.broken != nil {
+		return w.broken
+	}
 	tmp := snapshotPath + ".compact"
 	if err := storage.WriteFile(tmp, g); err != nil {
 		return err
@@ -200,19 +340,31 @@ func (w *WAL) Compact(snapshotPath string, g *ssd.Graph) error {
 		os.Remove(tmp)
 		return err
 	}
+	// Point of no return: the new snapshot is in place, so the log on disk
+	// now describes a superseded base. A failure before the reset header is
+	// durable must poison the handle — an append to the stale-bound log
+	// would be set aside (and lost) at the next open.
+	poison := func(err error) error {
+		w.broken = fmt.Errorf("mutate: WAL %s: compaction failed after snapshot rename: %w", w.path, err)
+		return w.broken
+	}
 	if err := syncDir(snapshotPath); err != nil {
-		return err
+		return poison(err)
 	}
 	if err := w.f.Truncate(0); err != nil {
-		return err
+		return poison(err)
 	}
 	if _, err := w.f.Seek(0, 0); err != nil {
-		return err
+		return poison(err)
 	}
-	w.end = 0
+	w.end.Store(0)
 	w.batches = 0
 	w.pending = nil
-	return w.writeFrame(headerPayload(Fingerprint(g)))
+	w.fp = Fingerprint(g)
+	if err := w.writeFrame(headerPayload(w.fp)); err != nil {
+		return poison(err)
+	}
+	return nil
 }
 
 // Close releases the log's file handle.

@@ -316,7 +316,7 @@ type stepCursor struct {
 	edges []ssd.Edge // label-var steps
 	ei    int
 
-	pnodes []ssd.NodeID  // path-var steps (materialized witnesses)
+	pnodes []ssd.NodeID // path-var steps (materialized witnesses)
 	ppaths [][]ssd.Label
 	pi     int
 }

@@ -95,9 +95,9 @@ type planAtom struct {
 	est     float64 // estimated result cardinality (explain only)
 	dedup   bool    // atom binds no label/path vars → dedup destination nodes
 
-	seekLabel ssd.Label   // AccessIndexSeek
-	chain     []ssd.Label // AccessIndexBackward: the exact-label chain
-	chainIdx  int         // AccessIndexBackward: seek position in chain
+	seekLabel ssd.Label           // AccessIndexSeek
+	chain     []ssd.Label         // AccessIndexBackward: the exact-label chain
+	chainIdx  int                 // AccessIndexBackward: seek position in chain
 	guideAu   *pathexpr.Automaton // AccessGuide: whole-path automaton
 
 	conds []cCond

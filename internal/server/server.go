@@ -2,9 +2,10 @@
 // front door that turns the prepared-statement lifecycle and the parallel
 // executor into a network service.
 //
-//	POST /query    — run a parameterized statement, stream rows as NDJSON
-//	POST /mutate   — apply a mutation script as one committed batch
-//	GET  /healthz  — liveness plus snapshot stats
+//	POST /query      — run a parameterized statement, stream rows as NDJSON
+//	POST /mutate     — apply a mutation script as one committed batch
+//	POST /checkpoint — force a durable checkpoint (directory-backed databases)
+//	GET  /healthz    — liveness plus snapshot and durability stats
 //
 // Statements are cached by query text through the database's LRU statement
 // cache (core.Database.PrepareCached), so a hot query pays lexing, parsing
@@ -13,6 +14,13 @@
 // Every request runs under its own context: client disconnects and
 // timeouts stop the cursor within one pull, and a drained shutdown waits
 // for in-flight cursors before returning.
+//
+// Over a directory-backed database (core.OpenPath), the server also runs a
+// background checkpointer: on an interval, or whenever the write-ahead log
+// outgrows a size threshold, it calls Database.Checkpoint — which
+// serializes a pinned MVCC snapshot without blocking readers or the single
+// writer — so restart cost stays bounded while the server keeps taking
+// traffic.
 package server
 
 import (
@@ -44,6 +52,19 @@ type Config struct {
 	// response reports "truncated" in its status line rather than posing
 	// as a complete result.
 	MaxRows int
+	// CheckpointInterval checkpoints a directory-backed database on a
+	// timer (0 = no timer). Ignored for databases without a durable
+	// directory.
+	CheckpointInterval time.Duration
+	// CheckpointMaxWAL checkpoints as soon as the write-ahead log exceeds
+	// this many bytes (0 = no size trigger), polled once a second.
+	CheckpointMaxWAL int64
+	// Logf, when set, receives background-checkpointer activity and
+	// errors. nil discards them.
+	Logf func(format string, args ...any)
+
+	// pollOverride shortens the checkpointer loop cadence in tests.
+	pollOverride time.Duration
 }
 
 // Server serves one core.Database over HTTP. Safe for concurrent use.
@@ -59,9 +80,15 @@ type Server struct {
 	gateMu   sync.Mutex
 	draining bool
 	inflight sync.WaitGroup
+
+	// Background checkpointer lifecycle (nil stop channel = not running).
+	ckptStop chan struct{}
+	ckptDone sync.WaitGroup
 }
 
-// New builds a Server over db, applying cfg.Parallelism to the database.
+// New builds a Server over db, applying cfg.Parallelism to the database
+// and starting the background checkpointer when the database is durable
+// and a checkpoint trigger is configured.
 func New(db *core.Database, cfg Config) *Server {
 	if cfg.Parallelism > 0 {
 		db.SetParallelism(cfg.Parallelism)
@@ -69,8 +96,69 @@ func New(db *core.Database, cfg Config) *Server {
 	s := &Server{db: db, cfg: cfg, mux: http.NewServeMux()}
 	s.mux.HandleFunc("POST /query", s.handleQuery)
 	s.mux.HandleFunc("POST /mutate", s.handleMutate)
+	s.mux.HandleFunc("POST /checkpoint", s.handleCheckpoint)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	if db.Durable() && (cfg.CheckpointInterval > 0 || cfg.CheckpointMaxWAL > 0) {
+		s.startCheckpointer()
+	}
 	return s
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Logf != nil {
+		s.cfg.Logf(format, args...)
+	}
+}
+
+// startCheckpointer launches the background loop. The poll cadence is the
+// configured interval when only the timer trigger is set; with a size
+// trigger the log is polled every second so an ingest burst is bounded by
+// roughly one second of overshoot, not a whole interval.
+func (s *Server) startCheckpointer() {
+	poll := s.cfg.CheckpointInterval
+	if s.cfg.CheckpointMaxWAL > 0 && (poll == 0 || poll > time.Second) {
+		poll = time.Second
+	}
+	if s.cfg.pollOverride > 0 {
+		poll = s.cfg.pollOverride
+	}
+	stop := make(chan struct{})
+	s.ckptStop = stop
+	s.ckptDone.Add(1)
+	go func() {
+		defer s.ckptDone.Done()
+		t := time.NewTicker(poll)
+		defer t.Stop()
+		lastTimed := time.Now()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-t.C:
+			}
+			// The half-poll tolerance keeps interval-only configurations
+			// checkpointing on every due tick: lastTimed is stamped at
+			// decision time, and ticker scheduling slack would otherwise
+			// leave Since a hair under the interval at the next tick,
+			// silently doubling the cadence.
+			timedDue := s.cfg.CheckpointInterval > 0 &&
+				time.Since(lastTimed) >= s.cfg.CheckpointInterval-poll/2
+			sizeDue := s.cfg.CheckpointMaxWAL > 0 && s.db.WALSize() >= s.cfg.CheckpointMaxWAL
+			if !timedDue && !sizeDue {
+				continue
+			}
+			lastTimed = time.Now()
+			info, err := s.db.Checkpoint()
+			if err != nil {
+				s.logf("server: background checkpoint: %v", err)
+				continue
+			}
+			if !info.NoOp {
+				s.logf("server: checkpointed generation %d (%d bytes, %d batches folded)",
+					info.Seq, info.Bytes, info.Truncated)
+			}
+		}
+	}()
 }
 
 // Handler returns the root handler, suitable for http.Server.
@@ -83,7 +171,13 @@ func (s *Server) Handler() http.Handler { return s.mux }
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.gateMu.Lock()
 	s.draining = true
+	stop := s.ckptStop
+	s.ckptStop = nil
 	s.gateMu.Unlock()
+	if stop != nil {
+		close(stop)
+		s.ckptDone.Wait()
+	}
 	done := make(chan struct{})
 	go func() {
 		s.inflight.Wait()
@@ -351,6 +445,45 @@ func (s *Server) handleMutate(w http.ResponseWriter, r *http.Request) {
 	json.NewEncoder(w).Encode(mutateResponse{Applied: true, Nodes: st.Nodes, Edges: st.Edges})
 }
 
+// checkpointResponse is the POST /checkpoint reply.
+type checkpointResponse struct {
+	Path      string `json:"path"`
+	Seq       uint64 `json:"seq"`
+	Bytes     int64  `json:"bytes"`
+	Truncated int    `json:"truncated_batches"`
+	WALBytes  int64  `json:"wal_bytes"`
+}
+
+// handleCheckpoint is the admin hook behind the background checkpointer:
+// it forces a durable checkpoint right now — before a planned restart, or
+// from an operator script watching wal_bytes in /healthz. Queries and
+// mutations keep flowing while it runs; concurrent requests queue on the
+// database's checkpoint lock.
+func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
+	if !s.admit(w) {
+		return
+	}
+	defer s.inflight.Done()
+	if !s.db.Durable() {
+		httpError(w, http.StatusConflict,
+			fmt.Errorf("server: database has no durable directory (start with -data)"))
+		return
+	}
+	info, err := s.db.Checkpoint()
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(checkpointResponse{
+		Path:      info.Path,
+		Seq:       info.Seq,
+		Bytes:     info.Bytes,
+		Truncated: info.Truncated,
+		WALBytes:  s.db.WALSize(),
+	})
+}
+
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	st := s.db.Stats()
 	s.gateMu.Lock()
@@ -363,6 +496,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		"edges":       st.Edges,
 		"parallelism": s.db.Parallelism(),
 		"draining":    draining,
+		"durable":     s.db.Durable(),
+		"wal_bytes":   s.db.WALSize(),
 	})
 }
-

@@ -1,0 +1,184 @@
+package storage
+
+import (
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/dataguide"
+	"repro/internal/index"
+	"repro/internal/ssd"
+)
+
+func snapGraph(t *testing.T) *ssd.Graph {
+	t.Helper()
+	g, err := ssd.Parse(`{movie: {title: "Casablanca", year: 1942, cast: {actor: "Bogart", actor: "Bergman"}},
+	                      movie: {title: "Sleeper", year: 1973},
+	                      series: {title: "Decalogue", rating: 9.1, complete: true}}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func fullSnapshot(t *testing.T) *Snapshot {
+	t.Helper()
+	g := snapGraph(t)
+	return &Snapshot{
+		Graph:     g,
+		Labels:    index.BuildLabelIndex(g),
+		Values:    index.BuildValueIndex(g),
+		Guide:     dataguide.MustBuild(g),
+		WALBaseFP: 0xDEADBEEF,
+		Applied:   7,
+	}
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	s := fullSnapshot(t)
+	data := EncodeSnapshot(s)
+	got, err := DecodeSnapshot(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.SelfFP != s.SelfFP || got.WALBaseFP != 0xDEADBEEF || got.Applied != 7 {
+		t.Fatalf("meta mismatch: got fp=%08x base=%08x applied=%d", got.SelfFP, got.WALBaseFP, got.Applied)
+	}
+	if want, have := ssd.FormatRoot(s.Graph), ssd.FormatRoot(got.Graph); want != have {
+		t.Fatalf("graph mismatch:\nwant %s\ngot  %s", want, have)
+	}
+	// The restored indexes must answer identically: compare dumps.
+	if !reflect.DeepEqual(s.Labels.Dump(), got.Labels.Dump()) {
+		t.Fatal("label index dump mismatch after round trip")
+	}
+	if !reflect.DeepEqual(s.Values.Dump(), got.Values.Dump()) {
+		t.Fatal("value index dump mismatch after round trip")
+	}
+	if want, have := ssd.FormatRoot(s.Guide.G), ssd.FormatRoot(got.Guide.G); want != have {
+		t.Fatalf("guide graph mismatch:\nwant %s\ngot  %s", want, have)
+	}
+	if !reflect.DeepEqual(s.Guide.Extent, got.Guide.Extent) {
+		t.Fatal("guide extents mismatch after round trip")
+	}
+}
+
+func TestSnapshotOptionalSections(t *testing.T) {
+	g := snapGraph(t)
+	s := &Snapshot{Graph: g}
+	got, err := DecodeSnapshot(EncodeSnapshot(s))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Labels != nil || got.Values != nil || got.Guide != nil {
+		t.Fatal("decoded structures for sections that were never written")
+	}
+	if want, have := ssd.FormatRoot(g), ssd.FormatRoot(got.Graph); want != have {
+		t.Fatal("graph mismatch without optional sections")
+	}
+}
+
+// TestSnapshotSelfFPIsWALFingerprint pins the binding contract: the
+// snapshot's fingerprint is exactly the WAL binding fingerprint of its
+// graph (crc32 of the SSDG encoding), so core can match logs to snapshots.
+func TestSnapshotSelfFPIsWALFingerprint(t *testing.T) {
+	g := snapGraph(t)
+	s := &Snapshot{Graph: g}
+	EncodeSnapshot(s)
+	if want := crc32.ChecksumIEEE(Encode(g)); s.SelfFP != want {
+		t.Fatalf("SelfFP = %08x, want crc32(Encode(g)) = %08x", s.SelfFP, want)
+	}
+}
+
+// TestSnapshotCorruption damages the encoded form at every byte position
+// and asserts the decoder never accepts the result silently: it either
+// errors or — for bytes outside any checked region — still produces a
+// graph. Specifically, truncations and payload flips must all error.
+func TestSnapshotCorruption(t *testing.T) {
+	data := EncodeSnapshot(fullSnapshot(t))
+
+	// Truncation at every prefix length must fail (torn write mid-section).
+	for cut := 0; cut < len(data); cut++ {
+		if _, err := DecodeSnapshot(data[:cut]); err == nil {
+			t.Fatalf("truncation to %d bytes decoded successfully", cut)
+		}
+	}
+	// Flipping any single byte must fail: every region is either framing
+	// (checked structurally, including section kind bytes) or payload
+	// (checked by CRC).
+	for i := 5; i < len(data); i++ {
+		mut := append([]byte(nil), data...)
+		mut[i] ^= 0x40
+		if _, err := DecodeSnapshot(mut); err == nil {
+			t.Fatalf("flip at byte %d decoded successfully", i)
+		}
+	}
+	// Bad magic and bad version.
+	mut := append([]byte(nil), data...)
+	mut[0] = 'X'
+	if _, err := DecodeSnapshot(mut); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+	mut = append([]byte(nil), data...)
+	mut[4] = 99
+	if _, err := DecodeSnapshot(mut); err == nil || !strings.Contains(err.Error(), "version") {
+		t.Fatalf("bad version: got %v", err)
+	}
+}
+
+func TestWriteSnapshotFileAtomic(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "snap-1.ssds")
+	s := fullSnapshot(t)
+	n, err := WriteSnapshotFile(path, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fi.Size() != n {
+		t.Fatalf("reported %d bytes, file has %d", n, fi.Size())
+	}
+	if _, err := os.Stat(path + ".tmp"); !os.IsNotExist(err) {
+		t.Fatalf("temp file left behind: %v", err)
+	}
+	got, err := ReadSnapshotFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.SelfFP != s.SelfFP {
+		t.Fatal("file round trip changed fingerprint")
+	}
+}
+
+// TestRestoredGuideSupportsApplyDelta exercises the recovery contract of
+// dataguide.Restore: a restored guide continues the incremental
+// maintenance chain (its intern table was rebuilt from the extents).
+func TestRestoredGuideSupportsApplyDelta(t *testing.T) {
+	g := snapGraph(t)
+	s := &Snapshot{Graph: g, Guide: dataguide.MustBuild(g)}
+	got, err := DecodeSnapshot(EncodeSnapshot(s))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Mutate the decoded graph: add one edge at the root, then maintain.
+	g2 := got.Graph.Clone()
+	n := g2.AddNode()
+	g2.AddEdge(g2.Root(), ssd.Sym("short"), n)
+	g2.AddEdge(n, ssd.Str("film"), g2.AddNode())
+	ng, ok := got.Guide.ApplyDelta(g2, ssd.Delta{Added: []ssd.EdgeRec{
+		{From: g2.Root(), Label: ssd.Sym("short"), To: n},
+		{From: n, Label: ssd.Str("film"), To: ssd.NodeID(g2.NumNodes() - 1)},
+	}}, 0)
+	if !ok {
+		t.Fatal("ApplyDelta declined on a restored guide")
+	}
+	want := dataguide.MustBuild(g2)
+	if wantS, haveS := ssd.FormatRoot(want.G), ssd.FormatRoot(ng.G); wantS != haveS {
+		t.Fatalf("maintained guide differs from rebuilt guide:\nwant %s\ngot  %s", wantS, haveS)
+	}
+}
