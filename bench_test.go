@@ -21,6 +21,7 @@ import (
 	"repro/internal/relstore"
 	"repro/internal/schema"
 	"repro/internal/ssd"
+	"repro/internal/stats"
 	"repro/internal/storage"
 	"repro/internal/unql"
 	"repro/internal/workload"
@@ -715,6 +716,76 @@ func BenchmarkPreparedVsOneShot(b *testing.B) {
 			if len(envs) == 0 {
 				b.Fatal("no rows")
 			}
+		}
+	})
+}
+
+// ---------------------------------------------------------------------------
+// Cost-based vs heuristic planning on a skewed distribution. The skewed
+// workload makes the structural heuristic pick the wide Reviews.Score atom
+// before the near-empty Tag="needle" atom; the statistics-fed cost model
+// inverts that, so the same query runs against far smaller intermediate
+// frontiers. The two sub-benchmarks run the exact same query on the exact
+// same graph — only the planner's atom order differs.
+
+func BenchmarkCostBasedVsHeuristic(b *testing.B) {
+	g := workload.Skewed(workload.DefaultSkewConfig(2000))
+	st := stats.Build(g)
+	q := query.MustParse(`
+		select T
+		from DB.Entry.Movie M,
+		     M.Reviews.Score S,
+		     M.Tag X,
+		     M.Title T
+		where S > 0 and X = "needle"`)
+	run := func(b *testing.B, po query.PlanOptions) {
+		b.Helper()
+		p, err := query.NewPlan(q, g, po)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			cur, err := p.Cursor(nil, nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			n := 0
+			for cur.Next() {
+				n++
+			}
+			if err := cur.Err(); err != nil {
+				b.Fatal(err)
+			}
+			cur.Close()
+			if n == 0 {
+				b.Fatal("no rows")
+			}
+		}
+	}
+	b.Run("heuristic", func(b *testing.B) { run(b, query.PlanOptions{Heuristic: true}) })
+	b.Run("cost-based", func(b *testing.B) { run(b, query.PlanOptions{Stats: st}) })
+}
+
+// BenchmarkStatsMaintenance prices the statistics lifecycle: the full
+// one-pass build against the copy-on-write delta Apply the commit path runs.
+func BenchmarkStatsMaintenance(b *testing.B) {
+	g := workload.Movies(workload.DefaultMovieConfig(5000))
+	b.Run("build", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			stats.Build(g)
+		}
+	})
+	b.Run("apply-delta", func(b *testing.B) {
+		st := stats.Build(g)
+		root := g.Root()
+		d := ssd.Delta{Added: []ssd.EdgeRec{{From: root, Label: ssd.Sym("Entry"), To: root}}}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			st.Apply(d)
 		}
 	})
 }

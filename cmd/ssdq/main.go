@@ -101,6 +101,7 @@ func main() {
 		wal     = flag.String("wal", "", "mutate: write-ahead log file (replayed on open, appended on commit)")
 		engine  = flag.String("engine", "planned", "query/run: evaluation engine (planned|naive)")
 		explain = flag.Bool("explain", false, "query: print the chosen plan before the result")
+		analyze = flag.Bool("analyze", false, "explain: execute the query and annotate the plan with actual row counts")
 		params  paramFlags
 	)
 	flag.Var(&params, "param", "run: bind a $parameter as name=value (repeatable)")
@@ -179,7 +180,13 @@ func main() {
 		}
 		fmt.Println(res.Format())
 	case "explain":
-		plan, err := db.Explain(arg(rest, "explain"))
+		src := arg(rest, "explain")
+		var plan string
+		if *analyze {
+			plan, err = db.ExplainAnalyze(context.Background(), src)
+		} else {
+			plan, err = db.Explain(src)
+		}
 		if err != nil {
 			fatal(err)
 		}

@@ -42,6 +42,7 @@ import (
 	"repro/internal/relstore"
 	"repro/internal/schema"
 	"repro/internal/ssd"
+	"repro/internal/stats"
 	"repro/internal/storage"
 	"repro/internal/unql"
 )
@@ -178,6 +179,7 @@ type snapshot struct {
 	labelIx *index.LabelIndex
 	valueIx *index.ValueIndex
 	guide   *dataguide.Guide
+	stats   *stats.Stats
 }
 
 // FromGraph wraps an existing graph. The graph must not be mutated directly
@@ -288,13 +290,16 @@ func (db *Database) commitLocked(b *mutate.Batch, logIt bool) error {
 	// whatever the old one had already built. Structures it never built
 	// stay nil and are rebuilt lazily on first use.
 	old.mu.Lock()
-	labelIx, valueIx, guide := old.labelIx, old.valueIx, old.guide
+	labelIx, valueIx, guide, st := old.labelIx, old.valueIx, old.guide, old.stats
 	old.mu.Unlock()
 	if labelIx != nil {
 		ns.labelIx = labelIx.Apply(res.Delta)
 	}
 	if valueIx != nil {
 		ns.valueIx = valueIx.Apply(res.Delta)
+	}
+	if st != nil {
+		ns.stats = st.Apply(res.Delta)
 	}
 	if guide != nil && !res.RootChanged {
 		// Deletes touching the accessible region fall back to a lazy rebuild.
@@ -459,14 +464,39 @@ func (db *Database) Explain(src string) (string, error) {
 	return s.Explain()
 }
 
+// ExplainAnalyze plans a query statement, runs it serially to exhaustion,
+// and returns the plan annotated with estimated and actual per-atom row
+// counts. See Stmt.ExplainAnalyze.
+func (db *Database) ExplainAnalyze(ctx context.Context, src string) (string, error) {
+	s, err := db.prepared(src)
+	if err != nil {
+		return "", err
+	}
+	return s.ExplainAnalyze(ctx)
+}
+
 // planOptions assembles the planner inputs from one snapshot, so the plan's
 // cached structures always describe the same graph version it will run on.
 func (s *snapshot) planOptions() query.PlanOptions {
 	label := s.labels()
+	st := s.statistics()
 	s.mu.Lock()
 	guide := s.guide // nil unless already built; never forced
 	s.mu.Unlock()
-	return query.PlanOptions{Label: label, Guide: guide}
+	return query.PlanOptions{Label: label, Guide: guide, Stats: st}
+}
+
+// statistics returns the snapshot's cardinality statistics, building them on
+// first use. Commits maintain an already-built Stats incrementally (see
+// commitLocked), and durable recovery restores them from the snapshot file's
+// stats section, so in steady state this never rescans the graph.
+func (s *snapshot) statistics() *stats.Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.stats == nil {
+		s.stats = stats.Build(s.g)
+	}
+	return s.stats
 }
 
 // QueryRows runs the from/where part of a query and returns the binding

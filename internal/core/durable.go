@@ -207,7 +207,7 @@ func OpenPath(dir string) (*Database, error) {
 	// Replay the tail in place, maintaining the restored derived structures
 	// incrementally so recovery hands back a query-ready snapshot.
 	g := snap.Graph
-	labelIx, valueIx, guide := snap.Labels, snap.Values, snap.Guide
+	labelIx, valueIx, guide, st := snap.Labels, snap.Values, snap.Guide, snap.Stats
 	replayed := 0
 	if w.Batches() > 0 {
 		if err := w.Replay(func(b *mutate.Batch) error {
@@ -221,6 +221,9 @@ func OpenPath(dir string) (*Database, error) {
 			}
 			if valueIx != nil {
 				valueIx = valueIx.Apply(res.Delta)
+			}
+			if st != nil {
+				st = st.Apply(res.Delta)
 			}
 			if guide != nil {
 				if res.RootChanged {
@@ -239,7 +242,7 @@ func OpenPath(dir string) (*Database, error) {
 	}
 
 	db := &Database{dir: dir, snapSeq: loaded.seq, dirLock: lock}
-	db.snap.Store(&snapshot{g: g, labelIx: labelIx, valueIx: valueIx, guide: guide})
+	db.snap.Store(&snapshot{g: g, labelIx: labelIx, valueIx: valueIx, guide: guide, stats: st})
 	db.wal = w
 	db.walRO.Store(w)
 	opened = true
@@ -322,11 +325,12 @@ func (db *Database) Checkpoint() (CheckpointInfo, error) {
 		}, nil
 	}
 
-	// Force-build the linear-cost indexes so the generation restores a
-	// query-ready database; the DataGuide (potentially exponential) is
-	// included only if this snapshot already built it.
+	// Force-build the linear-cost indexes and statistics so the generation
+	// restores a query-ready database; the DataGuide (potentially
+	// exponential) is included only if this snapshot already built it.
 	labels := snap.labels()
 	values := snap.values()
+	st := snap.statistics()
 	snap.mu.Lock()
 	guide := snap.guide
 	snap.mu.Unlock()
@@ -338,6 +342,7 @@ func (db *Database) Checkpoint() (CheckpointInfo, error) {
 		Labels:    labels,
 		Values:    values,
 		Guide:     guide,
+		Stats:     st,
 		WALBaseFP: baseFP,
 		Applied:   uint64(folded),
 	}
@@ -398,6 +403,7 @@ func (db *Database) SavePath(dir string) error {
 	snap := db.snapshot()
 	labels := snap.labels()
 	values := snap.values()
+	st := snap.statistics()
 	snap.mu.Lock()
 	guide := snap.guide
 	snap.mu.Unlock()
@@ -407,6 +413,7 @@ func (db *Database) SavePath(dir string) error {
 		Labels:    labels,
 		Values:    values,
 		Guide:     guide,
+		Stats:     st,
 		WALBaseFP: fp, // fresh directory: the log will start at this state
 	}
 	_, err = storage.WriteSnapshotFile(filepath.Join(dir, snapName(1)), s)

@@ -4,12 +4,14 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"reflect"
 	"sync"
 	"testing"
 
 	"repro/internal/bisim"
 	"repro/internal/mutate"
 	"repro/internal/ssd"
+	"repro/internal/stats"
 	"repro/internal/storage"
 )
 
@@ -484,5 +486,44 @@ func TestCheckpointRequiresOpenPath(t *testing.T) {
 	defer db.CloseWAL()
 	if err := db.CompactWAL(filepath.Join(dir, "x.ssdg")); err != nil {
 		t.Fatal(err) // legacy path still works on non-durable databases
+	}
+}
+
+// TestRecoveredStatsMatchRebuild pins the statistics lifecycle across a
+// restart: a checkpoint persists the stats section, recovery restores it and
+// folds the WAL tail in via delta maintenance — so the reopened database has
+// planner statistics immediately, without a rebuild pass, and they are
+// exactly what a from-scratch build over the recovered graph produces.
+func TestRecoveredStatsMatchRebuild(t *testing.T) {
+	dir := t.TempDir()
+	db, err := OpenPath(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	commitN(t, db, 0, 5)
+	db.snapshot().statistics() // force-build so commits maintain incrementally
+	if _, err := db.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	commitN(t, db, 5, 3) // WAL tail: applied to the restored stats on reopen
+	if err := db.CloseWAL(); err != nil {
+		t.Fatal(err)
+	}
+
+	re, err := OpenPath(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.CloseWAL()
+	snap := re.snapshot()
+	snap.mu.Lock()
+	restored := snap.stats
+	snap.mu.Unlock()
+	if restored == nil {
+		t.Fatal("recovered snapshot has no statistics: the snapshot section was not restored")
+	}
+	want := stats.Build(snap.g)
+	if !reflect.DeepEqual(restored.Dump(), want.Dump()) {
+		t.Fatalf("recovered stats differ from rebuild:\ngot  %+v\nwant %+v", restored.Dump(), want.Dump())
 	}
 }

@@ -325,6 +325,28 @@ func (s *Stmt) Explain() (string, error) {
 	}
 }
 
+// ExplainAnalyze executes a query statement serially to exhaustion and
+// returns its plan annotated with both the optimizer's estimated
+// cardinality and the actual rows that survived each atom — the tool for
+// judging whether the statistics are steering the planner well. Only query
+// statements can be analyzed; args bind $parameters as in Query.
+func (s *Stmt) ExplainAnalyze(ctx context.Context, args ...Param) (string, error) {
+	if s.lang != LangQuery {
+		return "", fmt.Errorf("core: explain analyze requires a query statement")
+	}
+	vals, err := s.bindArgs(args)
+	if err != nil {
+		return "", err
+	}
+	snap := s.db.snapshot()
+	p, err := s.checkoutPlan(snap)
+	if err != nil {
+		return "", err
+	}
+	defer s.checkinPlan(snap, p)
+	return p.ExplainAnalyze(ctx, vals)
+}
+
 // bindArgs validates args against the statement's declared parameters and
 // returns them as a map.
 func (s *Stmt) bindArgs(args []Param) (map[string]ssd.Label, error) {
@@ -469,15 +491,23 @@ func (s *Stmt) Query(ctx context.Context, args ...Param) (*Rows, error) {
 			return nil, err
 		}
 		var workers []*query.Plan
+		var morselSize int
 		if n := s.db.Parallelism(); n > 1 && p.Parallelizable() {
-			// Best effort: a plan-compile failure here cannot happen for a
-			// plan that just compiled against the same snapshot, but fall
-			// back to serial rather than failing the query if it does.
-			workers, _ = s.checkoutPlans(snap, n)
+			// The cost model decides whether fan-out pays off at all (tiny
+			// seed sets run serial regardless of the configured ceiling),
+			// how many workers the estimated seed count supports, and the
+			// morsel size. Best effort: a plan-compile failure here cannot
+			// happen for a plan that just compiled against the same
+			// snapshot, but fall back to serial rather than failing the
+			// query if it does.
+			if w, ms := p.ParallelHint(n); w > 1 {
+				workers, _ = s.checkoutPlans(snap, w)
+				morselSize = ms
+			}
 		}
 		var cur *query.Cursor
 		if len(workers) > 0 {
-			cur, err = p.CursorParallel(ctx, vals, workers, 0)
+			cur, err = p.CursorParallel(ctx, vals, workers, morselSize)
 		} else {
 			cur, err = p.Cursor(ctx, vals)
 		}

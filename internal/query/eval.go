@@ -75,12 +75,38 @@ type Options struct {
 	// Parallelism is the number of worker executors for the planned
 	// engine's morsel-driven parallel scan (0 or 1 = serial). Results are
 	// byte-identical to serial execution; plans with fewer than two atoms
-	// always run serially. Ignored by the naive engine.
+	// always run serially. Ignored by the naive engine. Negative values are
+	// rejected with an *OptionError.
 	Parallelism int
 	// MorselSize overrides the number of leading-atom rows per parallel
-	// morsel (0 = DefaultMorselSize). Exposed mainly so tests can force
-	// many small morsels.
+	// morsel (0 = size chosen by the plan's cost model, falling back to
+	// DefaultMorselSize). Exposed mainly so tests can force many small
+	// morsels. Negative values are rejected with an *OptionError.
 	MorselSize int
+}
+
+// OptionError reports an Options field set to a value outside its domain.
+// Callers distinguish it from evaluation failures with errors.As.
+type OptionError struct {
+	Field string // the Options field name, e.g. "Parallelism"
+	Value int
+}
+
+func (e *OptionError) Error() string {
+	return fmt.Sprintf("query: invalid Options.%s %d (must be >= 0)", e.Field, e.Value)
+}
+
+// validate rejects option values outside their documented domain. Negative
+// Parallelism or MorselSize used to fall through the > comparisons and
+// silently run serially with the default morsel size; now they are errors.
+func (o Options) validate() error {
+	if o.Parallelism < 0 {
+		return &OptionError{Field: "Parallelism", Value: o.Parallelism}
+	}
+	if o.MorselSize < 0 {
+		return &OptionError{Field: "MorselSize", Value: o.MorselSize}
+	}
+	return nil
 }
 
 // Eval evaluates the query over g and returns the result tree (a fresh
@@ -100,6 +126,9 @@ func EvalNaive(q *Query, g *ssd.Graph) (*ssd.Graph, error) {
 
 // EvalOpts evaluates with explicit options.
 func EvalOpts(q *Query, g *ssd.Graph, opts Options) (*ssd.Graph, error) {
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
 	if opts.Engine == EngineNaive {
 		if len(q.Params) > 0 {
 			var err error
@@ -142,6 +171,9 @@ func (p *Plan) EvalGraph(opts Options) (*ssd.Graph, error) {
 // to serial evaluation. (The statement layer avoids the sibling compiles
 // by drawing worker plans from its pool instead.)
 func (p *Plan) EvalGraphCtx(ctx context.Context, opts Options) (*ssd.Graph, error) {
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
 	var cur *Cursor
 	var err error
 	if opts.Parallelism > 1 && len(p.atoms) >= 2 {

@@ -53,6 +53,11 @@ type executor struct {
 	// ctx.Err per row is measurable overhead at fan-out row rates.
 	relaxedPoll bool
 
+	// atomRows counts rows that survived each atom's filters (one counter
+	// per atom, plan order) when non-nil. Only ExplainAnalyze enables it;
+	// the normal path keeps the nil check and nothing else.
+	atomRows []int64
+
 	// Termination: err records the failure that ended iteration early —
 	// context cancellation, or any panic the pull loop recovered (a stale
 	// index referencing nodes the graph no longer has, a corrupted plan).
@@ -104,6 +109,7 @@ func (ex *executor) reset(ctx context.Context, params []ssd.Label) {
 	ex.started, ex.done = false, false
 	ex.base = 0
 	ex.relaxedPoll = false
+	ex.atomRows = nil
 	ex.err = nil
 	ex.polls = 0
 	for _, t := range ex.travs {
@@ -228,6 +234,9 @@ func (ex *executor) next() bool {
 		ex.regs.trees[as.a.dstSlot] = dst
 		if !ex.evalConds(as.a.conds) {
 			continue
+		}
+		if ex.atomRows != nil {
+			ex.atomRows[i]++
 		}
 		if i == n-1 {
 			return true

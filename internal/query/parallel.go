@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/ssd"
 )
@@ -34,6 +35,18 @@ import (
 // recovered panic) travels as a terminal batch through the morsel it
 // occurred in, so the consumer observes it at the same point in the row
 // stream where the serial engine would have — never as a silent truncation.
+//
+// Adaptive splitting: morsel size is fixed up front (from the cost model's
+// seed estimate via Plan.ParallelHint, or Options.MorselSize), but per-seed
+// fan-out is only an estimate. When a worker observes a morsel producing far
+// more rows per seed than the plan predicted, it splits off the unprocessed
+// seed suffix as a new morsel for another worker and hands the consumer a
+// continuation channel in its final batch. Order preservation survives
+// because a split never reorders seeds: the suffix morsel's rows are
+// delivered on the continuation channel, which the merge switches to exactly
+// where the original morsel's rows end — the concatenation is the same
+// seed-order row stream, just produced by two workers. Splits chain: a
+// suffix morsel may itself split again.
 
 const (
 	// DefaultMorselSize is the number of leading-atom seed rows per morsel
@@ -48,6 +61,27 @@ const (
 	// Workers run at most this far ahead of the in-order merge within one
 	// morsel before blocking — the memory bound of the merge.
 	morselResultBuf = 4
+
+	// splitMinSeedsLeft is the smallest seed suffix worth splitting off —
+	// below it the handoff costs more than finishing inline.
+	splitMinSeedsLeft = 2
+
+	// splitQueueCap bounds the shared split queue. A full queue simply
+	// means the worker keeps its morsel; splitting is an optimization,
+	// never a requirement.
+	splitQueueCap = 64
+)
+
+// Split tuning. Variables rather than constants only so tests can force the
+// splitting path on small fixtures; production treats them as constants.
+var (
+	// splitFactor is how far observed per-seed fan-out must exceed the cost
+	// model's estimate before a worker splits off its remaining seeds.
+	splitFactor = 8.0
+
+	// splitMinRows is the minimum rows a morsel must have produced before a
+	// worker considers splitting it, regardless of the estimate ratio.
+	splitMinRows int64 = 512
 )
 
 // seedRow is one materialized row of the leading atom: the bound tree node
@@ -88,13 +122,16 @@ func (p *Plan) leadSlots() leadSlots {
 
 // rowBatch is a flat, struct-of-arrays block of merged result rows: row r's
 // tree slots live at trees[r*nT:(r+1)*nT], and likewise for labels/paths.
-// A batch with err != nil is terminal for the whole execution.
+// A batch with err != nil is terminal for the whole execution. A batch with
+// cont != nil is terminal for its channel: the morsel was split, and the
+// rows for its remaining seeds follow on cont.
 type rowBatch struct {
 	n      int
 	trees  []ssd.NodeID
 	labels []ssd.Label
 	paths  [][]ssd.Label
 	err    error
+	cont   chan rowBatch
 }
 
 // morsel is one unit of worker work: a contiguous run of seeds plus the
@@ -102,6 +139,53 @@ type rowBatch struct {
 type morsel struct {
 	seeds []seedRow
 	out   chan rowBatch
+}
+
+// parShared is the state a worker pool shares for adaptive morsel splitting:
+// the split queue itself, plus the accounting that tells idle workers when
+// no more work — queued or future — can possibly arrive.
+//
+// Liveness argument for the split queue: a worker that enqueues a split
+// returns from its morsel immediately afterwards and re-enters the pull
+// loop, which polls splits with strict priority before anything else. So
+// whenever the queue is non-empty there is at least one worker that is free
+// (or about to be) and will prefer a split over a fresh morsel — a queued
+// split can never be stranded behind workers all blocked on the in-order
+// merge's bounded buffers.
+type parShared struct {
+	splits   chan morsel   // suffix morsels split off by overloaded workers
+	pending  atomic.Int64  // morsels emitted or split, not yet completed
+	seeding  atomic.Bool   // coordinator still producing primary morsels
+	done     chan struct{} // closed once seeding ended and pending hit zero
+	doneOnce sync.Once
+	nsplits  atomic.Int64 // splits performed; observability and tests
+}
+
+func newParShared() *parShared {
+	sh := &parShared{
+		splits: make(chan morsel, splitQueueCap),
+		done:   make(chan struct{}),
+	}
+	sh.seeding.Store(true)
+	return sh
+}
+
+// morselDone retires one unit of pending work.
+func (sh *parShared) morselDone() {
+	if sh.pending.Add(-1) == 0 && !sh.seeding.Load() {
+		sh.doneOnce.Do(func() { close(sh.done) })
+	}
+}
+
+// finishSeeding marks the primary morsel stream exhausted. Between it and
+// morselDone, whichever observes the final state (no seeding, no pending)
+// closes done; a split increments pending before its parent morsel retires,
+// so pending can never transiently read zero while work is still queued.
+func (sh *parShared) finishSeeding() {
+	sh.seeding.Store(false)
+	if sh.pending.Load() == 0 {
+		sh.doneOnce.Do(func() { close(sh.done) })
+	}
 }
 
 // CursorParallel opens a parallel streaming execution of the plan across
@@ -112,9 +196,10 @@ type morsel struct {
 // leading atom, so p plus workers may all come from one pool checkout.
 //
 // Plans with fewer than two atoms, or an empty worker set, fall back to the
-// serial cursor: there is no join work to fan out. morselSize <= 0 uses
-// DefaultMorselSize. Row order, and therefore the materialized result, is
-// identical to the serial engine's.
+// serial cursor: there is no join work to fan out. morselSize <= 0 asks the
+// plan's cost model for a size (Plan.ParallelHint), falling back to
+// DefaultMorselSize when the model has no estimate. Row order, and therefore
+// the materialized result, is identical to the serial engine's.
 func (p *Plan) CursorParallel(ctx context.Context, params map[string]ssd.Label, workers []*Plan, morselSize int) (*Cursor, error) {
 	vals, err := p.paramVals(params)
 	if err != nil {
@@ -130,7 +215,15 @@ func (p *Plan) CursorParallel(ctx context.Context, params map[string]ssd.Label, 
 		}
 	}
 	if morselSize <= 0 {
-		morselSize = DefaultMorselSize
+		n := len(workers)
+		if n < 2 {
+			n = 2
+		}
+		if _, hint := p.ParallelHint(n); hint > 0 {
+			morselSize = hint
+		} else {
+			morselSize = DefaultMorselSize
+		}
 	}
 
 	pc := newParCursor(ctx, p, vals, workers, morselSize)
@@ -166,6 +259,7 @@ type parCursor struct {
 	ctx    context.Context // caller's context (nil allowed)
 	cancel context.CancelFunc
 	wg     sync.WaitGroup
+	sh     *parShared
 
 	order chan chan rowBatch // per-morsel result channels, in seed order
 	cur   chan rowBatch      // current morsel's channel, nil between morsels
@@ -196,6 +290,8 @@ func newParCursor(ctx context.Context, p *Plan, vals []ssd.Label, workers []*Pla
 	}
 	ls := p.leadSlots()
 	morsels := make(chan morsel, len(workers))
+	sh := newParShared()
+	pc.sh = sh
 
 	// Workers: one executor per plan, shared-nothing. Each runs atoms[1:]
 	// from every seed of its morsel, in order.
@@ -203,7 +299,7 @@ func newParCursor(ctx context.Context, p *Plan, vals []ssd.Label, workers []*Pla
 		pc.wg.Add(1)
 		go func(wp *Plan) {
 			defer pc.wg.Done()
-			runWorker(workCtx, wp, vals, ls, morsels)
+			runWorker(workCtx, wp, vals, ls, morsels, sh)
 		}(wp)
 	}
 
@@ -216,6 +312,7 @@ func newParCursor(ctx context.Context, p *Plan, vals []ssd.Label, workers []*Pla
 		defer pc.wg.Done()
 		defer close(pc.order)
 		defer close(morsels)
+		defer sh.finishSeeding()
 		seedEx := p.exec(workCtx, vals)
 		seedEx.relaxedPoll = true
 		seedEx.atoms = seedEx.atoms[:1] // drive only the leading atom
@@ -235,6 +332,7 @@ func newParCursor(ctx context.Context, p *Plan, vals []ssd.Label, workers []*Pla
 			case <-workCtx.Done():
 				return false
 			}
+			sh.pending.Add(1)
 			select {
 			case morsels <- morsel{seeds: seeds, out: out}:
 			case <-workCtx.Done():
@@ -281,22 +379,55 @@ func newParCursor(ctx context.Context, p *Plan, vals []ssd.Label, workers []*Pla
 	return pc
 }
 
-// runWorker executes morsels until the queue closes. Any failure of its
-// executor — cancellation or a recovered panic — is delivered as a terminal
-// batch on the failing morsel's channel; the worker then keeps draining the
-// queue (closing each morsel's channel immediately) so the coordinator is
-// never blocked on a dead consumer.
-func runWorker(ctx context.Context, wp *Plan, vals []ssd.Label, ls leadSlots, morsels <-chan morsel) {
+// runWorker executes morsels until both the primary queue is closed and no
+// split work remains (sh.done). Queued splits are served with strict
+// priority over fresh morsels — see parShared for why that ordering is what
+// keeps split continuations live. Any failure of the worker's executor —
+// cancellation or a recovered panic — is delivered as a terminal batch on
+// the failing morsel's channel; the worker then keeps draining both queues
+// (closing each morsel's channel immediately) so the coordinator is never
+// blocked on a dead consumer.
+func runWorker(ctx context.Context, wp *Plan, vals []ssd.Label, ls leadSlots, morsels <-chan morsel, sh *parShared) {
 	ex := wp.exec(ctx, vals)
 	ex.base = 1
 	ex.relaxedPoll = true
 	defer ex.release() // visible to the next checkout via Close's wg.Wait
-	for m := range morsels {
+	open := true       // primary morsel queue still open
+	for {
+		var m morsel
+		var ok bool
+		select {
+		case m, ok = <-sh.splits: // priority poll; splits is never closed
+		default:
+		}
+		if !ok && open {
+			select {
+			case m, ok = <-morsels:
+				if !ok {
+					open = false
+					continue
+				}
+			case m, ok = <-sh.splits:
+			case <-ctx.Done():
+				return
+			}
+		} else if !ok {
+			select {
+			case m, ok = <-sh.splits:
+			case <-sh.done:
+				return
+			case <-ctx.Done():
+				return
+			}
+		}
 		if ex.err != nil {
 			close(m.out) // terminal batch already delivered; just drain
+			sh.morselDone()
 			continue
 		}
-		if !workMorsel(ctx, ex, wp, ls, m) {
+		alive := workMorsel(ctx, ex, wp, ls, m, sh)
+		sh.morselDone()
+		if !alive {
 			return // work context cancelled mid-send: the consumer is gone
 		}
 	}
@@ -308,7 +439,12 @@ func runWorker(ctx context.Context, wp *Plan, vals []ssd.Label, ls leadSlots, mo
 // executor recovers its own panics); a panic in the merge machinery itself
 // is additionally recovered here, so a worker can never die without
 // terminating its morsel's channel.
-func workMorsel(ctx context.Context, ex *executor, wp *Plan, ls leadSlots, m morsel) (alive bool) {
+//
+// When the morsel's observed fan-out far exceeds the plan's per-seed
+// estimate (see splitFactor/splitMinRows), the unprocessed seed suffix is
+// split off through sh.splits for another worker, and the final batch on
+// m.out carries the suffix's channel as its continuation.
+func workMorsel(ctx context.Context, ex *executor, wp *Plan, ls leadSlots, m morsel, sh *parShared) (alive bool) {
 	defer close(m.out)
 	alive = true
 	var b rowBatch
@@ -329,7 +465,9 @@ func workMorsel(ctx context.Context, ex *executor, wp *Plan, ls leadSlots, m mor
 	}()
 	nT, nL, nP := len(wp.treeName), len(wp.labelName), len(wp.pathName)
 	dstSlot := wp.atoms[0].dstSlot
-	for _, s := range m.seeds {
+	estPerSeed := wp.perSeedEst()
+	var rowsOut int64
+	for k, s := range m.seeds {
 		ex.regs.trees[dstSlot] = s.tree
 		for i, slot := range ls.labels {
 			ex.regs.labels[slot] = s.labels[i]
@@ -343,6 +481,7 @@ func workMorsel(ctx context.Context, ex *executor, wp *Plan, ls leadSlots, m mor
 			b.labels = append(b.labels, ex.regs.labels[:nL]...)
 			b.paths = append(b.paths, ex.regs.paths[:nP]...)
 			b.n++
+			rowsOut++
 			if b.n >= parBatchRows {
 				if !send(b) {
 					return
@@ -353,6 +492,27 @@ func workMorsel(ctx context.Context, ex *executor, wp *Plan, ls leadSlots, m mor
 		if ex.err != nil {
 			b.err = ex.err
 			break
+		}
+		// Adaptive split: this morsel is producing far more rows per seed
+		// than the plan estimated, so hand the remaining seeds to another
+		// worker. The final batch's cont field tells the merge where the
+		// suffix's rows continue; seed order is untouched, so the merged
+		// stream is identical to the unsplit one.
+		if remaining := len(m.seeds) - k - 1; remaining >= splitMinSeedsLeft &&
+			rowsOut >= splitMinRows &&
+			float64(rowsOut) > splitFactor*estPerSeed*float64(k+1) {
+			cont := make(chan rowBatch, morselResultBuf)
+			sh.pending.Add(1)
+			select {
+			case sh.splits <- morsel{seeds: m.seeds[k+1:], out: cont}:
+				sh.nsplits.Add(1)
+				b.cont = cont
+				send(b)
+				return
+			default:
+				// Queue full: every worker is saturated anyway, keep going.
+				sh.pending.Add(-1)
+			}
 		}
 	}
 	if b.n > 0 || b.err != nil {
@@ -383,6 +543,13 @@ func (pc *parCursor) Next() bool {
 			copy(pc.regs.labels, pc.batch.labels[r*nL:(r+1)*nL])
 			copy(pc.regs.paths, pc.batch.paths[r*nP:(r+1)*nP])
 			return true
+		}
+		if pc.batch.cont != nil {
+			// The producing worker split this morsel mid-way: the rows for
+			// its remaining seeds continue on cont, in the same seed order.
+			pc.cur = pc.batch.cont
+			pc.batch, pc.ri = rowBatch{}, 0
+			continue
 		}
 		if pc.cur == nil {
 			select {

@@ -2,6 +2,7 @@ package query
 
 import (
 	"context"
+	"errors"
 	"strings"
 	"testing"
 
@@ -40,6 +41,125 @@ func TestParallelMatchesSerialByteIdentical(t *testing.T) {
 				}
 			}
 		})
+	}
+}
+
+// forceSplits lowers the adaptive-split thresholds so that every morsel
+// splits as aggressively as the machinery allows, and returns a restore
+// function. Tests that force splits must restore before returning (and must
+// not run in parallel with each other); the happens-before edges of
+// goroutine start and Cursor.Close make the writes race-free.
+func forceSplits() (restore func()) {
+	of, om := splitFactor, splitMinRows
+	splitFactor, splitMinRows = 0, 1
+	return func() { splitFactor, splitMinRows = of, om }
+}
+
+// TestParallelAdaptiveSplitByteIdentical is the acceptance property for
+// runtime morsel splitting: with the split thresholds floored so workers
+// split after every seed (maximally chained continuations), the merged
+// stream must still be byte-identical to the serial engine across the whole
+// engine cross-check corpus.
+func TestParallelAdaptiveSplitByteIdentical(t *testing.T) {
+	defer forceSplits()()
+	for _, c := range engineCases {
+		t.Run(c.name, func(t *testing.T) {
+			g := caseGraph(t, c)
+			q := MustParse(c.query)
+			serial, err := EvalOpts(q, g, Options{Minimize: true, Params: c.params})
+			if err != nil {
+				t.Fatalf("serial: %v", err)
+			}
+			par, err := EvalOpts(q, g, Options{
+				Minimize: true, Params: c.params,
+				Parallelism: 3, MorselSize: 4,
+			})
+			if err != nil {
+				t.Fatalf("parallel: %v", err)
+			}
+			if gs, ws := ssd.FormatRoot(par), ssd.FormatRoot(serial); gs != ws {
+				t.Errorf("split parallel differs:\n got: %s\nwant: %s", gs, ws)
+			}
+		})
+	}
+}
+
+// TestParallelAdaptiveSplitRowOrder pins that splitting actually happened
+// and that the continuation-chain merge preserves exact row order, not just
+// the canonicalized result.
+func TestParallelAdaptiveSplitRowOrder(t *testing.T) {
+	defer forceSplits()()
+	g := workload.Movies(workload.DefaultMovieConfig(300))
+	q := MustParse(`select {Title: T} from DB.Entry.Movie M, M.Title T, M.Cast._* A`)
+	sp, err := NewPlan(q, g, PlanOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ser, err := sp.Cursor(nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewPlan(q, g, PlanOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par := openParallel(t, p, nil, nil, 3, 16)
+	defer par.Close()
+	row := 0
+	for ser.Next() {
+		if !par.Next() {
+			t.Fatalf("parallel ended at row %d, serial has more (err %v)", row, par.Err())
+		}
+		for i := range p.treeName {
+			if ser.Tree(i) != par.Tree(i) {
+				t.Fatalf("row %d: tree slot %d: %d != %d", row, i, par.Tree(i), ser.Tree(i))
+			}
+		}
+		for i := range p.labelName {
+			if ser.Label(i) != par.Label(i) {
+				t.Fatalf("row %d: label slot %d differs", row, i)
+			}
+		}
+		row++
+	}
+	if par.Next() {
+		t.Fatalf("parallel has extra rows after %d", row)
+	}
+	if ser.Err() != nil || par.Err() != nil {
+		t.Fatalf("errs %v / %v", ser.Err(), par.Err())
+	}
+	if row == 0 {
+		t.Fatal("no rows compared")
+	}
+	if par.par.sh.nsplits.Load() == 0 {
+		t.Fatal("forced-split run performed no splits: the adaptive path was not exercised")
+	}
+}
+
+// TestParallelAdaptiveSplitCancellation: cancelling mid-stream while splits
+// are flying must still tear the pool down promptly.
+func TestParallelAdaptiveSplitCancellation(t *testing.T) {
+	defer forceSplits()()
+	g := workload.Movies(workload.DefaultMovieConfig(2000))
+	q := MustParse(`select {Title: T} from DB.Entry.Movie M, M.Title T, M.Cast._* A`)
+	p, err := NewPlan(q, g, PlanOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cur := openParallel(t, p, ctx, nil, 3, 16)
+	defer cur.Close()
+	for i := 0; i < 5; i++ {
+		if !cur.Next() {
+			t.Fatalf("row %d: premature end (err %v)", i, cur.Err())
+		}
+	}
+	cancel()
+	if cur.Next() && cur.Next() {
+		t.Fatal("cursor kept yielding after cancellation")
+	}
+	if cur.Err() != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", cur.Err())
 	}
 }
 
@@ -303,6 +423,49 @@ func TestParallelFallbacks(t *testing.T) {
 	}
 	if n == 0 || cur.Err() != nil {
 		t.Fatalf("fallback cursor: %d rows, err %v", n, cur.Err())
+	}
+}
+
+// TestOptionsRejectNegatives is the regression test for negative
+// Options.Parallelism / Options.MorselSize silently falling through the
+// "> 1" / "> 0" comparisons and running serially with default morsels: both
+// are now typed *OptionError failures, at both evaluation entry points.
+func TestOptionsRejectNegatives(t *testing.T) {
+	g := workload.Fig1(false)
+	q := MustParse(`select T from DB.Entry.Movie M, M.Title T`)
+	cases := []struct {
+		opts  Options
+		field string
+		value int
+	}{
+		{Options{Parallelism: -1}, "Parallelism", -1},
+		{Options{MorselSize: -8}, "MorselSize", -8},
+		{Options{Parallelism: -3, MorselSize: -8}, "Parallelism", -3}, // first failure wins
+	}
+	for _, c := range cases {
+		for name, eval := range map[string]func() (*ssd.Graph, error){
+			"EvalOpts": func() (*ssd.Graph, error) { return EvalOpts(q, g, c.opts) },
+			"EvalGraphCtx": func() (*ssd.Graph, error) {
+				p, err := NewPlan(q, g, PlanOptions{})
+				if err != nil {
+					t.Fatal(err)
+				}
+				return p.EvalGraphCtx(context.Background(), c.opts)
+			},
+		} {
+			_, err := eval()
+			var oe *OptionError
+			if !errors.As(err, &oe) {
+				t.Fatalf("%s %+v: err = %v, want *OptionError", name, c.opts, err)
+			}
+			if oe.Field != c.field || oe.Value != c.value {
+				t.Errorf("%s %+v: got {%s %d}, want {%s %d}", name, c.opts, oe.Field, oe.Value, c.field, c.value)
+			}
+		}
+	}
+	// Zero stays valid: it means "pick defaults", not an error.
+	if _, err := EvalOpts(q, g, Options{Minimize: true}); err != nil {
+		t.Fatalf("zero options rejected: %v", err)
 	}
 }
 

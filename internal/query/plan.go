@@ -1,6 +1,7 @@
 package query
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -8,6 +9,7 @@ import (
 	"repro/internal/index"
 	"repro/internal/pathexpr"
 	"repro/internal/ssd"
+	"repro/internal/stats"
 )
 
 // This file is the query planner: the compile-once half of the
@@ -62,6 +64,15 @@ type PlanOptions struct {
 	Label *index.LabelIndex
 	// Guide enables dataguide-pruned access for root-anchored regex atoms.
 	Guide *dataguide.Guide
+	// Stats supplies maintained cardinality statistics (per-label counts,
+	// distinct source/child counts, a numeric-value histogram). The cost
+	// model prefers them over the label index for estimation: distinct
+	// counts sharpen join fanout and the histogram prices range predicates.
+	Stats *stats.Stats
+	// Heuristic disables the statistics-fed cost model and falls back to
+	// the original per-label occurrence heuristic — the ablation switch
+	// BenchmarkCostBasedVsHeuristic compares against.
+	Heuristic bool
 }
 
 // stepKind discriminates planStep.
@@ -131,6 +142,13 @@ type Plan struct {
 	opts          PlanOptions
 	reach         []bool // reachability from root; built only for index access
 
+	// seedEst and outEst are the cost model's cardinality estimates for the
+	// leading atom's result set and the final row count. ParallelHint sizes
+	// the morsel-driven scan from them, and the runtime morsel splitter
+	// compares observed fan-out against outEst/seedEst.
+	seedEst float64
+	outEst  float64
+
 	// idleEx is the executor released by the last closed cursor, reused by
 	// the next execution. Executors carry large per-graph scratch arrays
 	// (traversal visited/emitted bitmaps, dedup stamps, materialized
@@ -169,6 +187,59 @@ func (p *Plan) Params() []string { return p.paramName }
 // checking out worker plans that CursorParallel would ignore anyway.
 func (p *Plan) Parallelizable() bool { return len(p.atoms) >= 2 }
 
+// Adaptive parallelism thresholds: fan-out only pays when the seed set is
+// large enough to amortize worker start-up and channel traffic, and each
+// worker should see several morsels so the order-preserving merge does not
+// serialize on one straggler.
+const (
+	minParallelSeeds  = 64
+	minSeedsPerWorker = 32
+	morselsPerWorker  = 4
+	minMorselSize     = 8
+)
+
+// ParallelHint sizes the morsel-driven parallel scan from the cost model's
+// seed-cardinality estimate: how many workers (capped at maxWorkers) the
+// leading atom's estimated result set can keep busy, and a morsel size that
+// gives each worker several morsels. Returns (0, 0) when the plan should
+// run serially — too few atoms or an estimated seed set too small to fan
+// out. Estimates can be wrong in both directions; the runtime morsel
+// splitter (parallel.go) corrects underestimates, and the byte-identical
+// merge makes the choice invisible to results either way.
+func (p *Plan) ParallelHint(maxWorkers int) (workers, morselSize int) {
+	if maxWorkers <= 1 || len(p.atoms) < 2 {
+		return 0, 0
+	}
+	seeds := p.seedEst
+	if seeds < minParallelSeeds {
+		return 0, 0
+	}
+	w := int(seeds) / minSeedsPerWorker
+	if w > maxWorkers {
+		w = maxWorkers
+	}
+	if w < 2 {
+		return 0, 0
+	}
+	ms := int(seeds) / (w * morselsPerWorker)
+	if ms < minMorselSize {
+		ms = minMorselSize
+	}
+	if ms > DefaultMorselSize {
+		ms = DefaultMorselSize
+	}
+	return w, ms
+}
+
+// perSeedEst is the cost model's expected output rows per seed row — the
+// yardstick the runtime morsel splitter compares observed fan-out against.
+func (p *Plan) perSeedEst() float64 {
+	if p.seedEst < 1 {
+		return p.outEst
+	}
+	return p.outEst / p.seedEst
+}
+
 // ---------------------------------------------------------------------------
 // Planning
 
@@ -177,6 +248,11 @@ type planner struct {
 	counts map[ssd.Label]int
 	nodes  float64
 	edges  float64
+	// rootCounts holds exact per-label counts of the root's out-edges, built
+	// lazily: the first step of a root-anchored atom has a frontier of
+	// exactly one node, so the planner can price it exactly instead of
+	// assuming uniformity.
+	rootCounts map[ssd.Label]float64
 }
 
 // NewPlan compiles q against g. The query must already have passed Parse's
@@ -233,6 +309,13 @@ func NewPlan(q *Query, g *ssd.Graph, opts PlanOptions) (*Plan, error) {
 	// Atom ordering: greedily take the cheapest binding whose source is
 	// already available. The original order is always a valid fallback, so
 	// the loop terminates.
+	//
+	// The cost model scores a candidate by its estimated join fanout times
+	// the selectivity of every where-conjunct that becomes checkable once
+	// the candidate is bound — an atom that unlocks a selective filter is
+	// worth running early even if its raw fanout is unremarkable. The
+	// heuristic path (opts.Heuristic) scores by raw fanout alone, as the
+	// planner did before statistics existed.
 	type cand struct {
 		idx int
 		b   Binding
@@ -241,17 +324,45 @@ func NewPlan(q *Query, g *ssd.Graph, opts PlanOptions) (*Plan, error) {
 	for i, b := range q.From {
 		remaining = append(remaining, cand{i, b})
 	}
+	type ordCond struct {
+		deps condDeps
+		sel  float64
+		used bool
+	}
+	var ordConds []*ordCond
+	if !p.opts.Heuristic {
+		for _, c := range splitConjuncts(q.Where) {
+			deps := newCondDeps()
+			pl.depsOf(c, &deps)
+			if deps.empty() {
+				continue // constant condition: no bearing on atom order
+			}
+			ordConds = append(ordConds, &ordCond{deps: deps, sel: pl.selOf(c)})
+		}
+	}
 	boundTrees := map[string]bool{}
 	boundLabels := map[string]bool{}
+	boundPaths := map[string]bool{}
+	cum := 1.0
 	for len(remaining) > 0 {
-		best, bestCost := -1, 0.0
+		best, bestScore := -1, 0.0
 		for ri, c := range remaining {
 			if c.b.Source != "DB" && !boundTrees[c.b.Source] {
 				continue
 			}
-			cost := pl.estimate(c.b, boundLabels)
-			if best < 0 || cost < bestCost {
-				best, bestCost = ri, cost
+			var score float64
+			if p.opts.Heuristic {
+				score = pl.estimate(c.b, boundLabels)
+			} else {
+				score = pl.atomFanout(c.b, boundLabels)
+				for _, oc := range ordConds {
+					if !oc.used && oc.deps.satisfiedWith(boundTrees, boundLabels, boundPaths, c.b) {
+						score *= oc.sel
+					}
+				}
+			}
+			if best < 0 || score < bestScore {
+				best, bestScore = ri, score
 			}
 		}
 		if best < 0 {
@@ -259,18 +370,37 @@ func NewPlan(q *Query, g *ssd.Graph, opts PlanOptions) (*Plan, error) {
 		}
 		chosen := remaining[best]
 		remaining = append(remaining[:best], remaining[best+1:]...)
-		atom, err := pl.compileAtom(chosen.b, boundLabels, bestCost)
+		cum *= bestScore
+		if len(p.atoms) == 0 {
+			p.seedEst = bestScore
+		}
+		est := bestScore
+		if !p.opts.Heuristic {
+			// Cost-model explain reports cumulative estimated rows after the
+			// atom, so estimates line up with ExplainAnalyze's actual counts.
+			est = cum
+		}
+		atom, err := pl.compileAtom(chosen.b, boundLabels, est)
 		if err != nil {
 			return nil, err
 		}
 		p.atoms = append(p.atoms, atom)
 		boundTrees[chosen.b.Var] = true
 		for _, st := range chosen.b.Path {
-			if lv, ok := st.(LabelVarStep); ok {
-				boundLabels[lv.Name] = true
+			switch t := st.(type) {
+			case LabelVarStep:
+				boundLabels[t.Name] = true
+			case PathVarStep:
+				boundPaths[t.Name] = true
+			}
+		}
+		for _, oc := range ordConds {
+			if !oc.used && oc.deps.satisfied(boundTrees, boundLabels, boundPaths) {
+				oc.used = true
 			}
 		}
 	}
+	p.outEst = cum
 
 	if err := pl.placeConds(); err != nil {
 		return nil, err
@@ -287,13 +417,19 @@ func NewPlan(q *Query, g *ssd.Graph, opts PlanOptions) (*Plan, error) {
 	return p, nil
 }
 
-// gatherStats collects per-label occurrence counts: from the supplied label
-// index when present, otherwise by one scan of the graph.
+// gatherStats collects per-label occurrence counts: from the maintained
+// statistics or the supplied label index when present, otherwise by one scan
+// of the graph. Only the scan fallback pays per-plan cost; the maintained
+// structures make planning O(query), not O(graph).
 func (pl *planner) gatherStats() {
 	g := pl.p.g
 	pl.nodes = float64(g.NumNodes())
 	if pl.nodes < 1 {
 		pl.nodes = 1
+	}
+	if st := pl.p.opts.Stats; st != nil {
+		pl.edges = float64(st.Edges())
+		return
 	}
 	if ix := pl.p.opts.Label; ix != nil {
 		pl.counts = nil // use ix.Count directly
@@ -315,10 +451,25 @@ func (pl *planner) gatherStats() {
 }
 
 func (pl *planner) countOf(l ssd.Label) float64 {
+	if st := pl.p.opts.Stats; st != nil {
+		return float64(st.Count(l))
+	}
 	if ix := pl.p.opts.Label; ix != nil {
 		return float64(ix.Count(l))
 	}
 	return float64(pl.counts[l])
+}
+
+// rootCount returns the exact number of root out-edges labeled l.
+func (pl *planner) rootCount(l ssd.Label) float64 {
+	if pl.rootCounts == nil {
+		g := pl.p.g
+		pl.rootCounts = make(map[ssd.Label]float64)
+		for _, e := range g.Out(g.Root()) {
+			pl.rootCounts[e.Label]++
+		}
+	}
+	return pl.rootCounts[l]
 }
 
 // estimate predicts the result cardinality of walking b's path from one
@@ -388,6 +539,231 @@ func (pl *planner) exprWeight(e pathexpr.Expr) float64 {
 		return 1 + pl.exprWeight(t.Sub)
 	default:
 		return pl.avgDeg()
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Cost model
+//
+// The cost model threads an estimated row frontier through each atom's path
+// steps (atomFanout), sharpened by the maintained statistics where present:
+// exact root out-degrees for the first step of a root-anchored atom,
+// distinct-source counts for join containment, and the numeric histogram
+// for range-predicate selectivity (selOf). Scores are relative — only their
+// order matters to the greedy atom ordering — but the cumulative product is
+// also surfaced in Explain as estimated rows, comparable against
+// ExplainAnalyze's actual counts.
+
+// Per-access-path unit costs: the relative price of producing one candidate
+// row through each mechanism. A backward-verified posting costs more than a
+// forward edge walk (each posting re-walks the chain prefix over reverse
+// edges); a dataguide product state costs more than a graph edge (extent
+// union on acceptance).
+const (
+	unitForwardEdge    = 1.0
+	unitBackwardVerify = 2.0
+	unitGuideNode      = 1.5
+)
+
+// atomFanout estimates the rows produced by walking b's path from one
+// already-bound source row (or from the root for DB-anchored atoms, where
+// the leading frontier is exactly one node and root out-degrees are exact).
+func (pl *planner) atomFanout(b Binding, boundLabels map[string]bool) float64 {
+	f := 1.0
+	fromRoot := b.Source == "DB"
+	for _, st := range b.Path {
+		switch t := st.(type) {
+		case *RegexStep:
+			f = pl.stepCard(f, t.Expr, fromRoot)
+		case LabelVarStep:
+			if boundLabels[t.Name] {
+				// Equality filter against an already-bound label: expect one
+				// matching edge.
+			} else {
+				f *= pl.avgDeg()
+			}
+		case PathVarStep:
+			f *= pl.nodes
+		case ParamStep:
+			// Exact-label filter whose label is unknown at plan time.
+			f *= pl.avgDeg() / 2
+		}
+		fromRoot = false
+		if f > 1e18 {
+			return 1e18
+		}
+	}
+	return f
+}
+
+// stepCard estimates the frontier size after walking e from a frontier of f
+// rows. fromRoot marks the first step of a root-anchored atom.
+func (pl *planner) stepCard(f float64, e pathexpr.Expr, fromRoot bool) float64 {
+	switch t := e.(type) {
+	case pathexpr.Atom:
+		switch pr := t.Pred.(type) {
+		case pathexpr.ExactPred:
+			return pl.exactCard(f, pr.L, fromRoot)
+		case pathexpr.AnyPred:
+			return f * pl.avgDeg()
+		default:
+			return f * pl.avgDeg() / 2
+		}
+	case pathexpr.Seq:
+		for _, part := range t.Parts {
+			f = pl.stepCard(f, part, fromRoot)
+			fromRoot = false
+			if f > 1e18 {
+				return 1e18
+			}
+		}
+		return f
+	case pathexpr.Alt:
+		w := 0.0
+		for _, alt := range t.Alts {
+			w += pl.stepCard(f, alt, fromRoot)
+		}
+		return w
+	case pathexpr.Star, pathexpr.Plus:
+		// A closure can reach a large fraction of the graph from each
+		// frontier row; compose with the incoming frontier so upstream
+		// selectivity is not discarded.
+		return f * pl.nodes
+	case pathexpr.Opt:
+		return f + pl.stepCard(f, t.Sub, false)
+	default:
+		return f * pl.avgDeg()
+	}
+}
+
+// exactCard estimates the frontier after following edges labeled l from f
+// rows. With statistics, join containment applies: the frontier is assumed
+// to lie inside l's source set, so each row fans out by count/distinct-src,
+// capped at the label's total occurrence count.
+func (pl *planner) exactCard(f float64, l ssd.Label, fromRoot bool) float64 {
+	if fromRoot {
+		return pl.rootCount(l)
+	}
+	cnt := pl.countOf(l)
+	if st := pl.p.opts.Stats; st != nil {
+		ds := float64(st.DistinctSources(l))
+		if ds <= 0 {
+			return 0
+		}
+		est := f * cnt / ds
+		if est > cnt {
+			est = cnt
+		}
+		return est
+	}
+	return f * cnt / pl.nodes
+}
+
+// selOf estimates the fraction of rows a where-conjunct keeps. Equality
+// against a literal divides by the distinct-value count; range comparisons
+// against a numeric literal read the histogram; everything else falls back
+// to fixed fractions in the System R tradition.
+func (pl *planner) selOf(c Cond) float64 {
+	switch t := c.(type) {
+	case And:
+		return pl.selOf(t.L) * pl.selOf(t.R)
+	case Or:
+		a, b := pl.selOf(t.L), pl.selOf(t.R)
+		return a + b - a*b
+	case Not:
+		return 1 - pl.selOf(t.Sub)
+	case Cmp:
+		return pl.cmpSel(t)
+	case TypeTest, LikeCond:
+		return 0.25
+	case Exists:
+		return 0.5
+	default:
+		return 1.0 / 3
+	}
+}
+
+func (pl *planner) cmpSel(c Cmp) float64 {
+	// Normalize to `var op lit`.
+	var lit LitTerm
+	var other Term
+	op := c.Op
+	if l, ok := c.L.(LitTerm); ok {
+		lit, other, op = l, c.R, flipCmp(op) // lit op var ⇔ var flip(op) lit
+	} else if r, ok := c.R.(LitTerm); ok {
+		lit, other = r, c.L
+	} else {
+		return 1.0 / 3 // variable-to-variable or parameter: unknown at plan time
+	}
+	switch op {
+	case pathexpr.OpEQ:
+		return pl.eqSel(lit.L, other)
+	case pathexpr.OpNE:
+		return 0.9
+	case pathexpr.OpGT, pathexpr.OpGE:
+		if st := pl.p.opts.Stats; st != nil {
+			if v, ok := lit.L.Numeric(); ok && st.NumericCount() > 0 {
+				return clampSel(st.FracGreater(v))
+			}
+		}
+		return 1.0 / 3
+	case pathexpr.OpLT, pathexpr.OpLE:
+		if st := pl.p.opts.Stats; st != nil {
+			if v, ok := lit.L.Numeric(); ok && st.NumericCount() > 0 {
+				return clampSel(st.FracLess(v))
+			}
+		}
+		return 1.0 / 3
+	default:
+		return 1.0 / 3
+	}
+}
+
+// eqSel estimates equality selectivity of `other = lit`.
+func (pl *planner) eqSel(lit ssd.Label, other Term) float64 {
+	switch other.(type) {
+	case VarTerm:
+		// A tree variable equals a value when the node carries a data edge
+		// with that label: P ≈ nodes carrying the value / all nodes.
+		if st := pl.p.opts.Stats; st != nil {
+			return clampSel((float64(st.DistinctSources(lit)) + 0.5) / pl.nodes)
+		}
+		return clampSel((pl.countOf(lit) + 0.5) / pl.nodes)
+	case LabelTerm:
+		if pl.edges > 0 {
+			return clampSel((pl.countOf(lit) + 0.5) / pl.edges)
+		}
+		return 0.1
+	case PathLenTerm:
+		return 0.25
+	default:
+		return 0.1
+	}
+}
+
+func clampSel(s float64) float64 {
+	if s < 1e-9 {
+		return 1e-9
+	}
+	if s > 1 {
+		return 1
+	}
+	return s
+}
+
+// flipCmp mirrors a comparison operator: a op b ⇔ b flip(op) a.
+func flipCmp(op pathexpr.CmpOp) pathexpr.CmpOp {
+	switch op {
+	case pathexpr.OpLT:
+		return pathexpr.OpGT
+	case pathexpr.OpLE:
+		return pathexpr.OpGE
+	case pathexpr.OpGT:
+		return pathexpr.OpLT
+	case pathexpr.OpGE:
+		return pathexpr.OpLE
+	default:
+		return op
 	}
 }
 
@@ -484,12 +860,15 @@ func (pl *planner) chooseAccess(a *planAtom) {
 		return
 	}
 
+	heur := pl.p.opts.Heuristic
 	if pl.p.opts.Label != nil {
 		// `_*.label`: the posting list is the answer.
 		if l, ok := seekShape(parts); ok {
 			a.access = AccessIndexSeek
 			a.seekLabel = l
-			a.est = pl.countOf(l)
+			if heur {
+				a.est = pl.countOf(l)
+			}
 			return
 		}
 		// Exact chain with a rare interior label: seek the rarest posting
@@ -501,23 +880,39 @@ func (pl *planner) chooseAccess(a *planAtom) {
 					minIdx = i
 				}
 			}
-			// Forward must touch at least every chain[0] edge; backward
-			// touches one posting per rarest-label edge, each verified over
-			// at most len(chain) steps.
-			forward := pl.countOf(chain[0])
-			backward := pl.countOf(chain[minIdx]) * float64(len(chain))
+			// Priced per candidate row: forward walks every chain edge from
+			// chain[0] onward at forward-edge cost; backward touches one
+			// posting per rarest-label edge, each verified over at most
+			// len(chain) reverse steps at the higher verify cost.
+			depth := float64(len(chain))
+			forward := pl.countOf(chain[0]) * depth * unitForwardEdge
+			backward := pl.countOf(chain[minIdx]) * depth * unitBackwardVerify
+			if heur {
+				// The pre-cost-model comparison, kept for the ablation path.
+				forward = pl.countOf(chain[0])
+				backward = pl.countOf(chain[minIdx]) * depth
+			}
 			if minIdx > 0 && backward < forward {
 				a.access = AccessIndexBackward
 				a.chain = chain
 				a.chainIdx = minIdx
-				a.est = pl.countOf(chain[minIdx])
+				if heur {
+					a.est = pl.countOf(chain[minIdx])
+				}
 				return
 			}
 		}
 	}
 	if pl.p.opts.Guide != nil {
-		a.access = AccessGuide
-		a.guideAu = pathexpr.Compile(pathexpr.Seq{Parts: parts})
+		// A dataguide product visits at most one state per guide node; the
+		// forward product can touch the whole graph. Price both worst
+		// cases; the heuristic path keeps the old always-prefer-guide rule.
+		guideCost := float64(pl.p.opts.Guide.G.NumNodes()) * unitGuideNode
+		forwardCost := (pl.nodes + pl.edges) * unitForwardEdge
+		if heur || guideCost < forwardCost {
+			a.access = AccessGuide
+			a.guideAu = pathexpr.Compile(pathexpr.Seq{Parts: parts})
+		}
 		return
 	}
 }
@@ -610,21 +1005,9 @@ func (pl *planner) placeConds() error {
 	if p.q.Where == nil {
 		return nil
 	}
-	var conjuncts []Cond
-	var split func(c Cond)
-	split = func(c Cond) {
-		if and, ok := c.(And); ok {
-			split(and.L)
-			split(and.R)
-			return
-		}
-		conjuncts = append(conjuncts, c)
-	}
-	split(p.q.Where)
-
 	// boundAt[i]: sets bound after atoms[0..i] ran.
-	for _, c := range conjuncts {
-		deps := condDeps{trees: map[string]bool{}, labels: map[string]bool{}, paths: map[string]bool{}}
+	for _, c := range splitConjuncts(p.q.Where) {
+		deps := newCondDeps()
 		pl.depsOf(c, &deps)
 		at := -1 // -1 = no variables: pre-condition
 		bt := map[string]bool{}
@@ -663,12 +1046,75 @@ func (pl *planner) placeConds() error {
 	return nil
 }
 
+// splitConjuncts flattens a where clause into its top-level conjuncts.
+func splitConjuncts(c Cond) []Cond {
+	if c == nil {
+		return nil
+	}
+	var out []Cond
+	var split func(c Cond)
+	split = func(c Cond) {
+		if and, ok := c.(And); ok {
+			split(and.L)
+			split(and.R)
+			return
+		}
+		out = append(out, c)
+	}
+	split(c)
+	return out
+}
+
 type condDeps struct {
 	trees, labels, paths map[string]bool
 }
 
+func newCondDeps() condDeps {
+	return condDeps{trees: map[string]bool{}, labels: map[string]bool{}, paths: map[string]bool{}}
+}
+
 func (d *condDeps) empty() bool {
 	return len(d.trees) == 0 && len(d.labels) == 0 && len(d.paths) == 0
+}
+
+// satisfiedWith reports whether the dependencies would all be bound once b
+// joins the already-bound sets — the ordering loop's what-if probe, done
+// without materializing the updated sets per candidate.
+func (d *condDeps) satisfiedWith(bt, bl, bp map[string]bool, b Binding) bool {
+	for v := range d.trees {
+		if !bt[v] && v != b.Var {
+			return false
+		}
+	}
+	for v := range d.labels {
+		if !bl[v] && !bindsLabelVar(b, v) {
+			return false
+		}
+	}
+	for v := range d.paths {
+		if !bp[v] && !bindsPathVar(b, v) {
+			return false
+		}
+	}
+	return true
+}
+
+func bindsLabelVar(b Binding, name string) bool {
+	for _, st := range b.Path {
+		if lv, ok := st.(LabelVarStep); ok && lv.Name == name {
+			return true
+		}
+	}
+	return false
+}
+
+func bindsPathVar(b Binding, name string) bool {
+	for _, st := range b.Path {
+		if pv, ok := st.(PathVarStep); ok && pv.Name == name {
+			return true
+		}
+	}
+	return false
 }
 
 func (d *condDeps) satisfied(bt, bl, bp map[string]bool) bool {
@@ -953,7 +1399,36 @@ func (pl *planner) compileTerm(t Term) (cTerm, error) {
 
 // Explain renders the plan for humans: atom order, access paths, estimated
 // cardinalities, and filter placement.
-func (p *Plan) Explain() string {
+func (p *Plan) Explain() string { return p.explainWith(nil) }
+
+// ExplainAnalyze executes the plan serially to exhaustion, counting the
+// rows that survive each atom's filters, and renders the plan with
+// estimated and actual cardinalities side by side — the feedback view for
+// judging the cost model. params binds the plan's $parameters, exactly as
+// for Cursor. The result rows themselves are discarded.
+func (p *Plan) ExplainAnalyze(ctx context.Context, params map[string]ssd.Label) (string, error) {
+	vals, err := p.paramVals(params)
+	if err != nil {
+		return "", err
+	}
+	ex := p.exec(ctx, vals)
+	ex.atomRows = make([]int64, len(p.atoms))
+	for ex.Next() {
+	}
+	actual := ex.atomRows
+	err = ex.err
+	ex.atomRows = nil
+	ex.release()
+	if err != nil {
+		return "", err
+	}
+	return p.explainWith(actual), nil
+}
+
+// explainWith renders the plan, annotating each atom with its observed row
+// count when actual is non-nil (one counter per atom, in plan order) —
+// ExplainAnalyze's estimated-vs-actual view.
+func (p *Plan) explainWith(actual []int64) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "plan: %d atoms, %d tree / %d label / %d path slots", len(p.atoms), len(p.treeName), len(p.labelName), len(p.pathName))
 	if len(p.paramName) > 0 {
@@ -968,6 +1443,9 @@ func (p *Plan) Explain() string {
 		var steps strings.Builder
 		writeSteps(&steps, a.b.Path)
 		fmt.Fprintf(&b, "  %d. %s := %s%s  access=%s est=%.3g", i+1, a.b.Var, src, steps.String(), a.access, a.est)
+		if actual != nil && i < len(actual) {
+			fmt.Fprintf(&b, " actual=%d", actual[i])
+		}
 		switch a.access {
 		case AccessIndexSeek:
 			fmt.Fprintf(&b, " label=%s", a.seekLabel)

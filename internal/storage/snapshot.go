@@ -10,6 +10,7 @@ import (
 	"repro/internal/dataguide"
 	"repro/internal/index"
 	"repro/internal/ssd"
+	"repro/internal/stats"
 )
 
 // This file is the durable snapshot codec: one self-describing binary file
@@ -29,9 +30,12 @@ import (
 //	labels (3)  nLabels uvarint; per label: label, nRefs uvarint, (from, to uvarint)*
 //	values (4)  nEntries uvarint; per entry: label, from uvarint, to uvarint
 //	guide  (5)  guideLen uvarint + SSDG guide graph | per guide node: extLen uvarint, node uvarint*
+//	stats  (6)  edges uvarint | histogram bucket uvarint* | nLabels uvarint;
+//	            per label: label, count uvarint, nSrcs + (node, refs uvarint)*,
+//	            nDsts + (node, refs uvarint)*   (version ≥ 2 only)
 //
-// meta and graph are mandatory; the index and guide sections are written
-// only when the snapshot had built them. Every payload is covered by its
+// meta and graph are mandatory; the index, guide, and stats sections are
+// written only when the snapshot had built them. Every payload is covered by its
 // own CRC and the file ends with an explicit end marker, so a torn write is
 // detected wherever it lands (a truncated section, a corrupt payload, or a
 // missing tail) and the reader can fall back to an older snapshot.
@@ -46,8 +50,12 @@ import (
 // truncation (see internal/core's OpenPath).
 
 const (
-	snapMagic   = "SSDS"
-	snapVersion = 1
+	snapMagic = "SSDS"
+	// snapVersion is the version written; version 1 files (no stats
+	// section) remain readable, so upgrading never invalidates an
+	// existing snapshot generation.
+	snapVersion    = 2
+	snapVersionMin = 1
 )
 
 const (
@@ -56,8 +64,19 @@ const (
 	secLabels = 3
 	secValues = 4
 	secGuide  = 5
+	secStats  = 6
 	secEnd    = 0xFF
 )
+
+// maxSectionKind returns the highest section kind defined by a format
+// version. The section set is closed per version: a kind above this is a
+// corrupt kind byte, not a future extension (those bump the version).
+func maxSectionKind(version byte) byte {
+	if version >= 2 {
+		return secStats
+	}
+	return secGuide
+}
 
 // Snapshot is the in-memory form of one durable snapshot file.
 type Snapshot struct {
@@ -65,6 +84,7 @@ type Snapshot struct {
 	Labels *index.LabelIndex // nil if not persisted
 	Values *index.ValueIndex // nil if not persisted
 	Guide  *dataguide.Guide  // nil if not persisted
+	Stats  *stats.Stats      // nil if not persisted
 
 	// SelfFP is the WAL binding fingerprint of Graph (crc32 of its SSDG
 	// encoding). Set by EncodeSnapshot and DecodeSnapshot.
@@ -104,6 +124,9 @@ func EncodeSnapshot(s *Snapshot) []byte {
 	if s.Guide != nil {
 		buf = appendSection(buf, secGuide, encodeGuide(s.Guide))
 	}
+	if s.Stats != nil {
+		buf = appendSection(buf, secStats, encodeStats(s.Stats))
+	}
 	return appendSection(buf, secEnd, nil)
 }
 
@@ -134,6 +157,30 @@ func encodeValueIndex(ix *index.ValueIndex) []byte {
 	return buf
 }
 
+func encodeStats(st *stats.Stats) []byte {
+	d := st.Dump()
+	var buf []byte
+	buf = binary.AppendUvarint(buf, uint64(d.Edges))
+	for _, c := range d.Hist {
+		buf = binary.AppendUvarint(buf, uint64(c))
+	}
+	buf = binary.AppendUvarint(buf, uint64(len(d.Labels)))
+	appendCounts := func(ncs []stats.NodeCount) {
+		buf = binary.AppendUvarint(buf, uint64(len(ncs)))
+		for _, nc := range ncs {
+			buf = binary.AppendUvarint(buf, uint64(nc.Node))
+			buf = binary.AppendUvarint(buf, uint64(nc.N))
+		}
+	}
+	for _, lc := range d.Labels {
+		buf = AppendLabel(buf, lc.Label)
+		buf = binary.AppendUvarint(buf, uint64(lc.Count))
+		appendCounts(lc.Srcs)
+		appendCounts(lc.Dsts)
+	}
+	return buf
+}
+
 func encodeGuide(g *dataguide.Guide) []byte {
 	gg := Encode(g.G)
 	var buf []byte
@@ -156,9 +203,11 @@ func DecodeSnapshot(data []byte) (*Snapshot, error) {
 	if len(data) < 5 || string(data[:4]) != snapMagic {
 		return nil, fmt.Errorf("storage: bad snapshot magic")
 	}
-	if data[4] != snapVersion {
-		return nil, fmt.Errorf("storage: unsupported snapshot version %d", data[4])
+	version := data[4]
+	if version < snapVersionMin || version > snapVersion {
+		return nil, fmt.Errorf("storage: unsupported snapshot version %d", version)
 	}
+	maxKind := maxSectionKind(version)
 	pos := 5
 	sections := make(map[byte][]byte)
 	ended := false
@@ -181,7 +230,7 @@ func DecodeSnapshot(data []byte) (*Snapshot, error) {
 			ended = true
 			break
 		}
-		if kind < secMeta || kind > secGuide {
+		if kind < secMeta || kind > maxKind {
 			// Within one format version the section set is closed; an unknown
 			// kind is a corrupt kind byte, not a future extension (those bump
 			// the version).
@@ -241,7 +290,82 @@ func DecodeSnapshot(data []byte) (*Snapshot, error) {
 			return nil, err
 		}
 	}
+	if p, ok := sections[secStats]; ok {
+		if s.Stats, err = decodeStats(p, s.Graph.NumNodes()); err != nil {
+			return nil, err
+		}
+	}
 	return s, nil
+}
+
+func decodeStats(data []byte, numNodes int) (*stats.Stats, error) {
+	var d stats.Dump
+	edges, pos, err := ReadUvarint(data, 0)
+	if err != nil {
+		return nil, err
+	}
+	d.Edges = int(edges)
+	for i := range d.Hist {
+		var c uint64
+		if c, pos, err = ReadUvarint(data, pos); err != nil {
+			return nil, err
+		}
+		d.Hist[i] = int64(c)
+	}
+	nLabels, pos, err := ReadUvarint(data, pos)
+	if err != nil {
+		return nil, err
+	}
+	if nLabels > uint64(len(data)) {
+		return nil, fmt.Errorf("storage: implausible stats label count %d", nLabels)
+	}
+	readCounts := func() ([]stats.NodeCount, error) {
+		var n uint64
+		if n, pos, err = ReadUvarint(data, pos); err != nil {
+			return nil, err
+		}
+		if n > uint64(len(data)) {
+			return nil, fmt.Errorf("storage: implausible stats refcount list size %d", n)
+		}
+		ncs := make([]stats.NodeCount, 0, n)
+		for i := uint64(0); i < n; i++ {
+			var node, refs uint64
+			if node, pos, err = ReadUvarint(data, pos); err != nil {
+				return nil, err
+			}
+			if refs, pos, err = ReadUvarint(data, pos); err != nil {
+				return nil, err
+			}
+			if node >= uint64(numNodes) {
+				return nil, fmt.Errorf("storage: stats node %d out of range", node)
+			}
+			ncs = append(ncs, stats.NodeCount{Node: ssd.NodeID(node), N: int(refs)})
+		}
+		return ncs, nil
+	}
+	d.Labels = make([]stats.LabelCard, 0, nLabels)
+	for i := uint64(0); i < nLabels; i++ {
+		var lc stats.LabelCard
+		if lc.Label, pos, err = ReadLabel(data, pos); err != nil {
+			return nil, err
+		}
+		var count uint64
+		if count, pos, err = ReadUvarint(data, pos); err != nil {
+			return nil, err
+		}
+		lc.Count = int(count)
+		if lc.Srcs, err = readCounts(); err != nil {
+			return nil, err
+		}
+		if lc.Dsts, err = readCounts(); err != nil {
+			return nil, err
+		}
+		d.Labels = append(d.Labels, lc)
+	}
+	if pos != len(data) {
+		return nil, fmt.Errorf("storage: trailing bytes in stats section")
+	}
+	return stats.FromDump(d)
 }
 
 func decodeRef(data []byte, pos, numNodes int) (index.EdgeRef, int, error) {

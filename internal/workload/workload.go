@@ -141,6 +141,79 @@ func Movies(cfg MovieConfig) *ssd.Graph {
 	return g
 }
 
+// SkewConfig sizes the skewed-selectivity generator.
+type SkewConfig struct {
+	Entries         int // number of Entry.Movie edges
+	TagsPerMovie    int // Tag edges per movie (≥1)
+	ReviewsPerMovie int // Reviews.Score leaves per movie (≥1)
+	NeedleEvery     int // every n-th movie carries the rare "needle" tag
+	Seed            int64
+}
+
+// DefaultSkewConfig returns a skew profile where Tag equality is far more
+// selective than the Reviews fan-out.
+func DefaultSkewConfig(entries int) SkewConfig {
+	return SkewConfig{
+		Entries:         entries,
+		TagsPerMovie:    3,
+		ReviewsPerMovie: 8,
+		NeedleEvery:     100,
+		Seed:            1,
+	}
+}
+
+// Skewed generates a database whose label cardinalities are deliberately
+// lopsided, so that a statistics-fed planner orders atoms differently from
+// the structural heuristic. Every movie has one Title, a handful of Tag
+// values drawn from a tiny popular set (with a rare "needle" value every
+// NeedleEvery-th movie), and a wide Reviews subtree of integer Scores:
+//
+//	root –Entry→ e –Movie→ m
+//	m –Title→ t → "..."            (1 per movie)
+//	m –Tag→ x → "popular"|"needle" (TagsPerMovie per movie, needle rare)
+//	m –Reviews→ r –Score→ s → int  (ReviewsPerMovie per movie)
+//
+// The heuristic planner sees Tag and Score atoms as structurally similar;
+// the statistics know `Tag = "needle"` matches almost nothing while
+// `Score > 0` matches everything.
+func Skewed(cfg SkewConfig) *ssd.Graph {
+	if cfg.TagsPerMovie < 1 {
+		cfg.TagsPerMovie = 1
+	}
+	if cfg.ReviewsPerMovie < 1 {
+		cfg.ReviewsPerMovie = 1
+	}
+	if cfg.NeedleEvery < 1 {
+		cfg.NeedleEvery = 1
+	}
+	popular := []string{
+		"drama", "comedy", "noir", "western", "musical", "thriller",
+		"romance", "war", "silent", "serial", "short", "documentary",
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	g := ssd.NewWithCapacity(cfg.Entries * (4 + cfg.TagsPerMovie*2 + cfg.ReviewsPerMovie*3))
+	for i := 0; i < cfg.Entries; i++ {
+		entry := g.AddLeaf(g.Root(), ssd.Sym("Entry"))
+		m := g.AddLeaf(entry, ssd.Sym("Movie"))
+		title := g.AddLeaf(m, ssd.Sym("Title"))
+		g.AddLeaf(title, ssd.Str(fmt.Sprintf("%s %d", titleWords[rng.Intn(len(titleWords))], i)))
+		for j := 0; j < cfg.TagsPerMovie; j++ {
+			tag := g.AddLeaf(m, ssd.Sym("Tag"))
+			v := popular[rng.Intn(len(popular))]
+			if j == 0 && i%cfg.NeedleEvery == 0 {
+				v = "needle"
+			}
+			g.AddLeaf(tag, ssd.Str(v))
+		}
+		reviews := g.AddLeaf(m, ssd.Sym("Reviews"))
+		for j := 0; j < cfg.ReviewsPerMovie; j++ {
+			score := g.AddLeaf(reviews, ssd.Sym("Score"))
+			g.AddLeaf(score, ssd.Int(int64(1+rng.Intn(10))))
+		}
+	}
+	return g
+}
+
 // WebConfig sizes the web-graph generator.
 type WebConfig struct {
 	Pages    int
