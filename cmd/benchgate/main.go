@@ -1,18 +1,22 @@
 // Command benchgate compares two benchjson documents and fails when any
-// gated benchmark regressed beyond a threshold. CI runs it after the
-// benchmark step with the baseline committed in the repository, so a
-// performance regression on the gated suites fails the build instead of
-// merely showing up in a report artifact.
+// gated benchmark regressed beyond a threshold. CI runs it with a baseline
+// measured in the same job on the same machine (the base ref rebuilt and
+// benchmarked alongside HEAD), so a performance regression on the gated
+// suites fails the build instead of merely showing up in a report artifact.
+// Cross-machine comparisons (e.g. against the baseline document committed
+// in the repository) are only meaningful as a trend report: run those with
+// -warn, which prints the same verdicts but always exits 0, because
+// machine-to-machine variance routinely exceeds any useful threshold.
 //
-//	benchgate -baseline BENCH_pr6.json -current current.json
+//	benchgate -baseline bench-base.json -current bench-current.json
+//	benchgate -warn -baseline BENCH_pr6.json -current bench-current.json
 //
 // Gated benchmarks are selected by name prefix (-match, comma-separated).
 // For every gated name present in both documents, the mean ns/op across its
 // repeated -count entries is compared; a current mean above
 // baseline*(1+threshold) is a regression. Names present on only one side are
 // reported but never fail the gate — benchmarks are added and retired as the
-// code evolves, and the baseline machine differs from CI anyway, which is
-// also why the default threshold is generous.
+// code evolves.
 package main
 
 import (
@@ -41,6 +45,7 @@ func main() {
 	match := flag.String("match", "BenchmarkPlannedVsNaive,BenchmarkParallelVsSerial",
 		"comma-separated benchmark name prefixes to gate")
 	threshold := flag.Float64("threshold", 0.15, "allowed fractional ns/op regression")
+	warn := flag.Bool("warn", false, "report regressions but exit 0 (for cross-machine baselines)")
 	flag.Parse()
 	if *baseline == "" || *current == "" {
 		flag.Usage()
@@ -99,6 +104,10 @@ func main() {
 		fmt.Fprintf(os.Stderr, "\nbenchgate: %d benchmark(s) regressed more than %.0f%%:\n", len(regressions), *threshold*100)
 		for _, r := range regressions {
 			fmt.Fprintln(os.Stderr, "  "+r)
+		}
+		if *warn {
+			fmt.Fprintln(os.Stderr, "benchgate: -warn set, not failing (cross-machine baseline)")
+			os.Exit(0)
 		}
 		os.Exit(1)
 	}

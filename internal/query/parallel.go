@@ -39,8 +39,10 @@ import (
 // Adaptive splitting: morsel size is fixed up front (from the cost model's
 // seed estimate via Plan.ParallelHint, or Options.MorselSize), but per-seed
 // fan-out is only an estimate. When a worker observes a morsel producing far
-// more rows per seed than the plan predicted, it splits off the unprocessed
-// seed suffix as a new morsel for another worker and hands the consumer a
+// more rows per seed than the plan predicted, it hands off the unprocessed
+// seed suffix as a new morsel to an IDLE worker — a rendezvous on an
+// unbuffered channel, so the handoff happens only if another worker is
+// parked waiting for work at that instant — and hands the consumer a
 // continuation channel in its final batch. Order preservation survives
 // because a split never reorders seeds: the suffix morsel's rows are
 // delivered on the continuation channel, which the merge switches to exactly
@@ -65,11 +67,6 @@ const (
 	// splitMinSeedsLeft is the smallest seed suffix worth splitting off —
 	// below it the handoff costs more than finishing inline.
 	splitMinSeedsLeft = 2
-
-	// splitQueueCap bounds the shared split queue. A full queue simply
-	// means the worker keeps its morsel; splitting is an optimization,
-	// never a requirement.
-	splitQueueCap = 64
 )
 
 // Split tuning. Variables rather than constants only so tests can force the
@@ -142,18 +139,24 @@ type morsel struct {
 }
 
 // parShared is the state a worker pool shares for adaptive morsel splitting:
-// the split queue itself, plus the accounting that tells idle workers when
-// no more work — queued or future — can possibly arrive.
+// the split rendezvous channel, plus the accounting that tells idle workers
+// when no more work — in flight or future — can possibly arrive.
 //
-// Liveness argument for the split queue: a worker that enqueues a split
-// returns from its morsel immediately afterwards and re-enters the pull
-// loop, which polls splits with strict priority before anything else. So
-// whenever the queue is non-empty there is at least one worker that is free
-// (or about to be) and will prefer a split over a fresh morsel — a queued
-// split can never be stranded behind workers all blocked on the in-order
-// merge's bounded buffers.
+// Liveness argument for splits: the splits channel is UNBUFFERED and the
+// splitting worker's send is non-blocking, so a split happens only when an
+// idle worker is parked on a receive at that instant — every split morsel
+// has an owner from the moment it exists, and there is never an orphaned
+// split waiting in a queue. From there the usual progress argument applies:
+// a worker only ever sends on the channel of the morsel it owns, so the
+// owner of the merge-front morsel can always make progress (the merge drains
+// exactly that channel), which in turn eventually unblocks every worker
+// parked on a bounded send for a later morsel. (A buffered split queue
+// breaks this: a queued split at the merge front can be stranded while every
+// worker is blocked sending for later-positioned morsels — a deadlock.)
+// Splitting only when a worker is idle is also exactly when splitting helps;
+// if the whole pool is busy, handing work around buys nothing.
 type parShared struct {
-	splits   chan morsel   // suffix morsels split off by overloaded workers
+	splits   chan morsel   // split handoff rendezvous; never closed
 	pending  atomic.Int64  // morsels emitted or split, not yet completed
 	seeding  atomic.Bool   // coordinator still producing primary morsels
 	done     chan struct{} // closed once seeding ended and pending hit zero
@@ -163,7 +166,7 @@ type parShared struct {
 
 func newParShared() *parShared {
 	sh := &parShared{
-		splits: make(chan morsel, splitQueueCap),
+		splits: make(chan morsel),
 		done:   make(chan struct{}),
 	}
 	sh.seeding.Store(true)
@@ -380,13 +383,13 @@ func newParCursor(ctx context.Context, p *Plan, vals []ssd.Label, workers []*Pla
 }
 
 // runWorker executes morsels until both the primary queue is closed and no
-// split work remains (sh.done). Queued splits are served with strict
-// priority over fresh morsels — see parShared for why that ordering is what
-// keeps split continuations live. Any failure of the worker's executor —
+// split work remains (sh.done). A worker parked on the pull select is the
+// rendezvous receiver that makes another worker's split possible — see
+// parShared for the liveness argument. Any failure of the worker's executor —
 // cancellation or a recovered panic — is delivered as a terminal batch on
-// the failing morsel's channel; the worker then keeps draining both queues
-// (closing each morsel's channel immediately) so the coordinator is never
-// blocked on a dead consumer.
+// the failing morsel's channel; the worker then keeps draining both sources,
+// delivering the terminal error on every morsel it drains, so the
+// coordinator is never blocked on a dead consumer.
 func runWorker(ctx context.Context, wp *Plan, vals []ssd.Label, ls leadSlots, morsels <-chan morsel, sh *parShared) {
 	ex := wp.exec(ctx, vals)
 	ex.base = 1
@@ -396,24 +399,20 @@ func runWorker(ctx context.Context, wp *Plan, vals []ssd.Label, ls leadSlots, mo
 	for {
 		var m morsel
 		var ok bool
-		select {
-		case m, ok = <-sh.splits: // priority poll; splits is never closed
-		default:
-		}
-		if !ok && open {
+		if open {
 			select {
 			case m, ok = <-morsels:
 				if !ok {
 					open = false
 					continue
 				}
-			case m, ok = <-sh.splits:
+			case m = <-sh.splits: // never closed; a receive is a real morsel
 			case <-ctx.Done():
 				return
 			}
-		} else if !ok {
+		} else {
 			select {
-			case m, ok = <-sh.splits:
+			case m = <-sh.splits:
 			case <-sh.done:
 				return
 			case <-ctx.Done():
@@ -421,7 +420,15 @@ func runWorker(ctx context.Context, wp *Plan, vals []ssd.Label, ls leadSlots, mo
 			}
 		}
 		if ex.err != nil {
-			close(m.out) // terminal batch already delivered; just drain
+			// Drain, but deliver the terminal error rather than closing the
+			// channel empty: a drained split can precede the failing morsel
+			// in merge order, and an empty close there would make the merge
+			// skip that seed range's rows and keep yielding later rows — a
+			// silent gap instead of the serial engine's prefix semantics.
+			// m.out is freshly created and this worker is its only sender,
+			// so the buffered send cannot block.
+			m.out <- rowBatch{err: ex.err}
+			close(m.out)
 			sh.morselDone()
 			continue
 		}
@@ -494,10 +501,14 @@ func workMorsel(ctx context.Context, ex *executor, wp *Plan, ls leadSlots, m mor
 			break
 		}
 		// Adaptive split: this morsel is producing far more rows per seed
-		// than the plan estimated, so hand the remaining seeds to another
-		// worker. The final batch's cont field tells the merge where the
-		// suffix's rows continue; seed order is untouched, so the merged
-		// stream is identical to the unsplit one.
+		// than the plan estimated, so try to hand the remaining seeds to an
+		// idle worker. The non-blocking send on the unbuffered splits
+		// channel succeeds only if a worker is parked on its pull select
+		// right now — the rendezvous that guarantees every split morsel is
+		// owned the moment it exists (see parShared). The final batch's
+		// cont field tells the merge where the suffix's rows continue; seed
+		// order is untouched, so the merged stream is identical to the
+		// unsplit one.
 		if remaining := len(m.seeds) - k - 1; remaining >= splitMinSeedsLeft &&
 			rowsOut >= splitMinRows &&
 			float64(rowsOut) > splitFactor*estPerSeed*float64(k+1) {
@@ -510,7 +521,8 @@ func workMorsel(ctx context.Context, ex *executor, wp *Plan, ls leadSlots, m mor
 				send(b)
 				return
 			default:
-				// Queue full: every worker is saturated anyway, keep going.
+				// No idle worker: the whole pool is saturated, so a handoff
+				// would not buy anything anyway. Keep going inline.
 				sh.pending.Add(-1)
 			}
 		}

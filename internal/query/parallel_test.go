@@ -3,6 +3,7 @@ package query
 import (
 	"context"
 	"errors"
+	"runtime"
 	"strings"
 	"testing"
 
@@ -87,52 +88,74 @@ func TestParallelAdaptiveSplitByteIdentical(t *testing.T) {
 // TestParallelAdaptiveSplitRowOrder pins that splitting actually happened
 // and that the continuation-chain merge preserves exact row order, not just
 // the canonicalized result.
+//
+// A split handoff is a rendezvous — it happens only when another worker is
+// parked idle at the instant of the attempt — so no single run can demand
+// one from the scheduler. The setup makes a split all but certain: the
+// morsel size exceeds the seed count, so one worker owns the whole scan
+// while the other two park idle, and the floored thresholds attempt a
+// handoff after every one of the ~2000 seeds. GOMAXPROCS is raised because
+// on a single-P runtime the merge goroutine and the busy worker hand the
+// processor to each other through the scheduler's runnext slot, which can
+// starve the idle workers out of ever parking (that starvation is exactly
+// why splits are opportunistic in production); the retry loop turns "all
+// but certain" into a deterministic pin. Every attempt, split or not, must
+// match the serial row stream exactly.
 func TestParallelAdaptiveSplitRowOrder(t *testing.T) {
 	defer forceSplits()()
-	g := workload.Movies(workload.DefaultMovieConfig(300))
+	if runtime.GOMAXPROCS(0) < 4 {
+		defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(4))
+	}
+	g := workload.Movies(workload.DefaultMovieConfig(2000))
 	q := MustParse(`select {Title: T} from DB.Entry.Movie M, M.Title T, M.Cast._* A`)
-	sp, err := NewPlan(q, g, PlanOptions{})
-	if err != nil {
-		t.Fatal(err)
-	}
-	ser, err := sp.Cursor(nil, nil)
-	if err != nil {
-		t.Fatal(err)
-	}
-	p, err := NewPlan(q, g, PlanOptions{})
-	if err != nil {
-		t.Fatal(err)
-	}
-	par := openParallel(t, p, nil, nil, 3, 16)
-	defer par.Close()
-	row := 0
-	for ser.Next() {
-		if !par.Next() {
-			t.Fatalf("parallel ended at row %d, serial has more (err %v)", row, par.Err())
+	for attempt := 0; ; attempt++ {
+		sp, err := NewPlan(q, g, PlanOptions{})
+		if err != nil {
+			t.Fatal(err)
 		}
-		for i := range p.treeName {
-			if ser.Tree(i) != par.Tree(i) {
-				t.Fatalf("row %d: tree slot %d: %d != %d", row, i, par.Tree(i), ser.Tree(i))
+		ser, err := sp.Cursor(nil, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := NewPlan(q, g, PlanOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		par := openParallel(t, p, nil, nil, 3, 5000)
+		row := 0
+		for ser.Next() {
+			if !par.Next() {
+				t.Fatalf("parallel ended at row %d, serial has more (err %v)", row, par.Err())
 			}
-		}
-		for i := range p.labelName {
-			if ser.Label(i) != par.Label(i) {
-				t.Fatalf("row %d: label slot %d differs", row, i)
+			for i := range p.treeName {
+				if ser.Tree(i) != par.Tree(i) {
+					t.Fatalf("row %d: tree slot %d: %d != %d", row, i, par.Tree(i), ser.Tree(i))
+				}
 			}
+			for i := range p.labelName {
+				if ser.Label(i) != par.Label(i) {
+					t.Fatalf("row %d: label slot %d differs", row, i)
+				}
+			}
+			row++
 		}
-		row++
-	}
-	if par.Next() {
-		t.Fatalf("parallel has extra rows after %d", row)
-	}
-	if ser.Err() != nil || par.Err() != nil {
-		t.Fatalf("errs %v / %v", ser.Err(), par.Err())
-	}
-	if row == 0 {
-		t.Fatal("no rows compared")
-	}
-	if par.par.sh.nsplits.Load() == 0 {
-		t.Fatal("forced-split run performed no splits: the adaptive path was not exercised")
+		if par.Next() {
+			t.Fatalf("parallel has extra rows after %d", row)
+		}
+		if ser.Err() != nil || par.Err() != nil {
+			t.Fatalf("errs %v / %v", ser.Err(), par.Err())
+		}
+		if row == 0 {
+			t.Fatal("no rows compared")
+		}
+		nsplits := par.par.sh.nsplits.Load()
+		par.Close()
+		if nsplits > 0 {
+			return
+		}
+		if attempt >= 9 {
+			t.Fatal("no forced-split attempt performed a split in 10 runs: the adaptive path was not exercised")
+		}
 	}
 }
 
@@ -349,6 +372,136 @@ func TestParallelWorkerFailure(t *testing.T) {
 	}
 	if !strings.Contains(cur.Err().Error(), "execution failed") {
 		t.Errorf("unexpected error: %v", cur.Err())
+	}
+}
+
+// TestParallelSplitRendezvous drives workMorsel against a hand-rolled idle
+// receiver, pinning the handoff mechanics without depending on pool
+// scheduling: the split must go to a parked receiver, the final batch must
+// carry the suffix's channel as its continuation, and the handed-off suffix
+// plus the rows delivered before it must exactly partition the seed range.
+// The ready-handshake guarantees the receiver is parked before workMorsel
+// starts on a single-P runtime (the receiver runs until it blocks before
+// the main goroutine resumes); on a multi-P runtime workMorsel re-attempts
+// the handoff after every seed, so the receiver only has to park sometime
+// during the scan.
+func TestParallelSplitRendezvous(t *testing.T) {
+	defer forceSplits()()
+	g := workload.Movies(workload.DefaultMovieConfig(60))
+	q := MustParse(`select T from DB.Entry.Movie M, M.Title T`)
+	sp, err := NewPlan(q, g, PlanOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Materialize the seed rows the way the coordinator does: a serial pass
+	// over just the leading atom.
+	seedEx := sp.exec(context.Background(), nil)
+	seedEx.atoms = seedEx.atoms[:1]
+	dst := sp.atoms[0].dstSlot
+	var seeds []seedRow
+	for seedEx.Next() {
+		seeds = append(seeds, seedRow{tree: seedEx.regs.trees[dst]})
+	}
+	if seedEx.err != nil || len(seeds) < splitMinSeedsLeft+1 {
+		t.Fatalf("seeding: %d seeds, err %v", len(seeds), seedEx.err)
+	}
+
+	wp, err := NewPlan(q, g, PlanOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh := newParShared()
+	sh.pending.Add(1)
+	claimed := make(chan morsel, 1)
+	ready := make(chan struct{})
+	go func() {
+		close(ready)
+		claimed <- <-sh.splits
+	}()
+	<-ready
+
+	out := make(chan rowBatch, morselResultBuf)
+	ex := wp.exec(context.Background(), nil)
+	ex.base = 1
+	ex.relaxedPoll = true
+	if !workMorsel(context.Background(), ex, wp, leadSlots{}, morsel{seeds: seeds, out: out}, sh) {
+		t.Fatal("workMorsel reported cancellation")
+	}
+	sh.morselDone() // what runWorker does after workMorsel returns
+	var prefixRows int
+	var cont chan rowBatch
+	for b := range out {
+		if b.err != nil {
+			t.Fatalf("batch error: %v", b.err)
+		}
+		prefixRows += b.n
+		cont = b.cont
+	}
+	if cont == nil {
+		t.Fatal("no split: final batch carries no continuation despite a parked receiver")
+	}
+	m := <-claimed
+	if m.out != cont {
+		t.Fatal("handed-off suffix morsel does not deliver on the continuation channel")
+	}
+	// Every movie yields exactly one Title row, so rows delivered before the
+	// handoff plus suffix seeds must account for every seed.
+	if prefixRows+len(m.seeds) != len(seeds) {
+		t.Fatalf("prefix rows (%d) + suffix seeds (%d) != total seeds (%d)",
+			prefixRows, len(m.seeds), len(seeds))
+	}
+	if got := sh.nsplits.Load(); got < 1 {
+		t.Fatalf("nsplits = %d, want >= 1", got)
+	}
+	if got := sh.pending.Load(); got != 1 {
+		t.Fatalf("pending = %d after handoff, want 1 (suffix outstanding)", got)
+	}
+}
+
+// TestParallelWorkerDrainDeliversError is the regression test for the
+// failed-worker drain path: once a worker's executor has failed, every
+// morsel it subsequently drains must carry the terminal error, not be
+// closed empty. A drained split can precede the failing morsel in merge
+// order, and an empty close there would make the merge treat the gap as a
+// completed morsel — silently skipping that seed range's rows and then
+// yielding later rows before the error, which breaks the serial engine's
+// prefix semantics.
+func TestParallelWorkerDrainDeliversError(t *testing.T) {
+	g := workload.Fig1(false)
+	q := MustParse(`select T from DB.Entry.Movie M, M.Title T`)
+	wp, err := NewPlan(q, g, PlanOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wp.atoms[1].steps[0].au = nil // first pull panics -> executor fails
+	sh := newParShared()
+	morsels := make(chan morsel, 2)
+	seeds := []seedRow{{tree: g.Root()}}
+	outs := make([]chan rowBatch, 2)
+	for i := range outs {
+		outs[i] = make(chan rowBatch, morselResultBuf)
+		sh.pending.Add(1)
+		morsels <- morsel{seeds: seeds, out: outs[i]}
+	}
+	close(morsels)
+	sh.finishSeeding()
+	runWorker(context.Background(), wp, nil, wp.leadSlots(), morsels, sh)
+	for i, out := range outs {
+		b, ok := <-out
+		if !ok {
+			t.Fatalf("morsel %d: channel closed empty, want a terminal error batch", i)
+		}
+		if b.err == nil {
+			t.Fatalf("morsel %d: batch carries no error", i)
+		}
+		if _, ok := <-out; ok {
+			t.Fatalf("morsel %d: batch after the terminal error", i)
+		}
+	}
+	select {
+	case <-sh.done:
+	default:
+		t.Fatal("drained pool did not reach done")
 	}
 }
 

@@ -145,9 +145,15 @@ type Plan struct {
 	// seedEst and outEst are the cost model's cardinality estimates for the
 	// leading atom's result set and the final row count. ParallelHint sizes
 	// the morsel-driven scan from them, and the runtime morsel splitter
-	// compares observed fan-out against outEst/seedEst.
-	seedEst float64
-	outEst  float64
+	// compares observed fan-out against outEst/seedEst. seedFanout is the
+	// leading atom's structural fan-out BEFORE where-conjunct selectivities
+	// were multiplied in: selectivities are clamped guesses that can
+	// underestimate badly, so the parallel gate uses the structural count
+	// (which also approximates the enumeration work the coordinator pays
+	// regardless of how many seeds survive the filters).
+	seedEst    float64
+	seedFanout float64
+	outEst     float64
 
 	// idleEx is the executor released by the last closed cursor, reused by
 	// the next execution. Executors carry large per-graph scratch arrays
@@ -203,14 +209,23 @@ const (
 // leading atom's estimated result set can keep busy, and a morsel size that
 // gives each worker several morsels. Returns (0, 0) when the plan should
 // run serially — too few atoms or an estimated seed set too small to fan
-// out. Estimates can be wrong in both directions; the runtime morsel
-// splitter (parallel.go) corrects underestimates, and the byte-identical
-// merge makes the choice invisible to results either way.
+// out.
+//
+// The gate deliberately uses the structural fan-out (seedFanout), not the
+// selectivity-discounted estimate: clamped conjunct selectivities can
+// underestimate the surviving seed count by orders of magnitude, and a
+// wrongly-serial decision is unrecoverable (the runtime morsel splitter
+// only rebalances inside an already-parallel scan), whereas wrongly
+// fanning out over a small seed set costs a few idle goroutines. The
+// asymmetry says: gate on the optimistic count.
 func (p *Plan) ParallelHint(maxWorkers int) (workers, morselSize int) {
 	if maxWorkers <= 1 || len(p.atoms) < 2 {
 		return 0, 0
 	}
 	seeds := p.seedEst
+	if p.seedFanout > seeds {
+		seeds = p.seedFanout
+	}
 	if seeds < minParallelSeeds {
 		return 0, 0
 	}
@@ -345,16 +360,18 @@ func NewPlan(q *Query, g *ssd.Graph, opts PlanOptions) (*Plan, error) {
 	boundPaths := map[string]bool{}
 	cum := 1.0
 	for len(remaining) > 0 {
-		best, bestScore := -1, 0.0
+		best, bestScore, bestFanout := -1, 0.0, 0.0
 		for ri, c := range remaining {
 			if c.b.Source != "DB" && !boundTrees[c.b.Source] {
 				continue
 			}
-			var score float64
+			var score, fanout float64
 			if p.opts.Heuristic {
 				score = pl.estimate(c.b, boundLabels)
+				fanout = score
 			} else {
 				score = pl.atomFanout(c.b, boundLabels)
+				fanout = score
 				for _, oc := range ordConds {
 					if !oc.used && oc.deps.satisfiedWith(boundTrees, boundLabels, boundPaths, c.b) {
 						score *= oc.sel
@@ -362,7 +379,7 @@ func NewPlan(q *Query, g *ssd.Graph, opts PlanOptions) (*Plan, error) {
 				}
 			}
 			if best < 0 || score < bestScore {
-				best, bestScore = ri, score
+				best, bestScore, bestFanout = ri, score, fanout
 			}
 		}
 		if best < 0 {
@@ -373,6 +390,7 @@ func NewPlan(q *Query, g *ssd.Graph, opts PlanOptions) (*Plan, error) {
 		cum *= bestScore
 		if len(p.atoms) == 0 {
 			p.seedEst = bestScore
+			p.seedFanout = bestFanout
 		}
 		est := bestScore
 		if !p.opts.Heuristic {
