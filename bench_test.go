@@ -721,6 +721,47 @@ func BenchmarkPreparedVsOneShot(b *testing.B) {
 }
 
 // ---------------------------------------------------------------------------
+// Instrumentation overhead: the same streaming query with tracing off
+// (production hot path — must stay allocation-light and within a few
+// percent of the pre-instrumentation executor) and with a trace attached
+// (the ?trace=1 / slow-query path, which pays a timestamp per pulled row).
+
+func BenchmarkInstrumentationOverhead(b *testing.B) {
+	g := movieDB(2000)
+	const src = `select {Title: T} from DB.Entry.Movie M, M.Title T, M.Cast._* A where A = "Allen"`
+	run := func(b *testing.B, traced bool) {
+		db := core.FromGraph(g)
+		s, err := db.Prepare(src)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			var rows *core.Rows
+			if traced {
+				rows, err = s.QueryTraced(context.Background(), new(core.QueryTrace))
+			} else {
+				rows, err = s.Query(context.Background())
+			}
+			if err != nil {
+				b.Fatal(err)
+			}
+			n := 0
+			for rows.Next() {
+				n++
+			}
+			rows.Close()
+			if n == 0 {
+				b.Fatal("no rows")
+			}
+		}
+	}
+	b.Run("untraced", func(b *testing.B) { run(b, false) })
+	b.Run("traced", func(b *testing.B) { run(b, true) })
+}
+
+// ---------------------------------------------------------------------------
 // Cost-based vs heuristic planning on a skewed distribution. The skewed
 // workload makes the structural heuristic pick the wide Reviews.Score atom
 // before the near-empty Tag="needle" atom; the statistics-fed cost model

@@ -58,6 +58,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -102,6 +103,7 @@ func main() {
 		engine  = flag.String("engine", "planned", "query/run: evaluation engine (planned|naive)")
 		explain = flag.Bool("explain", false, "query: print the chosen plan before the result")
 		analyze = flag.Bool("analyze", false, "explain: execute the query and annotate the plan with actual row counts")
+		trace   = flag.Bool("trace", false, "run: stream the rows, then print the per-operator execution trace as JSON on stderr")
 		params  paramFlags
 	)
 	flag.Var(&params, "param", "run: bind a $parameter as name=value (repeatable)")
@@ -213,7 +215,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		if err := runStmt(db, arg(rest, "run"), params, eng, *limit); err != nil {
+		if err := runStmt(db, arg(rest, "run"), params, eng, *limit, *trace); err != nil {
 			fatal(err)
 		}
 	case "path":
@@ -379,12 +381,34 @@ func runMutate(db *core.Database, script, outPath string) error {
 // evaluator runs instead — identical parameter semantics, no plan. Path
 // and datalog statements stream their rows; transforms print the
 // restructured database.
-func runStmt(db *core.Database, src string, params []core.Param, eng query.Engine, limit int) error {
+func runStmt(db *core.Database, src string, params []core.Param, eng query.Engine, limit int, trace bool) error {
 	s, err := db.Prepare(src)
 	if err != nil {
 		return err
 	}
 	ctx := context.Background()
+	if trace && s.Lang() != core.LangTransform {
+		// Tracing needs the streaming cursor, so select queries stream
+		// their rows here instead of materializing a result database.
+		if eng == query.EngineNaive {
+			fmt.Println("-- -trace runs the planned engine")
+		}
+		qtr := new(core.QueryTrace)
+		rows, err := s.QueryTraced(ctx, qtr, params...)
+		if err != nil {
+			return err
+		}
+		if err := streamRows(rows, limit); err != nil {
+			return err
+		}
+		// streamRows closed the cursor, which finalized the trace.
+		out, err := json.MarshalIndent(qtr, "", "  ")
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(os.Stderr, string(out))
+		return nil
+	}
 	switch s.Lang() {
 	case core.LangQuery:
 		var res *core.Database
@@ -413,32 +437,42 @@ func runStmt(db *core.Database, src string, params []core.Param, eng query.Engin
 		if err != nil {
 			return err
 		}
-		defer rows.Close()
-		cols := rows.Columns()
-		cells := make([]string, len(cols))
-		dests := make([]any, len(cols))
-		for i := range cells {
-			dests[i] = &cells[i]
-		}
-		n := 0
-		for rows.Next() {
-			// Past the print cutoff only the count matters; skip the
-			// per-column formatting.
-			if n < limit {
-				if err := rows.Scan(dests...); err != nil {
-					return err
-				}
-				fmt.Println("  " + strings.Join(cells, "  "))
-			} else if n == limit {
-				fmt.Println("  ...")
-			}
-			n++
-		}
-		if err := rows.Err(); err != nil {
+		if err := streamRows(rows, limit); err != nil {
 			return err
 		}
-		fmt.Printf("%d rows\n", n)
 	}
+	return nil
+}
+
+// streamRows prints a cursor's rows up to the print cutoff, then the total
+// count. It closes the cursor before returning.
+func streamRows(rows *core.Rows, limit int) error {
+	defer rows.Close()
+	cols := rows.Columns()
+	cells := make([]string, len(cols))
+	dests := make([]any, len(cols))
+	for i := range cells {
+		dests[i] = &cells[i]
+	}
+	n := 0
+	for rows.Next() {
+		// Past the print cutoff only the count matters; skip the
+		// per-column formatting.
+		if n < limit {
+			if err := rows.Scan(dests...); err != nil {
+				return err
+			}
+			fmt.Println("  " + strings.Join(cells, "  "))
+		} else if n == limit {
+			fmt.Println("  ...")
+		}
+		n++
+	}
+	if err := rows.Err(); err != nil {
+		return err
+	}
+	fmt.Printf("%d rows\n", n)
+	rows.Close()
 	return nil
 }
 

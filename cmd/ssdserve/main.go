@@ -15,7 +15,12 @@
 //	                 by {"done": true, "rows": N} or {"error": "..."}
 //	POST /mutate     mutation script (ssdq format) → one committed batch
 //	POST /checkpoint force a durable checkpoint now (with -data)
-//	GET  /healthz    liveness + snapshot stats + WAL size
+//	GET  /healthz    liveness + snapshot stats + WAL size + stmt cache
+//	GET  /metrics    process metrics (Prometheus text; ?format=json)
+//
+// Append ?trace=1 to /query to get the per-operator execution trace on the
+// terminal status line. -slow-query logs any slower request with its trace;
+// -debug-addr serves net/http/pprof and expvar on a separate listener.
 //
 // Example:
 //
@@ -42,10 +47,13 @@ package main
 import (
 	"context"
 	"errors"
+	"expvar"
 	"flag"
 	"fmt"
 	"log"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -55,6 +63,41 @@ import (
 	"repro/internal/server"
 	"repro/internal/workload"
 )
+
+// buildLogger maps the -log-level flag to a text slog.Logger on stderr.
+func buildLogger(level string) (*slog.Logger, error) {
+	var lv slog.Level
+	switch level {
+	case "debug":
+		lv = slog.LevelDebug
+	case "info":
+		lv = slog.LevelInfo
+	case "warn":
+		lv = slog.LevelWarn
+	case "error":
+		lv = slog.LevelError
+	default:
+		return nil, fmt.Errorf("bad -log-level %q (want debug, info, warn or error)", level)
+	}
+	return slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: lv})), nil
+}
+
+// serveDebug exposes net/http/pprof and expvar on their own address, kept
+// off the main mux so profiling endpoints are never reachable through the
+// public listener.
+func serveDebug(addr string, logger *slog.Logger) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/debug/vars", expvar.Handler())
+	logger.Info("debug server listening", "addr", addr)
+	if err := http.ListenAndServe(addr, mux); err != nil {
+		logger.Error("debug server failed", "err", err)
+	}
+}
 
 func main() {
 	var (
@@ -71,8 +114,16 @@ func main() {
 		grace        = flag.Duration("grace", 30*time.Second, "shutdown drain deadline")
 		ckptInterval = flag.Duration("checkpoint-interval", 5*time.Minute, "with -data: background checkpoint timer (0 = off)")
 		ckptMaxWAL   = flag.Int64("checkpoint-max-wal", 64<<20, "with -data: checkpoint when the WAL exceeds this many bytes (0 = off)")
+		logLevel     = flag.String("log-level", "info", "structured log level: debug, info, warn or error")
+		slowQuery    = flag.Duration("slow-query", 0, "log queries at or over this latency, with their trace (0 = off)")
+		debugAddr    = flag.String("debug-addr", "", "serve net/http/pprof and expvar on this address (e.g. localhost:6060); empty = off")
 	)
 	flag.Parse()
+
+	logger, err := buildLogger(*logLevel)
+	if err != nil {
+		log.Fatalf("ssdserve: %v", err)
+	}
 
 	db, err := openServeDatabase(*dataDir, *dbPath, *text, *walPath, *demo)
 	if err != nil {
@@ -85,7 +136,8 @@ func main() {
 		DefaultTimeout: *timeout,
 		MaxTimeout:     *maxTimeout,
 		MaxRows:        *maxRows,
-		Logf:           log.Printf,
+		Logger:         logger,
+		SlowQuery:      *slowQuery,
 	}
 	if db.Durable() {
 		cfg.CheckpointInterval = *ckptInterval
@@ -93,6 +145,10 @@ func main() {
 	}
 	srv := server.New(db, cfg)
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+
+	if *debugAddr != "" {
+		go serveDebug(*debugAddr, logger)
+	}
 
 	done := make(chan struct{})
 	go func() {

@@ -1,6 +1,7 @@
 // Serve: run the ssdserve HTTP layer in-process over a generated movie
 // database and drive it the way a remote client would — parameterized
-// NDJSON query streams, a mutation script commit, and a health check.
+// NDJSON query streams, a mutation script commit, a health check, a traced
+// query, a slow-query log line and a /metrics scrape.
 // Every request prints the equivalent curl command against a standalone
 // server (`go run ./cmd/ssdserve -demo 2000 -parallelism 4`).
 //
@@ -11,8 +12,10 @@ import (
 	"bufio"
 	"fmt"
 	"log"
+	"log/slog"
 	"net/http"
 	"net/http/httptest"
+	"os"
 	"strings"
 
 	"repro/internal/core"
@@ -23,9 +26,15 @@ import (
 func main() {
 	// An ssdserve instance is a Server over one core.Database; the demo
 	// database is the scalable movie workload. Parallelism 4 makes every
-	// /query fan its join work across four worker executors.
+	// /query fan its join work across four worker executors. The 1ns
+	// slow-query threshold makes every query "slow" so the structured log
+	// line is demonstrable; real deployments set something like 100ms.
 	db := core.FromGraph(workload.Movies(workload.DefaultMovieConfig(2000)))
-	srv := server.New(db, server.Config{Parallelism: 4})
+	srv := server.New(db, server.Config{
+		Parallelism: 4,
+		SlowQuery:   1, // nanosecond: log every query, for the demo
+		Logger:      slog.New(slog.NewTextHandler(os.Stdout, nil)),
+	})
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
 	fmt.Println("serving", db.Describe())
@@ -54,13 +63,44 @@ func main() {
 	curl(ts.URL, "/query", `{"query": "path: ServedBy._"}`)
 	post(ts.URL+"/query", `{"query": "path: ServedBy._"}`)
 
-	// 3. Health: snapshot stats for load balancers and dashboards.
+	// 3. Health: snapshot stats for load balancers and dashboards, now
+	// including the statement-cache size and snapshot sequence.
 	fmt.Printf("\n$ curl -s localhost:8080/healthz\n")
 	resp, err := http.Get(ts.URL + "/healthz")
 	if err != nil {
 		log.Fatal(err)
 	}
 	printBody(resp)
+
+	// 4. Tracing: ?trace=1 appends the per-operator execution trace to the
+	// terminal status line — per-atom row counts and wall time, whether the
+	// plan came from the pool, and the parallel worker/morsel shape. The
+	// same trace rides the slow-query log lines above.
+	fmt.Printf("\n$ curl -s 'localhost:8080/query?trace=1' -d '{\"query\": \"path: ServedBy._\"}'\n")
+	post(ts.URL+"/query?trace=1", `{"query": "path: ServedBy._"}`)
+
+	// 5. Metrics: the process registry in the Prometheus text exposition
+	// (a scrape endpoint; ?format=json serves the same snapshot as JSON).
+	// Shown here filtered to a few families.
+	fmt.Printf("\n$ curl -s localhost:8080/metrics | grep -E 'ssd_(queries|query_rows|stmt_cache|http_requests)'\n")
+	mresp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	sc := bufio.NewScanner(mresp.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		for _, fam := range []string{"ssd_queries_total", "ssd_query_rows_total", "ssd_stmt_cache", "ssd_http_requests_total"} {
+			if strings.HasPrefix(line, fam) || strings.HasPrefix(line, "# TYPE "+fam) {
+				fmt.Println(line)
+				break
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		log.Fatal(err)
+	}
 }
 
 // curl prints the standalone-server equivalent of the request.

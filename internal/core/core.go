@@ -30,6 +30,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/bisim"
 	"repro/internal/dataguide"
@@ -84,7 +85,7 @@ type Database struct {
 	// without blocking the writer: only the brief pin and the log
 	// truncation take writeMu.
 	dir      string
-	snapSeq  uint64
+	snapSeq  atomic.Uint64 // atomic: health endpoints read it mid-checkpoint
 	recovery RecoveryInfo
 	dirLock  *os.File
 	ckptMu   sync.Mutex
@@ -117,9 +118,11 @@ func (db *Database) prepared(src string) (*Stmt, error) {
 		db.stmtLRU.MoveToFront(e)
 		s := e.Value.(*stmtEntry).s
 		db.stmtMu.Unlock()
+		obsStmtHits.Inc()
 		return s, nil
 	}
 	db.stmtMu.Unlock()
+	obsStmtMisses.Inc()
 	s, err := db.Prepare(src)
 	if err != nil {
 		return nil, err
@@ -137,9 +140,19 @@ func (db *Database) prepared(src string) (*Stmt, error) {
 		oldest := db.stmtLRU.Back()
 		db.stmtLRU.Remove(oldest)
 		delete(db.stmts, oldest.Value.(*stmtEntry).src)
+		obsStmtEvictions.Inc()
 	}
 	db.stmts[src] = db.stmtLRU.PushFront(&stmtEntry{src: src, s: s})
 	return s, nil
+}
+
+// StmtCacheLen returns the number of statements currently held by the LRU
+// statement cache — the /healthz "stmt_cache_size" figure.
+func (db *Database) StmtCacheLen() int {
+	db.stmtMu.Lock()
+	n := len(db.stmts)
+	db.stmtMu.Unlock()
+	return n
 }
 
 // invalidateStmtPlans drops every cached statement's pooled plans after a
@@ -267,6 +280,7 @@ func (db *Database) commit(b *mutate.Batch, logIt bool) error {
 }
 
 func (db *Database) commitLocked(b *mutate.Batch, logIt bool) error {
+	start := time.Now()
 	if db.dir != "" && db.wal == nil {
 		// A directory-backed database without its log is closed: accepting
 		// the commit would publish a state no generation or log holds, and
@@ -309,6 +323,8 @@ func (db *Database) commitLocked(b *mutate.Batch, logIt bool) error {
 	}
 	db.snap.Store(ns)
 	db.invalidateStmtPlans()
+	obsCommitDur.Observe(time.Since(start))
+	obsCommits.Inc()
 	return nil
 }
 

@@ -6,6 +6,7 @@ import (
 	"path/filepath"
 	"sort"
 	"syscall"
+	"time"
 
 	"repro/internal/mutate"
 	"repro/internal/ssd"
@@ -241,7 +242,8 @@ func OpenPath(dir string) (*Database, error) {
 		}
 	}
 
-	db := &Database{dir: dir, snapSeq: loaded.seq, dirLock: lock}
+	db := &Database{dir: dir, dirLock: lock}
+	db.snapSeq.Store(loaded.seq)
 	db.snap.Store(&snapshot{g: g, labelIx: labelIx, valueIx: valueIx, guide: guide, stats: st})
 	db.wal = w
 	db.walRO.Store(w)
@@ -252,12 +254,21 @@ func OpenPath(dir string) (*Database, error) {
 		Skipped:      skipped,
 		Replayed:     replayed,
 	}
+	obsRecoveryReplayed.Set(int64(replayed))
+	obsRecoverySkipped.Set(int64(skipped))
+	obsCkptGen.Set(int64(loaded.seq))
 	return db, nil
 }
 
 // LastRecovery reports what OpenPath recovered. Zero for databases not
 // opened from a durable directory.
 func (db *Database) LastRecovery() RecoveryInfo { return db.recovery }
+
+// SnapshotSeq returns the newest snapshot generation on disk — the durable
+// log position health endpoints report. 0 for non-durable databases and
+// for durable directories that have not checkpointed yet. Safe to call
+// concurrently with Checkpoint.
+func (db *Database) SnapshotSeq() uint64 { return db.snapSeq.Load() }
 
 // Durable reports whether the database is backed by a durable directory
 // (opened with OpenPath) and therefore supports Checkpoint.
@@ -314,16 +325,17 @@ func (db *Database) Checkpoint() (CheckpointInfo, error) {
 	baseFP := db.wal.BaseFingerprint()
 	db.writeMu.Unlock()
 
-	if folded == 0 && db.snapSeq > 0 {
+	if cur := db.snapSeq.Load(); folded == 0 && cur > 0 {
 		// Nothing committed since the newest generation: rewriting an
 		// identical snapshot (and its indexes) would be pure I/O. An idle
 		// database checkpoints for free.
 		return CheckpointInfo{
-			Path: filepath.Join(db.dir, snapName(db.snapSeq)),
-			Seq:  db.snapSeq,
+			Path: filepath.Join(db.dir, snapName(cur)),
+			Seq:  cur,
 			NoOp: true,
 		}, nil
 	}
+	start := time.Now()
 
 	// Force-build the linear-cost indexes and statistics so the generation
 	// restores a query-ready database; the DataGuide (potentially
@@ -335,7 +347,7 @@ func (db *Database) Checkpoint() (CheckpointInfo, error) {
 	guide := snap.guide
 	snap.mu.Unlock()
 
-	seq := db.snapSeq + 1
+	seq := db.snapSeq.Load() + 1
 	path := filepath.Join(db.dir, snapName(seq))
 	s := &storage.Snapshot{
 		Graph:     snap.g,
@@ -360,8 +372,11 @@ func (db *Database) Checkpoint() (CheckpointInfo, error) {
 	if err != nil {
 		return CheckpointInfo{}, fmt.Errorf("core: checkpoint %s written but log truncation failed: %w", path, err)
 	}
-	db.snapSeq = seq
+	db.snapSeq.Store(seq)
 	db.pruneSnapshots(seq)
+	obsCkptDur.Observe(time.Since(start))
+	obsCkpts.Inc()
+	obsCkptGen.Set(int64(seq))
 	return CheckpointInfo{Path: path, Seq: seq, Bytes: n, Truncated: folded}, nil
 }
 

@@ -20,6 +20,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
 	"repro/internal/datalog"
 	"repro/internal/pathexpr"
@@ -339,7 +340,7 @@ func (s *Stmt) ExplainAnalyze(ctx context.Context, args ...Param) (string, error
 		return "", err
 	}
 	snap := s.db.snapshot()
-	p, err := s.checkoutPlan(snap)
+	p, _, err := s.checkoutPlan(snap)
 	if err != nil {
 		return "", err
 	}
@@ -374,7 +375,8 @@ func (s *Stmt) bindArgs(args []Param) (map[string]ssd.Label, error) {
 // checkoutPlan returns a compiled plan for the snapshot, reusing a pooled
 // one when the snapshot still matches. A snapshot swap (commit) empties
 // the pool: stale plans can never run against the new graph version.
-func (s *Stmt) checkoutPlan(snap *snapshot) (*query.Plan, error) {
+// pooled reports whether the plan came from the pool (vs freshly compiled).
+func (s *Stmt) checkoutPlan(snap *snapshot) (p *query.Plan, pooled bool, err error) {
 	s.mu.Lock()
 	if s.snap != snap {
 		s.snap = snap
@@ -384,10 +386,13 @@ func (s *Stmt) checkoutPlan(snap *snapshot) (*query.Plan, error) {
 		p := s.pool[n-1]
 		s.pool = s.pool[:n-1]
 		s.mu.Unlock()
-		return p, nil
+		obsPlansPooled.Inc()
+		return p, true, nil
 	}
 	s.mu.Unlock()
-	return query.NewPlan(s.q, snap.g, snap.planOptions())
+	obsPlansBuilt.Inc()
+	p, err = query.NewPlan(s.q, snap.g, snap.planOptions())
+	return p, false, err
 }
 
 func (s *Stmt) checkinPlan(snap *snapshot, p *query.Plan) {
@@ -405,7 +410,7 @@ func (s *Stmt) checkinPlan(snap *snapshot, p *query.Plan) {
 func (s *Stmt) checkoutPlans(snap *snapshot, n int) ([]*query.Plan, error) {
 	plans := make([]*query.Plan, 0, n)
 	for i := 0; i < n; i++ {
-		p, err := s.checkoutPlan(snap)
+		p, _, err := s.checkoutPlan(snap)
 		if err != nil {
 			s.checkinPlans(snap, plans)
 			return nil, err
@@ -479,14 +484,32 @@ func (s *Stmt) checkinAutomaton(au *pathexpr.Automaton) {
 // The returned Rows must be Closed to recycle the compiled plan(s). A
 // cancelled ctx stops iteration within one pull; Rows.Err reports it.
 func (s *Stmt) Query(ctx context.Context, args ...Param) (*Rows, error) {
+	return s.queryTrace(ctx, nil, args)
+}
+
+// QueryTraced is Query with per-execution tracing: operator-level spans
+// (per-atom rows and attributed wall time), the plan-pool outcome, and the
+// parallel execution shape are recorded into tr. The trace is complete only
+// after Rows.Close returns (a parallel pool must quiesce first). Tracing
+// adds one ExecTrace allocation and a clock read per atom pull; the untraced
+// Query path stays allocation-free.
+func (s *Stmt) QueryTraced(ctx context.Context, tr *QueryTrace, args ...Param) (*Rows, error) {
+	return s.queryTrace(ctx, tr, args)
+}
+
+func (s *Stmt) queryTrace(ctx context.Context, tr *QueryTrace, args []Param) (*Rows, error) {
+	start := time.Now()
 	vals, err := s.bindArgs(args)
 	if err != nil {
 		return nil, err
 	}
 	snap := s.db.snapshot()
+	if tr != nil {
+		tr.Lang = s.lang.String()
+	}
 	switch s.lang {
 	case LangQuery:
-		p, err := s.checkoutPlan(snap)
+		p, pooled, err := s.checkoutPlan(snap)
 		if err != nil {
 			return nil, err
 		}
@@ -508,29 +531,38 @@ func (s *Stmt) Query(ctx context.Context, args ...Param) (*Rows, error) {
 				morselSize = ms
 			}
 		}
+		var et *query.ExecTrace
+		if tr != nil {
+			tr.PlanPooled = pooled
+			et = new(query.ExecTrace)
+		}
 		var cur *query.Cursor
 		if len(workers) > 0 {
-			cur, err = p.CursorParallel(ctx, vals, workers, morselSize)
+			obsParallelQueries.Inc()
+			if tr != nil {
+				tr.Parallel = true
+			}
+			cur, err = p.CursorParallelTrace(ctx, vals, workers, morselSize, et)
 		} else {
-			cur, err = p.Cursor(ctx, vals)
+			cur, err = p.CursorTrace(ctx, vals, et)
 		}
 		if err != nil {
 			s.checkinPlan(snap, p)
 			s.checkinPlans(snap, workers)
 			return nil, err
 		}
-		return &Rows{stmt: s, cols: s.cols, g: snap.g, qb: &queryBackend{cur: cur, plan: p, workers: workers, snap: snap}}, nil
+		return &Rows{stmt: s, cols: s.cols, g: snap.g, start: start, trace: tr, et: et, qb: &queryBackend{cur: cur, plan: p, workers: workers, snap: snap}}, nil
 	case LangPath:
 		au, pooled, err := s.checkoutAutomaton(vals)
 		if err != nil {
 			return nil, err
 		}
-		tr := au.NewTraversal(snap.g)
+		trav := au.NewTraversal(snap.g)
 		if ctx != nil {
-			tr.SetContext(ctx)
+			trav.SetContext(ctx)
 		}
-		tr.Reset(snap.g.Root())
-		return &Rows{stmt: s, cols: s.cols, g: snap.g, pb: &pathBackend{trav: tr, au: au, pooled: pooled}}, nil
+		trav.Reset(snap.g.Root())
+		return &Rows{stmt: s, cols: s.cols, g: snap.g, start: start, trace: tr, pb: &pathBackend{trav: trav, au: au, pooled: pooled}}, nil
 	case LangDatalog:
 		if ctx != nil {
 			if err := ctx.Err(); err != nil {
@@ -541,7 +573,7 @@ func (s *Stmt) Query(ctx context.Context, args ...Param) (*Rows, error) {
 		if err != nil {
 			return nil, err
 		}
-		return &Rows{stmt: s, cols: s.cols, g: snap.g, db2: newDatalogBackend(rels)}, nil
+		return &Rows{stmt: s, cols: s.cols, g: snap.g, start: start, trace: tr, db2: newDatalogBackend(rels)}, nil
 	default:
 		return nil, fmt.Errorf("core: transform statements produce no rows; use Exec")
 	}
@@ -553,6 +585,17 @@ func (s *Stmt) Query(ctx context.Context, args ...Param) (*Rows, error) {
 // legacy Transform family, the result is a fresh handle with fresh caches
 // and nothing is logged to any WAL open on the receiver.
 func (s *Stmt) Exec(ctx context.Context, args ...Param) (*Database, error) {
+	start := time.Now()
+	res, err := s.execInner(ctx, args)
+	obsQueryDur.Observe(time.Since(start))
+	obsQueries.Inc()
+	if err != nil {
+		obsQueryErrors.Inc()
+	}
+	return res, err
+}
+
+func (s *Stmt) execInner(ctx context.Context, args []Param) (*Database, error) {
 	vals, err := s.bindArgs(args)
 	if err != nil {
 		return nil, err
@@ -560,7 +603,7 @@ func (s *Stmt) Exec(ctx context.Context, args ...Param) (*Database, error) {
 	snap := s.db.snapshot()
 	switch s.lang {
 	case LangQuery:
-		p, err := s.checkoutPlan(snap)
+		p, _, err := s.checkoutPlan(snap)
 		if err != nil {
 			return nil, err
 		}
@@ -598,6 +641,15 @@ type Rows struct {
 	qb  *queryBackend
 	pb  *pathBackend
 	db2 *datalogBackend
+
+	// Observability: rows are counted in a plain field (one increment per
+	// Next, no atomic contention on the stream path) and flushed to the
+	// process counters once, at Close, together with the query latency
+	// observation. trace/et are non-nil only for QueryTraced executions.
+	start time.Time
+	n     int64
+	trace *QueryTrace
+	et    *query.ExecTrace
 
 	shared query.Env // Env()'s reusable row; see Env
 }
@@ -648,10 +700,17 @@ func (r *Rows) Next() bool {
 	}
 	switch {
 	case r.qb != nil:
-		return r.qb.cur.Next()
+		if r.qb.cur.Next() {
+			r.n++
+			return true
+		}
+		return false
 	case r.pb != nil:
 		n, ok := r.pb.trav.Next()
 		r.pb.node = n
+		if ok {
+			r.n++
+		}
 		return ok
 	default:
 		b := r.db2
@@ -661,6 +720,7 @@ func (r *Rows) Next() bool {
 				b.rel = b.names[b.ri]
 				b.tup = rel.Tuples()[b.ti]
 				b.ti++
+				r.n++
 				return true
 			}
 			b.ri++
@@ -815,7 +875,35 @@ func (r *Rows) Close() error {
 			r.stmt.checkinAutomaton(r.pb.au)
 		}
 	}
+	r.finish()
 	return nil
+}
+
+// finish flushes this execution's observability state: the process-wide
+// latency/row/error counters always, and the QueryTrace when tracing. It
+// runs after the cursor teardown above, so a parallel pool has quiesced and
+// the ExecTrace is final.
+func (r *Rows) finish() {
+	elapsed := time.Since(r.start)
+	obsQueryDur.Observe(elapsed)
+	obsQueries.Inc()
+	obsQueryRows.Add(r.n)
+	err := r.Err()
+	if err != nil {
+		obsQueryErrors.Inc()
+	}
+	tr := r.trace
+	if tr == nil {
+		return
+	}
+	tr.Rows = r.n
+	tr.ElapsedUS = elapsed.Microseconds()
+	if err != nil {
+		tr.Error = err.Error()
+	}
+	if et := r.et; et != nil && r.qb != nil {
+		tr.fillExec(r.qb.plan, et)
+	}
 }
 
 // ---------------------------------------------------------------------------

@@ -1,0 +1,19 @@
+package mutate
+
+// WAL metrics: append/fsync latency and durable log growth. The bytes
+// gauge tracks w.end, so truncation and compaction show up as drops —
+// exactly the sawtooth an operator watches against the checkpoint
+// threshold.
+
+import "repro/internal/obs"
+
+var (
+	obsWALAppendDur = obs.Default.Histogram("ssd_wal_append_duration_seconds",
+		"Full WAL frame append latency: encode, write, fsync.")
+	obsWALFsyncDur = obs.Default.Histogram("ssd_wal_fsync_duration_seconds",
+		"fsync portion of a WAL frame append.")
+	obsWALAppends = obs.Default.Counter("ssd_wal_appends_total",
+		"WAL frames appended (batch and header frames).")
+	obsWALBytes = obs.Default.Gauge("ssd_wal_bytes",
+		"Current WAL size in bytes up to the last valid frame.")
+)

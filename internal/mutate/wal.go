@@ -7,6 +7,7 @@ import (
 	"os"
 	"path/filepath"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/ssd"
 	"repro/internal/storage"
@@ -132,6 +133,7 @@ func openWAL(path string, fps []uint32, sideline bool) (*WAL, uint32, error) {
 	w.pending = frames[1:]
 	w.batches = len(w.pending)
 	w.end.Store(end)
+	obsWALBytes.Set(end)
 	if int64(len(data)) > end {
 		// Drop the torn tail now so appends start at a clean boundary.
 		if err := f.Truncate(end); err != nil {
@@ -217,14 +219,19 @@ func (w *WAL) writeFrame(payload []byte) error {
 	if w.broken != nil {
 		return w.broken
 	}
+	start := time.Now()
 	frame := appendFrame(nil, payload)
 	if _, err := w.f.Write(frame); err != nil {
 		return err
 	}
+	syncStart := time.Now()
 	if err := w.f.Sync(); err != nil {
 		return err
 	}
-	w.end.Add(int64(len(frame)))
+	obsWALFsyncDur.Observe(time.Since(syncStart))
+	obsWALBytes.Set(w.end.Add(int64(len(frame))))
+	obsWALAppendDur.Observe(time.Since(start))
+	obsWALAppends.Inc()
 	return nil
 }
 
@@ -301,6 +308,7 @@ func (w *WAL) TruncatePrefix(k int, newFP uint32) error {
 	w.f.Close()
 	w.f = f
 	w.end.Store(int64(len(buf)))
+	obsWALBytes.Set(int64(len(buf)))
 	w.batches -= k
 	w.fp = newFP
 	if !w.replayed && len(w.pending) >= k {
@@ -358,6 +366,7 @@ func (w *WAL) Compact(snapshotPath string, g *ssd.Graph) error {
 		return poison(err)
 	}
 	w.end.Store(0)
+	obsWALBytes.Set(0)
 	w.batches = 0
 	w.pending = nil
 	w.fp = Fingerprint(g)

@@ -1,0 +1,191 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// MetricSnapshot is one metric's state at snapshot time. For histograms,
+// Buckets holds per-bucket (non-cumulative) counts with Bounds[i] the
+// inclusive upper bound in seconds; the final bucket has no bound (+Inf).
+type MetricSnapshot struct {
+	Name string `json:"name"`
+	Kind string `json:"kind"`
+	Help string `json:"help,omitempty"`
+
+	// Counters and gauges.
+	Value int64 `json:"value,omitempty"`
+
+	// Histograms.
+	Count      int64     `json:"count,omitempty"`
+	SumSeconds float64   `json:"sum_seconds,omitempty"`
+	Bounds     []float64 `json:"bounds,omitempty"`
+	Buckets    []int64   `json:"buckets,omitempty"`
+
+	family string
+}
+
+// Snapshot is a point-in-time view of a registry, safe to encode while the
+// underlying metrics keep moving. Each metric is read atomically; the set as
+// a whole is not a transaction (a scrape can see counter A after B even if A
+// was incremented first), which is the usual Prometheus contract.
+type Snapshot struct {
+	Metrics []MetricSnapshot `json:"metrics"`
+}
+
+// Snapshot captures the current value of every registered metric, in
+// registration order.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.Lock()
+	metrics := make([]*metric, len(r.metrics))
+	copy(metrics, r.metrics)
+	r.mu.Unlock()
+
+	out := Snapshot{Metrics: make([]MetricSnapshot, 0, len(metrics))}
+	for _, m := range metrics {
+		ms := MetricSnapshot{Name: m.name, Kind: m.kind.String(), Help: m.help, family: m.family}
+		switch m.kind {
+		case kindCounter:
+			ms.Value = m.c.Value()
+		case kindGauge:
+			ms.Value = m.g.Value()
+		case kindGaugeFunc:
+			ms.Value = m.f()
+		case kindHistogram:
+			h := m.h
+			ms.Bounds = make([]float64, len(h.bounds))
+			for i, b := range h.bounds {
+				ms.Bounds[i] = float64(b) / 1e9
+			}
+			ms.Buckets = make([]int64, len(h.buckets))
+			for i := range h.buckets {
+				n := h.buckets[i].Load()
+				ms.Buckets[i] = n
+				// Derive Count from the buckets themselves so that the
+				// cumulative +Inf bucket always equals _count even while
+				// other goroutines observe concurrently.
+				ms.Count += n
+			}
+			ms.SumSeconds = float64(h.sum.Load()) / 1e9
+		}
+		out.Metrics = append(out.Metrics, ms)
+	}
+	return out
+}
+
+// ContentTypePrometheus is the content type for the text exposition format.
+const ContentTypePrometheus = "text/plain; version=0.0.4; charset=utf-8"
+
+// WritePrometheus encodes the snapshot in the Prometheus text exposition
+// format (version 0.0.4). Series sharing a family (same name before the
+// label braces) are emitted contiguously under one # HELP/# TYPE pair
+// (taken from the first series registered in that family), even when their
+// registrations were interleaved with other families — the format requires
+// a family's samples to form one block.
+func (s Snapshot) WritePrometheus(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	var order []string
+	groups := map[string][]MetricSnapshot{}
+	for _, m := range s.Metrics {
+		if _, ok := groups[m.family]; !ok {
+			order = append(order, m.family)
+		}
+		groups[m.family] = append(groups[m.family], m)
+	}
+	for _, fam := range order {
+		series := groups[fam]
+		if h := series[0].Help; h != "" {
+			bw.WriteString("# HELP ")
+			bw.WriteString(fam)
+			bw.WriteByte(' ')
+			bw.WriteString(escapeHelp(h))
+			bw.WriteByte('\n')
+		}
+		bw.WriteString("# TYPE ")
+		bw.WriteString(fam)
+		bw.WriteByte(' ')
+		bw.WriteString(series[0].Kind)
+		bw.WriteByte('\n')
+		for _, m := range series {
+			if m.Kind == "histogram" {
+				writeHistogram(bw, m)
+				continue
+			}
+			bw.WriteString(m.Name)
+			bw.WriteByte(' ')
+			bw.WriteString(strconv.FormatInt(m.Value, 10))
+			bw.WriteByte('\n')
+		}
+	}
+	return bw.Flush()
+}
+
+// writeHistogram emits the cumulative _bucket/_sum/_count series for one
+// histogram. A histogram registered with constant labels (name of the form
+// family{k="v"}) keeps them on every series, with le appended last per the
+// exposition convention.
+func writeHistogram(bw *bufio.Writer, m MetricSnapshot) {
+	labels := ""
+	if i := strings.IndexByte(m.Name, '{'); i >= 0 {
+		labels = strings.TrimSuffix(m.Name[i+1:], "}")
+	}
+	var cum int64
+	for i, n := range m.Buckets {
+		cum += n
+		bw.WriteString(m.family)
+		bw.WriteString("_bucket{")
+		if labels != "" {
+			bw.WriteString(labels)
+			bw.WriteByte(',')
+		}
+		bw.WriteString(`le="`)
+		if i < len(m.Bounds) {
+			bw.WriteString(formatBound(m.Bounds[i]))
+		} else {
+			bw.WriteString("+Inf")
+		}
+		bw.WriteString(`"} `)
+		bw.WriteString(strconv.FormatInt(cum, 10))
+		bw.WriteByte('\n')
+	}
+	suffixed := func(suffix string) {
+		bw.WriteString(m.family)
+		bw.WriteString(suffix)
+		if labels != "" {
+			bw.WriteByte('{')
+			bw.WriteString(labels)
+			bw.WriteByte('}')
+		}
+		bw.WriteByte(' ')
+	}
+	suffixed("_sum")
+	bw.WriteString(strconv.FormatFloat(m.SumSeconds, 'g', -1, 64))
+	bw.WriteByte('\n')
+	suffixed("_count")
+	bw.WriteString(strconv.FormatInt(m.Count, 10))
+	bw.WriteByte('\n')
+}
+
+// formatBound renders a bucket bound the way Prometheus clients do: the
+// shortest decimal that round-trips (0.005, not 5e-03).
+func formatBound(b float64) string {
+	return strconv.FormatFloat(b, 'f', -1, 64)
+}
+
+// escapeHelp escapes backslashes and newlines per the exposition format.
+func escapeHelp(s string) string {
+	if !strings.ContainsAny(s, "\\\n") {
+		return s
+	}
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// WriteJSON encodes the snapshot as a single JSON object.
+func (s Snapshot) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	return enc.Encode(s)
+}

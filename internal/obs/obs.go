@@ -1,0 +1,254 @@
+// Package obs is the observability kernel: a dependency-free, atomics-based
+// metrics registry shared by every layer of the system. Counters, gauges and
+// fixed-bucket latency histograms register once (by name, idempotently) and
+// are updated lock-free on hot paths; Snapshot produces a consistent-enough
+// view that encodes to Prometheus text exposition or JSON.
+//
+// Design constraints, in order:
+//
+//  1. Zero allocations and no locks on the update path. Counter.Add,
+//     Gauge.Set and Histogram.Observe are a handful of atomic operations;
+//     instrumented code pays nothing else. Registration takes a mutex, but
+//     instrumented packages register in package var initializers, so the
+//     lock is never on a request path.
+//  2. No dependencies. The package imports only the standard library, so
+//     any layer — the WAL under internal/mutate as much as the HTTP server —
+//     can import it without cycles.
+//  3. Process-global by default. The Default registry is the one the serving
+//     layer exposes at /metrics; layers define their metrics as package
+//     variables against it (the expvar idiom). Tests that need isolation
+//     build their own Registry.
+//
+// Metric names follow the Prometheus conventions: `ssd_` prefix, `_total`
+// suffix on counters, `_seconds` on latency histograms. A name may carry a
+// constant label set in braces (`ssd_http_requests_total{endpoint="query"}`);
+// the exposition encoder groups such series into one family for # HELP and
+// # TYPE lines.
+package obs
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing metric. The zero value is unusable;
+// obtain one from Registry.Counter.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (n must be >= 0 for the Prometheus contract; this is not
+// enforced on the hot path).
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a value that can go up and down. Obtain one from Registry.Gauge.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the value.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add adjusts the value by n (negative to decrement).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Histogram is a fixed-bucket latency histogram. Observations are
+// durations; the exposition reports seconds (the Prometheus convention for
+// `_seconds` histograms). Obtain one from Registry.Histogram.
+type Histogram struct {
+	bounds  []int64        // inclusive upper bounds, nanoseconds, ascending
+	buckets []atomic.Int64 // len(bounds)+1; last is the +Inf bucket
+	sum     atomic.Int64   // total observed nanoseconds
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	n := int64(d)
+	i := 0
+	// Linear scan: the default bucket ladder is 18 entries and observations
+	// cluster at the low end, so this beats a branchy binary search.
+	for i < len(h.bounds) && n > h.bounds[i] {
+		i++
+	}
+	h.buckets[i].Add(1)
+	h.sum.Add(n)
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() int64 {
+	var total int64
+	for i := range h.buckets {
+		total += h.buckets[i].Load()
+	}
+	return total
+}
+
+// DefBuckets is the default latency ladder: 50µs to 30s, roughly
+// logarithmic — wide enough for an in-memory index hit and a cold
+// checkpoint alike.
+var DefBuckets = []time.Duration{
+	50 * time.Microsecond, 100 * time.Microsecond, 250 * time.Microsecond,
+	500 * time.Microsecond, time.Millisecond, 2500 * time.Microsecond,
+	5 * time.Millisecond, 10 * time.Millisecond, 25 * time.Millisecond,
+	50 * time.Millisecond, 100 * time.Millisecond, 250 * time.Millisecond,
+	500 * time.Millisecond, time.Second, 2500 * time.Millisecond,
+	5 * time.Second, 10 * time.Second, 30 * time.Second,
+}
+
+// metricKind discriminates registered metrics.
+type metricKind uint8
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindGaugeFunc
+	kindHistogram
+)
+
+func (k metricKind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindHistogram:
+		return "histogram"
+	default:
+		return "gauge"
+	}
+}
+
+// metric is one registered series.
+type metric struct {
+	name   string // full series name, possibly with {labels}
+	family string // name up to the label braces — the exposition family
+	help   string
+	kind   metricKind
+
+	c *Counter
+	g *Gauge
+	f func() int64
+	h *Histogram
+}
+
+// Registry holds an ordered set of named metrics. Registration is
+// idempotent: re-registering a name returns the existing metric (two
+// Databases in one process share series, which is what a process-wide
+// /metrics wants) and panics if the kind differs — that is a programming
+// error, like a flag redefinition.
+type Registry struct {
+	mu      sync.Mutex
+	metrics []*metric
+	byName  map[string]*metric
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: make(map[string]*metric)}
+}
+
+// Default is the process-global registry: the one instrumented packages
+// register against and the serving layer exposes at /metrics.
+var Default = NewRegistry()
+
+// family splits a series name into its family (the part before a constant
+// label set). `a_total{endpoint="query"}` → `a_total`.
+func family(name string) string {
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		return name[:i]
+	}
+	return name
+}
+
+// validName is a light sanity check on series names; it rejects the
+// mistakes that would silently corrupt the exposition (spaces, newlines,
+// unbalanced braces).
+func validName(name string) bool {
+	if name == "" || strings.ContainsAny(name, " \t\n") {
+		return false
+	}
+	open := strings.Count(name, "{")
+	close := strings.Count(name, "}")
+	if open != close || open > 1 {
+		return false
+	}
+	if open == 1 && !strings.HasSuffix(name, "}") {
+		return false
+	}
+	return true
+}
+
+// register installs (or returns) the metric for name. Panics on a kind
+// mismatch or an invalid name: both are development-time errors.
+func (r *Registry) register(name, help string, kind metricKind, build func() *metric) *metric {
+	if !validName(name) {
+		panic(fmt.Sprintf("obs: invalid metric name %q", name))
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.byName[name]; ok {
+		if m.kind != kind {
+			panic(fmt.Sprintf("obs: metric %q re-registered as %s (was %s)", name, kind, m.kind))
+		}
+		return m
+	}
+	m := build()
+	m.name, m.family, m.help, m.kind = name, family(name), help, kind
+	r.byName[name] = m
+	r.metrics = append(r.metrics, m)
+	return m
+}
+
+// Counter registers (or returns) the counter named name.
+func (r *Registry) Counter(name, help string) *Counter {
+	return r.register(name, help, kindCounter, func() *metric {
+		return &metric{c: &Counter{}}
+	}).c
+}
+
+// Gauge registers (or returns) the gauge named name.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	return r.register(name, help, kindGauge, func() *metric {
+		return &metric{g: &Gauge{}}
+	}).g
+}
+
+// GaugeFunc registers a gauge whose value is computed by f at snapshot
+// time — for values that already live somewhere authoritative (a cache
+// length, a file size) and should not be double-bookkept.
+func (r *Registry) GaugeFunc(name, help string, f func() int64) {
+	r.register(name, help, kindGaugeFunc, func() *metric {
+		return &metric{f: f}
+	})
+}
+
+// Histogram registers (or returns) the histogram named name. buckets are
+// the inclusive upper bounds, ascending; nil means DefBuckets.
+func (r *Registry) Histogram(name, help string, buckets ...time.Duration) *Histogram {
+	return r.register(name, help, kindHistogram, func() *metric {
+		if len(buckets) == 0 {
+			buckets = DefBuckets
+		}
+		bounds := make([]int64, len(buckets))
+		for i, b := range buckets {
+			bounds[i] = int64(b)
+			if i > 0 && bounds[i] <= bounds[i-1] {
+				panic(fmt.Sprintf("obs: histogram %q bucket bounds not ascending", name))
+			}
+		}
+		return &metric{h: &Histogram{
+			bounds:  bounds,
+			buckets: make([]atomic.Int64, len(bounds)+1),
+		}}
+	}).h
+}

@@ -1,0 +1,308 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestRegistrationIdempotent(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("x_total", "first")
+	b := r.Counter("x_total", "second help ignored")
+	if a != b {
+		t.Fatal("re-registering a counter must return the same instance")
+	}
+	a.Inc()
+	if got := b.Value(); got != 1 {
+		t.Fatalf("shared counter value = %d, want 1", got)
+	}
+}
+
+func TestKindMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x_total", "")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on kind mismatch")
+		}
+	}()
+	r.Gauge("x_total", "")
+}
+
+func TestInvalidNamePanics(t *testing.T) {
+	r := NewRegistry()
+	for _, name := range []string{"", "has space", "bad{unclosed", "a{x=\"1\"}b"} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("name %q: expected panic", name)
+				}
+			}()
+			r.Counter(name, "")
+		}()
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat_seconds", "latency",
+		time.Millisecond, 10*time.Millisecond, 100*time.Millisecond)
+	h.Observe(500 * time.Microsecond) // bucket 0
+	h.Observe(time.Millisecond)       // bucket 0 (inclusive upper bound)
+	h.Observe(5 * time.Millisecond)   // bucket 1
+	h.Observe(time.Second)            // +Inf bucket
+
+	snap := r.Snapshot()
+	var m *MetricSnapshot
+	for i := range snap.Metrics {
+		if snap.Metrics[i].Name == "lat_seconds" {
+			m = &snap.Metrics[i]
+		}
+	}
+	if m == nil {
+		t.Fatal("histogram missing from snapshot")
+	}
+	wantBuckets := []int64{2, 1, 0, 1}
+	for i, want := range wantBuckets {
+		if m.Buckets[i] != want {
+			t.Fatalf("bucket[%d] = %d, want %d (all: %v)", i, m.Buckets[i], want, m.Buckets)
+		}
+	}
+	if m.Count != 4 {
+		t.Fatalf("count = %d, want 4", m.Count)
+	}
+	wantSum := (0.0005 + 0.001 + 0.005 + 1.0)
+	if m.SumSeconds < wantSum-1e-9 || m.SumSeconds > wantSum+1e-9 {
+		t.Fatalf("sum = %g, want %g", m.SumSeconds, wantSum)
+	}
+}
+
+// TestConcurrentUpdatesDuringEncode hammers counters and a histogram from
+// many goroutines while repeatedly snapshotting and encoding — the -race
+// checked contract that scrapes never tear.
+func TestConcurrentUpdatesDuringEncode(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("ops_total", "ops")
+	g := r.Gauge("depth", "queue depth")
+	h := r.Histogram("lat_seconds", "latency")
+	r.GaugeFunc("calc", "computed", func() int64 { return c.Value() / 2 })
+
+	const writers = 8
+	const perWriter = 2000
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				c.Inc()
+				g.Set(int64(i))
+				h.Observe(time.Duration(seed*i%5000) * time.Microsecond)
+			}
+		}(w + 1)
+	}
+
+	var encWG sync.WaitGroup
+	encWG.Add(1)
+	go func() {
+		defer encWG.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			var buf bytes.Buffer
+			snap := r.Snapshot()
+			if err := snap.WritePrometheus(&buf); err != nil {
+				t.Errorf("WritePrometheus: %v", err)
+				return
+			}
+			checkExposition(t, buf.String())
+			buf.Reset()
+			if err := snap.WriteJSON(&buf); err != nil {
+				t.Errorf("WriteJSON: %v", err)
+				return
+			}
+		}
+	}()
+
+	wg.Wait()
+	close(stop)
+	encWG.Wait()
+
+	if got := c.Value(); got != writers*perWriter {
+		t.Fatalf("counter = %d, want %d", got, writers*perWriter)
+	}
+	if got := h.Count(); got != writers*perWriter {
+		t.Fatalf("histogram count = %d, want %d", got, writers*perWriter)
+	}
+}
+
+// checkExposition validates the invariants of the text format that matter:
+// every non-comment line is `name[{labels}] value`, histogram buckets are
+// cumulative and end at +Inf equal to _count, and every family has exactly
+// one TYPE line appearing before its samples.
+func checkExposition(t *testing.T, text string) {
+	t.Helper()
+	typed := map[string]string{}
+	var lastBucketFamily string
+	var lastCum, infVal int64
+	counts := map[string]int64{}
+	infs := map[string]int64{}
+
+	for _, line := range strings.Split(text, "\n") {
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			parts := strings.Fields(line)
+			if len(parts) != 4 {
+				t.Fatalf("malformed TYPE line: %q", line)
+			}
+			if _, dup := typed[parts[2]]; dup {
+				t.Fatalf("duplicate TYPE for family %s", parts[2])
+			}
+			typed[parts[2]] = parts[3]
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			t.Fatalf("sample line without value: %q", line)
+		}
+		name, valStr := line[:sp], line[sp+1:]
+		val, err := strconv.ParseFloat(valStr, 64)
+		if err != nil {
+			t.Fatalf("unparseable value in %q: %v", line, err)
+		}
+		fam := name
+		if i := strings.IndexByte(fam, '{'); i >= 0 {
+			fam = fam[:i]
+		}
+		base := fam
+		for _, suf := range []string{"_bucket", "_sum", "_count"} {
+			if f, ok := strings.CutSuffix(fam, suf); ok && typed[f] == "histogram" {
+				base = f
+			}
+		}
+		if _, ok := typed[base]; !ok {
+			t.Fatalf("sample %q has no preceding TYPE line (family %q)", line, base)
+		}
+		if strings.Contains(name, "_bucket{le=") {
+			if base != lastBucketFamily {
+				lastBucketFamily, lastCum = base, 0
+			}
+			iv := int64(val)
+			if iv < lastCum {
+				t.Fatalf("non-cumulative bucket in %q (prev %d)", line, lastCum)
+			}
+			lastCum = iv
+			if strings.Contains(name, `le="+Inf"`) {
+				infVal = iv
+				infs[base] = infVal
+			}
+		}
+		if strings.HasSuffix(fam, "_count") && typed[base] == "histogram" {
+			counts[base] = int64(val)
+		}
+	}
+	for fam, cnt := range counts {
+		if inf, ok := infs[fam]; ok && inf != cnt {
+			t.Fatalf("family %s: +Inf bucket %d != _count %d", fam, inf, cnt)
+		}
+	}
+}
+
+func TestPrometheusFamilyGrouping(t *testing.T) {
+	r := NewRegistry()
+	// Interleaved registration (as per-endpoint metric triples produce):
+	// the encoder must still emit each family as one contiguous block.
+	r.Counter(`req_total{endpoint="query"}`, "requests").Add(3)
+	r.Gauge("depth", "queue depth").Set(-2)
+	r.Counter(`req_total{endpoint="mutate"}`, "requests").Add(5)
+
+	var buf bytes.Buffer
+	if err := r.Snapshot().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	if strings.Count(text, "# TYPE req_total counter") != 1 {
+		t.Fatalf("want exactly one TYPE line for req_total family:\n%s", text)
+	}
+	for _, want := range []string{
+		`req_total{endpoint="query"} 3`,
+		`req_total{endpoint="mutate"} 5`,
+		"depth -2",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("missing %q in exposition:\n%s", want, text)
+		}
+	}
+	checkExposition(t, text)
+}
+
+// TestLabeledHistogramExposition: a histogram registered with constant
+// labels keeps them on every _bucket/_sum/_count series (with le appended
+// last on buckets), so two labeled histograms in one family never collide.
+func TestLabeledHistogramExposition(t *testing.T) {
+	r := NewRegistry()
+	r.Histogram(`dur_seconds{endpoint="query"}`, "latency", time.Millisecond, time.Second).
+		Observe(2 * time.Millisecond)
+	r.Histogram(`dur_seconds{endpoint="mutate"}`, "latency", time.Millisecond, time.Second).
+		Observe(500 * time.Microsecond)
+
+	var buf bytes.Buffer
+	if err := r.Snapshot().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	for _, want := range []string{
+		`dur_seconds_bucket{endpoint="query",le="0.001"} 0`,
+		`dur_seconds_bucket{endpoint="query",le="1"} 1`,
+		`dur_seconds_bucket{endpoint="query",le="+Inf"} 1`,
+		`dur_seconds_count{endpoint="query"} 1`,
+		`dur_seconds_bucket{endpoint="mutate",le="0.001"} 1`,
+		`dur_seconds_count{endpoint="mutate"} 1`,
+		`dur_seconds_sum{endpoint="mutate"} 0.0005`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("missing %q in exposition:\n%s", want, text)
+		}
+	}
+	if strings.Count(text, "# TYPE dur_seconds histogram") != 1 {
+		t.Fatalf("want exactly one TYPE line for dur_seconds:\n%s", text)
+	}
+}
+
+func TestWriteJSONRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a_total", "a").Add(7)
+	r.Histogram("h_seconds", "h", time.Millisecond).Observe(2 * time.Millisecond)
+
+	var buf bytes.Buffer
+	if err := r.Snapshot().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var out struct {
+		Metrics []map[string]any `json:"metrics"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if len(out.Metrics) != 2 {
+		t.Fatalf("got %d metrics, want 2", len(out.Metrics))
+	}
+	if out.Metrics[0]["name"] != "a_total" || out.Metrics[0]["value"] != float64(7) {
+		t.Fatalf("unexpected counter encoding: %v", out.Metrics[0])
+	}
+}

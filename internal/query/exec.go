@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"sort"
+	"time"
 
 	"repro/internal/pathexpr"
 	"repro/internal/ssd"
@@ -53,10 +54,10 @@ type executor struct {
 	// ctx.Err per row is measurable overhead at fan-out row rates.
 	relaxedPoll bool
 
-	// atomRows counts rows that survived each atom's filters (one counter
-	// per atom, plan order) when non-nil. Only ExplainAnalyze enables it;
-	// the normal path keeps the nil check and nothing else.
-	atomRows []int64
+	// trace records per-atom row counts and iterator wall time when non-nil.
+	// ExplainAnalyze and opt-in query tracing enable it; the normal path
+	// keeps the nil check and nothing else — no allocation, no clock reads.
+	trace *ExecTrace
 
 	// Termination: err records the failure that ended iteration early —
 	// context cancellation, or any panic the pull loop recovered (a stale
@@ -109,7 +110,7 @@ func (ex *executor) reset(ctx context.Context, params []ssd.Label) {
 	ex.started, ex.done = false, false
 	ex.base = 0
 	ex.relaxedPoll = false
-	ex.atomRows = nil
+	ex.trace = nil
 	ex.err = nil
 	ex.polls = 0
 	for _, t := range ex.travs {
@@ -217,7 +218,7 @@ func (ex *executor) next() bool {
 			return ex.finish()
 		}
 		i = ex.base
-		ex.openAtom(i)
+		ex.openAtomTimed(i)
 	} else {
 		i = n - 1
 	}
@@ -226,7 +227,15 @@ func (ex *executor) next() bool {
 			return false
 		}
 		as := &ex.atoms[i]
-		dst, ok := as.next(ex)
+		var dst ssd.NodeID
+		var ok bool
+		if tr := ex.trace; tr == nil {
+			dst, ok = as.next(ex)
+		} else {
+			start := time.Now()
+			dst, ok = as.next(ex)
+			tr.AtomNanos[i] += int64(time.Since(start))
+		}
 		if !ok {
 			i--
 			continue
@@ -235,16 +244,29 @@ func (ex *executor) next() bool {
 		if !ex.evalConds(as.a.conds) {
 			continue
 		}
-		if ex.atomRows != nil {
-			ex.atomRows[i]++
+		if tr := ex.trace; tr != nil {
+			tr.AtomRows[i]++
 		}
 		if i == n-1 {
 			return true
 		}
 		i++
-		ex.openAtom(i)
+		ex.openAtomTimed(i)
 	}
 	return ex.finish()
+}
+
+// openAtomTimed is openAtom with the open cost (scan materialization
+// included) attributed to the atom's trace span when tracing is on.
+func (ex *executor) openAtomTimed(i int) {
+	tr := ex.trace
+	if tr == nil {
+		ex.openAtom(i)
+		return
+	}
+	start := time.Now()
+	ex.openAtom(i)
+	tr.AtomNanos[i] += int64(time.Since(start))
 }
 
 func (ex *executor) openAtom(i int) {

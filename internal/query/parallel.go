@@ -162,6 +162,23 @@ type parShared struct {
 	done     chan struct{} // closed once seeding ended and pending hit zero
 	doneOnce sync.Once
 	nsplits  atomic.Int64 // splits performed; observability and tests
+
+	splitMisses atomic.Int64 // split attempts that found no idle worker
+	nmorsels    atomic.Int64 // morsels created (primary emits + splits)
+
+	// trace, when non-nil, is the query's ExecTrace. The coordinator and
+	// each worker record into private traces and fold them in under traceMu
+	// at exit; the consumer reads the merged result only after Close's
+	// wg.Wait, so reads never race the merges.
+	trace   *ExecTrace
+	traceMu sync.Mutex
+}
+
+// mergeTrace folds a goroutine-local trace into the query trace.
+func (sh *parShared) mergeTrace(o *ExecTrace) {
+	sh.traceMu.Lock()
+	sh.trace.merge(o)
+	sh.traceMu.Unlock()
 }
 
 func newParShared() *parShared {
@@ -204,12 +221,26 @@ func (sh *parShared) finishSeeding() {
 // DefaultMorselSize when the model has no estimate. Row order, and therefore
 // the materialized result, is identical to the serial engine's.
 func (p *Plan) CursorParallel(ctx context.Context, params map[string]ssd.Label, workers []*Plan, morselSize int) (*Cursor, error) {
+	return p.CursorParallelTrace(ctx, params, workers, morselSize, nil)
+}
+
+// CursorParallelTrace is CursorParallel with operator-level statistics
+// recorded into tr (reinitialized for this plan): per-atom rows and wall
+// time summed across workers, plus the pool shape — workers, morsel size,
+// morsels executed, adaptive splits and misses, and consumer merge stalls.
+// The trace is complete only after the cursor is closed (Close waits for
+// the pool to quiesce). A nil tr degrades to CursorParallel exactly.
+func (p *Plan) CursorParallelTrace(ctx context.Context, params map[string]ssd.Label, workers []*Plan, morselSize int, tr *ExecTrace) (*Cursor, error) {
 	vals, err := p.paramVals(params)
 	if err != nil {
 		return nil, err
 	}
+	if tr != nil {
+		tr.init(len(p.atoms))
+	}
 	if len(workers) == 0 || len(p.atoms) < 2 {
 		ex := p.exec(ctx, vals)
+		ex.trace = tr
 		return &Cursor{p: p, regs: &ex.regs, ex: ex}, nil
 	}
 	for i, w := range workers {
@@ -229,7 +260,11 @@ func (p *Plan) CursorParallel(ctx context.Context, params map[string]ssd.Label, 
 		}
 	}
 
-	pc := newParCursor(ctx, p, vals, workers, morselSize)
+	if tr != nil {
+		tr.Workers = len(workers)
+		tr.MorselSize = morselSize
+	}
+	pc := newParCursor(ctx, p, vals, workers, morselSize, tr)
 	return &Cursor{p: p, regs: &pc.regs, par: pc}, nil
 }
 
@@ -272,9 +307,11 @@ type parCursor struct {
 	err    error
 	done   bool
 	closed bool
+
+	trace *ExecTrace // query trace; nil when tracing is off
 }
 
-func newParCursor(ctx context.Context, p *Plan, vals []ssd.Label, workers []*Plan, morselSize int) *parCursor {
+func newParCursor(ctx context.Context, p *Plan, vals []ssd.Label, workers []*Plan, morselSize int, tr *ExecTrace) *parCursor {
 	parent := ctx
 	if parent == nil {
 		parent = context.Background()
@@ -294,7 +331,9 @@ func newParCursor(ctx context.Context, p *Plan, vals []ssd.Label, workers []*Pla
 	ls := p.leadSlots()
 	morsels := make(chan morsel, len(workers))
 	sh := newParShared()
+	sh.trace = tr
 	pc.sh = sh
+	pc.trace = tr
 
 	// Workers: one executor per plan, shared-nothing. Each runs atoms[1:]
 	// from every seed of its morsel, in order.
@@ -319,11 +358,24 @@ func newParCursor(ctx context.Context, p *Plan, vals []ssd.Label, workers []*Pla
 		seedEx := p.exec(workCtx, vals)
 		seedEx.relaxedPoll = true
 		seedEx.atoms = seedEx.atoms[:1] // drive only the leading atom
+		var seedTr *ExecTrace
+		if sh.trace != nil {
+			// Trace into a coordinator-local recorder (full atom length;
+			// only the leading atom's span gets written) and fold it in at
+			// exit like any worker.
+			seedTr = new(ExecTrace)
+			seedTr.init(len(p.atoms))
+			seedEx.trace = seedTr
+		}
 		defer func() {
 			// Undo the truncation before recycling: the next execution of
 			// this plan gets the full atom list back.
 			seedEx.atoms = seedEx.atoms[:len(p.atoms)]
+			seedEx.trace = nil
 			seedEx.release()
+			if seedTr != nil {
+				sh.mergeTrace(seedTr)
+			}
 		}()
 		dstSlot := p.atoms[0].dstSlot
 
@@ -336,6 +388,7 @@ func newParCursor(ctx context.Context, p *Plan, vals []ssd.Label, workers []*Pla
 				return false
 			}
 			sh.pending.Add(1)
+			sh.nmorsels.Add(1)
 			select {
 			case morsels <- morsel{seeds: seeds, out: out}:
 			case <-workCtx.Done():
@@ -394,8 +447,18 @@ func runWorker(ctx context.Context, wp *Plan, vals []ssd.Label, ls leadSlots, mo
 	ex := wp.exec(ctx, vals)
 	ex.base = 1
 	ex.relaxedPoll = true
-	defer ex.release() // visible to the next checkout via Close's wg.Wait
-	open := true       // primary morsel queue still open
+	if sh.trace != nil {
+		wtr := new(ExecTrace)
+		wtr.init(len(wp.atoms))
+		ex.trace = wtr
+		defer sh.mergeTrace(wtr) // runs after release; merge is still safe —
+		// the trace is worker-local and the consumer reads only post-Close.
+	}
+	defer func() {
+		ex.trace = nil
+		ex.release() // visible to the next checkout via Close's wg.Wait
+	}()
+	open := true // primary morsel queue still open
 	for {
 		var m morsel
 		var ok bool
@@ -517,6 +580,8 @@ func workMorsel(ctx context.Context, ex *executor, wp *Plan, ls leadSlots, m mor
 			select {
 			case sh.splits <- morsel{seeds: m.seeds[k+1:], out: cont}:
 				sh.nsplits.Add(1)
+				sh.nmorsels.Add(1)
+				obsSplits.Inc()
 				b.cont = cont
 				send(b)
 				return
@@ -524,6 +589,8 @@ func workMorsel(ctx context.Context, ex *executor, wp *Plan, ls leadSlots, m mor
 				// No idle worker: the whole pool is saturated, so a handoff
 				// would not buy anything anyway. Keep going inline.
 				sh.pending.Add(-1)
+				sh.splitMisses.Add(1)
+				obsSplitMisses.Inc()
 			}
 		}
 	}
@@ -575,19 +642,35 @@ func (pc *parCursor) Next() bool {
 			}
 			continue
 		}
-		select {
-		case b, ok := <-pc.cur:
-			if !ok {
-				pc.cur = nil
-				continue
+		var b rowBatch
+		var ok, received bool
+		if pc.trace != nil {
+			// Count a merge stall when the in-order batch isn't ready yet —
+			// the consumer-side signal that workers, not the merge, are the
+			// bottleneck. Only attempted under tracing; the untraced path
+			// keeps the single blocking select.
+			select {
+			case b, ok = <-pc.cur:
+				received = true
+			default:
+				pc.trace.MergeStalls++
 			}
-			if b.err != nil {
-				return pc.finish(b.err)
-			}
-			pc.batch, pc.ri = b, 0
-		case <-ctxDone:
-			return pc.finish(pc.ctx.Err())
 		}
+		if !received {
+			select {
+			case b, ok = <-pc.cur:
+			case <-ctxDone:
+				return pc.finish(pc.ctx.Err())
+			}
+		}
+		if !ok {
+			pc.cur = nil
+			continue
+		}
+		if b.err != nil {
+			return pc.finish(b.err)
+		}
+		pc.batch, pc.ri = b, 0
 	}
 }
 
@@ -616,4 +699,11 @@ func (pc *parCursor) Close() {
 	pc.done = true
 	pc.cancel()
 	pc.wg.Wait()
+	if pc.trace != nil {
+		// Pool has quiesced: every worker's per-atom trace is merged and the
+		// shared counters are final.
+		pc.trace.Splits = pc.sh.nsplits.Load()
+		pc.trace.SplitMisses = pc.sh.splitMisses.Load()
+		pc.trace.Morsels = pc.sh.nmorsels.Load()
+	}
 }

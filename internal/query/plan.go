@@ -1430,12 +1430,14 @@ func (p *Plan) ExplainAnalyze(ctx context.Context, params map[string]ssd.Label) 
 		return "", err
 	}
 	ex := p.exec(ctx, vals)
-	ex.atomRows = make([]int64, len(p.atoms))
+	var tr ExecTrace
+	tr.init(len(p.atoms))
+	ex.trace = &tr
 	for ex.Next() {
 	}
-	actual := ex.atomRows
+	actual := tr.AtomRows
 	err = ex.err
-	ex.atomRows = nil
+	ex.trace = nil
 	ex.release()
 	if err != nil {
 		return "", err

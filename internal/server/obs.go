@@ -1,0 +1,79 @@
+package server
+
+// HTTP-layer metrics: per-endpoint request counts, in-flight gauges and
+// latency histograms (constant-labeled series on the process registry),
+// plus the streamed-row and slow-query totals the /query handler feeds.
+
+import (
+	"fmt"
+	"net/http"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+)
+
+var (
+	obsRowsStreamed = obs.Default.Counter("ssd_http_rows_streamed_total",
+		"Result rows streamed to clients over POST /query.")
+	obsSlowQueries = obs.Default.Counter("ssd_slow_queries_total",
+		"Queries at or over the configured slow-query threshold.")
+)
+
+// endpointMetrics is the per-endpoint series triple. Each endpoint gets its
+// own constant-labeled series (e.g. ssd_http_requests_total{endpoint="query"});
+// the encoder groups them back into one family per metric name.
+type endpointMetrics struct {
+	requests *obs.Counter
+	inFlight *obs.Gauge
+	dur      *obs.Histogram
+}
+
+func epMetrics(name string) endpointMetrics {
+	l := fmt.Sprintf("{endpoint=%q}", name)
+	return endpointMetrics{
+		requests: obs.Default.Counter("ssd_http_requests_total"+l,
+			"HTTP requests served, by endpoint."),
+		inFlight: obs.Default.Gauge("ssd_http_in_flight"+l,
+			"HTTP requests currently being served, by endpoint."),
+		dur: obs.Default.Histogram("ssd_http_request_duration_seconds"+l,
+			"End-to-end HTTP request latency, by endpoint."),
+	}
+}
+
+// instrument wraps a handler with its endpoint's request/in-flight/latency
+// series. The metrics are registered once at wrap time (server construction),
+// not per request.
+func instrument(name string, h http.HandlerFunc) http.HandlerFunc {
+	m := epMetrics(name)
+	return func(w http.ResponseWriter, r *http.Request) {
+		m.requests.Inc()
+		m.inFlight.Add(1)
+		start := time.Now()
+		defer func() {
+			m.dur.Observe(time.Since(start))
+			m.inFlight.Add(-1)
+		}()
+		h(w, r)
+	}
+}
+
+// paramsShape renders bound parameters as "name=kind" pairs for the
+// slow-query log — enough to correlate a plan-shape problem with the call
+// site without logging user values.
+func paramsShape(params []core.Param) string {
+	if len(params) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	for i, p := range params {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		b.WriteString(p.Name)
+		b.WriteByte('=')
+		b.WriteString(p.Value.Kind().String())
+	}
+	return b.String()
+}

@@ -6,6 +6,14 @@
 //	POST /mutate     — apply a mutation script as one committed batch
 //	POST /checkpoint — force a durable checkpoint (directory-backed databases)
 //	GET  /healthz    — liveness plus snapshot and durability stats
+//	GET  /metrics    — the process metrics registry (Prometheus text, or
+//	                   ?format=json)
+//
+// Observability: every endpoint carries request/in-flight/latency series on
+// the process registry (internal/obs); POST /query?trace=1 appends the
+// per-query operator trace to the NDJSON terminal status line; queries
+// slower than Config.SlowQuery are logged, with their trace, through the
+// structured logger.
 //
 // Statements are cached by query text through the database's LRU statement
 // cache (core.Database.PrepareCached), so a hot query pays lexing, parsing
@@ -29,12 +37,14 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"strings"
 	"sync"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/ssd"
 )
 
@@ -59,9 +69,13 @@ type Config struct {
 	// CheckpointMaxWAL checkpoints as soon as the write-ahead log exceeds
 	// this many bytes (0 = no size trigger), polled once a second.
 	CheckpointMaxWAL int64
-	// Logf, when set, receives background-checkpointer activity and
-	// errors. nil discards them.
-	Logf func(format string, args ...any)
+	// Logger receives structured server events: background-checkpointer
+	// activity and errors, and slow-query reports. nil discards them.
+	Logger *slog.Logger
+	// SlowQuery logs any /query request whose end-to-end latency meets or
+	// exceeds this threshold, at Warn level with the query text, parameter
+	// shape, row count and operator trace. Zero disables the log.
+	SlowQuery time.Duration
 
 	// pollOverride shortens the checkpointer loop cadence in tests.
 	pollOverride time.Duration
@@ -72,6 +86,7 @@ type Server struct {
 	db  *core.Database
 	cfg Config
 	mux *http.ServeMux
+	log *slog.Logger
 
 	// The drain gate. gateMu orders admissions against the start of a
 	// drain: every inflight.Add happens under the lock and before
@@ -93,21 +108,19 @@ func New(db *core.Database, cfg Config) *Server {
 	if cfg.Parallelism > 0 {
 		db.SetParallelism(cfg.Parallelism)
 	}
-	s := &Server{db: db, cfg: cfg, mux: http.NewServeMux()}
-	s.mux.HandleFunc("POST /query", s.handleQuery)
-	s.mux.HandleFunc("POST /mutate", s.handleMutate)
-	s.mux.HandleFunc("POST /checkpoint", s.handleCheckpoint)
-	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s := &Server{db: db, cfg: cfg, mux: http.NewServeMux(), log: cfg.Logger}
+	if s.log == nil {
+		s.log = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
+	s.mux.HandleFunc("POST /query", instrument("query", s.handleQuery))
+	s.mux.HandleFunc("POST /mutate", instrument("mutate", s.handleMutate))
+	s.mux.HandleFunc("POST /checkpoint", instrument("checkpoint", s.handleCheckpoint))
+	s.mux.HandleFunc("GET /healthz", instrument("healthz", s.handleHealthz))
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	if db.Durable() && (cfg.CheckpointInterval > 0 || cfg.CheckpointMaxWAL > 0) {
 		s.startCheckpointer()
 	}
 	return s
-}
-
-func (s *Server) logf(format string, args ...any) {
-	if s.cfg.Logf != nil {
-		s.cfg.Logf(format, args...)
-	}
 }
 
 // startCheckpointer launches the background loop. The poll cadence is the
@@ -150,12 +163,12 @@ func (s *Server) startCheckpointer() {
 			lastTimed = time.Now()
 			info, err := s.db.Checkpoint()
 			if err != nil {
-				s.logf("server: background checkpoint: %v", err)
+				s.log.Error("background checkpoint failed", "err", err)
 				continue
 			}
 			if !info.NoOp {
-				s.logf("server: checkpointed generation %d (%d bytes, %d batches folded)",
-					info.Seq, info.Bytes, info.Truncated)
+				s.log.Info("checkpointed",
+					"seq", info.Seq, "bytes", info.Bytes, "folded", info.Truncated)
 			}
 		}
 	}()
@@ -238,10 +251,11 @@ type rowLine struct {
 }
 
 type statusLine struct {
-	Done      bool   `json:"done,omitempty"`
-	Rows      int    `json:"rows"`
-	Truncated bool   `json:"truncated,omitempty"`
-	Error     string `json:"error,omitempty"`
+	Done      bool             `json:"done,omitempty"`
+	Rows      int              `json:"rows"`
+	Truncated bool             `json:"truncated,omitempty"`
+	Error     string           `json:"error,omitempty"`
+	Trace     *core.QueryTrace `json:"trace,omitempty"`
 }
 
 func httpError(w http.ResponseWriter, code int, err error) {
@@ -297,7 +311,22 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			fmt.Errorf("server: transform statements are not servable; use /mutate for writes"))
 		return
 	}
-	rows, err := stmt.Query(ctx, params...)
+
+	// Trace when the client asked (?trace=1) or a slow-query threshold is
+	// armed — the slow log wants the operator breakdown even though the
+	// client did not ask to see it.
+	wantTrace := r.URL.Query().Get("trace") == "1"
+	var qtr *core.QueryTrace
+	if wantTrace || s.cfg.SlowQuery > 0 {
+		qtr = new(core.QueryTrace)
+	}
+	start := time.Now()
+	var rows *core.Rows
+	if qtr != nil {
+		rows, err = stmt.QueryTraced(ctx, qtr, params...)
+	} else {
+		rows, err = stmt.Query(ctx, params...)
+	}
 	if err != nil {
 		httpError(w, http.StatusBadRequest, err)
 		return
@@ -336,9 +365,37 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	n, truncated := 0, false
+
+	// writeStatus emits the terminal NDJSON line. It closes the cursor
+	// first (Close is idempotent; the deferred call becomes a no-op) so the
+	// query trace is finalized — atom rows, elapsed time, parallel shape —
+	// before it is serialized, then feeds the slow-query log.
+	writeStatus := func(st statusLine) {
+		rows.Close()
+		obsRowsStreamed.Add(int64(n))
+		st.Rows = n
+		if wantTrace {
+			st.Trace = qtr
+		}
+		enc.Encode(st)
+		if flusher != nil {
+			flusher.Flush()
+		}
+		elapsed := time.Since(start)
+		if slow := s.cfg.SlowQuery; slow > 0 && elapsed >= slow {
+			obsSlowQueries.Inc()
+			traceJSON, _ := json.Marshal(qtr)
+			s.log.Warn("slow query",
+				"query", req.Query,
+				"params", paramsShape(params),
+				"duration", elapsed,
+				"rows", n,
+				"trace", string(traceJSON))
+		}
+	}
 	for rows.Next() {
 		if err := rows.Scan(dests...); err != nil {
-			enc.Encode(statusLine{Rows: n, Error: err.Error()})
+			writeStatus(statusLine{Error: err.Error()})
 			return
 		}
 		line := rowLine{Row: make(map[string]string, len(cols))}
@@ -362,13 +419,10 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	if err := rows.Err(); err != nil {
-		enc.Encode(statusLine{Rows: n, Error: err.Error()})
+		writeStatus(statusLine{Error: err.Error()})
 		return
 	}
-	enc.Encode(statusLine{Done: true, Rows: n, Truncated: truncated})
-	if flusher != nil {
-		flusher.Flush()
-	}
+	writeStatus(statusLine{Done: true, Truncated: truncated})
 }
 
 // decodeParams converts the request's JSON parameter values to labels.
@@ -491,12 +545,29 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	s.gateMu.Unlock()
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(map[string]any{
-		"status":      "ok",
-		"nodes":       st.Nodes,
-		"edges":       st.Edges,
-		"parallelism": s.db.Parallelism(),
-		"draining":    draining,
-		"durable":     s.db.Durable(),
-		"wal_bytes":   s.db.WALSize(),
+		"status":          "ok",
+		"nodes":           st.Nodes,
+		"edges":           st.Edges,
+		"parallelism":     s.db.Parallelism(),
+		"draining":        draining,
+		"durable":         s.db.Durable(),
+		"wal_bytes":       s.db.WALSize(),
+		"stmt_cache_size": s.db.StmtCacheLen(),
+		"snapshot_seq":    s.db.SnapshotSeq(),
 	})
+}
+
+// handleMetrics serves the process metrics registry: Prometheus text
+// exposition by default, the JSON encoding with ?format=json. It is not
+// gated on the drain latch — scrapes should keep working while a shutdown
+// waits for in-flight cursors.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	snap := obs.Default.Snapshot()
+	if r.URL.Query().Get("format") == "json" {
+		w.Header().Set("Content-Type", "application/json")
+		snap.WriteJSON(w)
+		return
+	}
+	w.Header().Set("Content-Type", obs.ContentTypePrometheus)
+	snap.WritePrometheus(w)
 }
