@@ -98,6 +98,9 @@ func runE14Prepared(scale int) {
 			_ = rows.Env()
 			rowCount++
 		}
+		if err := rows.Err(); err != nil {
+			panic(err)
+		}
 		rows.Close()
 	})
 	materialized := timeBest(3, func() {

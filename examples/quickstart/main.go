@@ -62,6 +62,9 @@ func main() {
 		env := rows.Env() // valid until the next rows.Next()
 		fmt.Println("  node", env.Trees["N"])
 	}
+	if err := rows.Err(); err != nil {
+		log.Fatal(err)
+	}
 	rows.Close()
 
 	// 4. The same Prepare entry point speaks the other front-ends: path
@@ -77,6 +80,9 @@ func main() {
 	n := 0
 	for prows.Next() {
 		n++
+	}
+	if err := prows.Err(); err != nil {
+		log.Fatal(err)
 	}
 	prows.Close()
 	fmt.Println("\nleaf values under interest:", n)

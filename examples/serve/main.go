@@ -88,6 +88,9 @@ func main() {
 		log.Fatal(err)
 	}
 	defer mresp.Body.Close()
+	if mresp.StatusCode != http.StatusOK {
+		log.Fatalf("GET /metrics: %s", mresp.Status)
+	}
 	sc := bufio.NewScanner(mresp.Body)
 	for sc.Scan() {
 		line := sc.Text()
@@ -97,6 +100,9 @@ func main() {
 				break
 			}
 		}
+	}
+	if err := sc.Err(); err != nil {
+		log.Fatal(err)
 	}
 	if err := sc.Err(); err != nil {
 		log.Fatal(err)
@@ -119,6 +125,11 @@ func post(url, body string) {
 
 func printBody(resp *http.Response) {
 	defer resp.Body.Close()
+	if resp.StatusCode >= 300 {
+		// The demo endpoints answer errors with a JSON body and a non-2xx
+		// status; treating those lines as output would hide the failure.
+		log.Fatalf("%s %s: %s", resp.Request.Method, resp.Request.URL.Path, resp.Status)
+	}
 	sc := bufio.NewScanner(resp.Body)
 	for sc.Scan() {
 		fmt.Println(sc.Text())

@@ -1,0 +1,180 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Index is the whole-load annotation view: every //ssd: directive found in
+// any loaded package, keyed by cross-package symbol strings, plus the
+// derived structures the analyzers consume (mustclose handle types, cache
+// specs). Build it once over all packages, then hand it to every pass —
+// that is how core sees the annotations on mutate.WAL methods without a
+// facts protocol.
+type Index struct {
+	Funcs  map[string][]Directive // "pkg.Func" / "pkg.Type.Method"
+	Fields map[string][]Directive // "pkg.Type.field"
+
+	// HandleTypes maps "pkg.Type" of every mustclose function's first
+	// handle-shaped result to true: closecheck extends its Next/Err
+	// discipline to parameters of these types.
+	HandleTypes map[string]bool
+
+	// Caches maps an owner type key "pkg.Type" to its cache contract,
+	// assembled from //ssd:cache and //ssd:cachedby field annotations.
+	Caches map[string]*CacheSpec
+}
+
+// CacheSpec is one derived-cache contract on a struct: in-place writes to
+// DataFields must be preceded by an invalidating store into CacheField.
+type CacheSpec struct {
+	Owner      string // "pkg.Type"
+	Name       string // invariant name, e.g. "revcache"
+	CacheField string // e.g. "rev"
+	DataFields map[string]bool
+}
+
+// FuncDirectives returns the directives on the declaration of fn.
+func (ix *Index) FuncDirectives(fn *types.Func) []Directive {
+	if fn == nil {
+		return nil
+	}
+	return ix.Funcs[funcKey(fn)]
+}
+
+// BuildIndex collects annotations from every loaded package.
+func BuildIndex(pkgs []*Package) *Index {
+	ix := &Index{
+		Funcs:       make(map[string][]Directive),
+		Fields:      make(map[string][]Directive),
+		HandleTypes: make(map[string]bool),
+		Caches:      make(map[string]*CacheSpec),
+	}
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				switch d := decl.(type) {
+				case *ast.FuncDecl:
+					ix.addFunc(pkg, d)
+				case *ast.GenDecl:
+					if d.Tok == token.TYPE {
+						for _, spec := range d.Specs {
+							if ts, ok := spec.(*ast.TypeSpec); ok {
+								ix.addType(pkg, ts)
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return ix
+}
+
+func (ix *Index) addFunc(pkg *Package, d *ast.FuncDecl) {
+	ds := parseDirectives(d.Doc)
+	if len(ds) == 0 {
+		return
+	}
+	fn, ok := pkg.Info.Defs[d.Name].(*types.Func)
+	if !ok {
+		return
+	}
+	key := funcKey(fn)
+	ix.Funcs[key] = append(ix.Funcs[key], ds...)
+	if hasVerb(ds, "mustclose") {
+		if ht, ok := handleResult(fn); ok {
+			ix.HandleTypes[ht] = true
+		}
+	}
+}
+
+// handleResult returns the type key of fn's first pointer-to-named result —
+// the handle a mustclose annotation refers to.
+func handleResult(fn *types.Func) (string, bool) {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return "", false
+	}
+	for i := 0; i < sig.Results().Len(); i++ {
+		if name, ok := namedOf(sig.Results().At(i).Type()); ok && name != "error" {
+			return name, true
+		}
+	}
+	return "", false
+}
+
+func (ix *Index) addType(pkg *Package, ts *ast.TypeSpec) {
+	st, ok := ts.Type.(*ast.StructType)
+	if !ok || st.Fields == nil {
+		return
+	}
+	owner := pkg.Path + "." + ts.Name.Name
+	for _, field := range st.Fields.List {
+		ds := parseDirectives(field.Doc)
+		ds = append(ds, parseDirectives(field.Comment)...)
+		if len(ds) == 0 {
+			continue
+		}
+		for _, nameIdent := range field.Names {
+			key := owner + "." + nameIdent.Name
+			ix.Fields[key] = append(ix.Fields[key], ds...)
+			for _, args := range argsOf(ds, "cache") {
+				if len(args) == 1 {
+					ix.cacheSpec(owner, args[0]).CacheField = nameIdent.Name
+				}
+			}
+			for _, args := range argsOf(ds, "cachedby") {
+				if len(args) == 1 {
+					ix.cacheSpec(owner, args[0]).DataFields[nameIdent.Name] = true
+				}
+			}
+		}
+	}
+}
+
+func (ix *Index) cacheSpec(owner, name string) *CacheSpec {
+	spec := ix.Caches[owner]
+	if spec == nil {
+		spec = &CacheSpec{Owner: owner, Name: name, DataFields: make(map[string]bool)}
+		ix.Caches[owner] = spec
+	}
+	return spec
+}
+
+// recvOwner returns the owner type key of a method declaration's receiver,
+// or "" for plain functions.
+func recvOwner(pkg *Package, d *ast.FuncDecl) string {
+	if d.Recv == nil || len(d.Recv.List) == 0 {
+		return ""
+	}
+	tv, ok := pkg.Info.Types[d.Recv.List[0].Type]
+	if !ok {
+		return ""
+	}
+	name, ok := namedOf(tv.Type)
+	if !ok {
+		return ""
+	}
+	return name
+}
+
+// recvObject returns the receiver variable object of a method declaration.
+func recvObject(pkg *Package, d *ast.FuncDecl) types.Object {
+	if d.Recv == nil || len(d.Recv.List) == 0 || len(d.Recv.List[0].Names) == 0 {
+		return nil
+	}
+	return pkg.Info.Defs[d.Recv.List[0].Names[0]]
+}
+
+// declDirectives returns the directives on a declaration via the index (the
+// same parse, but resolved through Defs so key derivation stays in one
+// place).
+func declDirectives(pkg *Package, ix *Index, d *ast.FuncDecl) []Directive {
+	fn, ok := pkg.Info.Defs[d.Name].(*types.Func)
+	if !ok {
+		return nil
+	}
+	return ix.Funcs[funcKey(fn)]
+}

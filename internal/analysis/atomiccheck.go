@@ -1,0 +1,138 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// AtomicCheck enforces the snapshot-publication discipline: fields that are
+// read by lock-free readers must never be touched with plain loads and
+// stores.
+//
+//   - A struct field of a sync/atomic type (atomic.Pointer[T], atomic.Int64,
+//     …) may only appear as the receiver of a method call (Load, Store,
+//     CompareAndSwap, Add, Swap — every method the types export is safe) or
+//     under & (handing the counter itself to a helper). Copying it,
+//     assigning it, or comparing it is a plain access that the race
+//     detector may or may not catch, and `db.snap` / `Graph.rev` /
+//     `WAL.end` readers rely on never happening.
+//   - A plain-typed field annotated `//ssd:atomic` may only appear as an &f
+//     argument to a sync/atomic package function (atomic.LoadUint64(&x.f)
+//     style) — any bare read or write is a report.
+var AtomicCheck = &Analyzer{
+	Name: "atomiccheck",
+	Doc:  "atomic fields must be accessed only through sync/atomic operations",
+	Run:  runAtomicCheck,
+}
+
+func runAtomicCheck(pass *Pass) {
+	info := pass.Pkg.Info
+	for _, file := range pass.Pkg.Files {
+		inspectStack(file, func(n ast.Node, stack []ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			selection, ok := info.Selections[sel]
+			if !ok || selection.Kind() != types.FieldVal {
+				return true
+			}
+			field, ok := selection.Obj().(*types.Var)
+			if !ok {
+				return true
+			}
+			atomicTyped := isAtomicType(field.Type())
+			annotated := false
+			if owner, ok := namedOf(selection.Recv()); ok {
+				annotated = hasVerb(pass.Index.Fields[owner+"."+field.Name()], "atomic")
+			}
+			if !atomicTyped && !annotated {
+				return true
+			}
+
+			switch ctx := accessContext(sel, stack); ctx {
+			case accessMethodCall:
+				if atomicTyped {
+					return true // x.f.Load(), x.f.Store(v), ...
+				}
+				pass.Reportf(sel.Pos(), "field %s is //ssd:atomic but has methods called on it; annotate only plain fields accessed via sync/atomic functions", field.Name())
+			case accessAddrOf:
+				if atomicTyped || addrArgToSyncAtomic(info, stack) {
+					return true // &x.f to a sync/atomic function (or passing the atomic itself)
+				}
+				pass.Reportf(sel.Pos(), "&%s.%s escapes outside sync/atomic: the field is //ssd:atomic and must only be passed to atomic.Load/Store/Add/CompareAndSwap", recvName(sel), field.Name())
+			default:
+				what := "//ssd:atomic"
+				if atomicTyped {
+					what = "of type " + field.Type().String()
+				}
+				pass.Reportf(sel.Pos(), "plain access to %s.%s: the field is %s and must only be used through sync/atomic operations (lock-free readers depend on it)", recvName(sel), field.Name(), what)
+			}
+			return true
+		})
+	}
+}
+
+type accessKind int
+
+const (
+	accessPlain accessKind = iota
+	accessMethodCall
+	accessAddrOf
+)
+
+// accessContext classifies how the field selector is used, given its
+// ancestor stack.
+func accessContext(sel *ast.SelectorExpr, stack []ast.Node) accessKind {
+	if len(stack) == 0 {
+		return accessPlain
+	}
+	parent := stack[len(stack)-1]
+	switch p := parent.(type) {
+	case *ast.SelectorExpr:
+		// x.f.Method — safe when the outer selector is the field's method.
+		if p.X == sel {
+			return accessMethodCall
+		}
+	case *ast.UnaryExpr:
+		if p.Op.String() == "&" && p.X == sel {
+			return accessAddrOf
+		}
+	}
+	return accessPlain
+}
+
+// addrArgToSyncAtomic reports whether the &expr whose UnaryExpr tops the
+// stack is an argument to a sync/atomic package function.
+func addrArgToSyncAtomic(info *types.Info, stack []ast.Node) bool {
+	if len(stack) < 2 {
+		return false
+	}
+	call, ok := stack[len(stack)-2].(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	fn := calleeFunc(info, call)
+	return fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "sync/atomic"
+}
+
+// isAtomicType reports whether t (or its element) is declared in
+// sync/atomic.
+func isAtomicType(t types.Type) bool {
+	name, ok := namedOf(t)
+	if !ok {
+		return false
+	}
+	return len(name) > len("sync/atomic.") && name[:len("sync/atomic.")] == "sync/atomic."
+}
+
+// recvName renders the selector's receiver expression for diagnostics.
+func recvName(sel *ast.SelectorExpr) string {
+	switch x := ast.Unparen(sel.X).(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.SelectorExpr:
+		return x.Sel.Name
+	}
+	return "x"
+}

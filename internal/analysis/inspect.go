@@ -1,0 +1,23 @@
+package analysis
+
+import "go/ast"
+
+// inspectStack walks n keeping the ancestor stack. fn receives each node
+// with its ancestors (outermost first, not including the node itself);
+// returning false prunes the subtree.
+func inspectStack(n ast.Node, fn func(n ast.Node, stack []ast.Node) bool) {
+	var stack []ast.Node
+	ast.Inspect(n, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		ok := fn(n, stack)
+		if !ok {
+			// Pruned subtrees get no pop callback, so do not push.
+			return false
+		}
+		stack = append(stack, n)
+		return true
+	})
+}

@@ -1,0 +1,77 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"testing"
+)
+
+// TestLoadResolvesCrossPackageTypes is the loader's contract test: target
+// packages type-check from source with imports (std and intra-module alike)
+// resolved through the build cache's gc export data, with full use/selection
+// info — the substrate every analyzer stands on.
+func TestLoadResolvesCrossPackageTypes(t *testing.T) {
+	pkgs, err := Load(repoRoot(t), "./internal/ssd", "./internal/mutate")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 2 {
+		t.Fatalf("got %d packages, want 2", len(pkgs))
+	}
+	byPath := map[string]*Package{}
+	for _, p := range pkgs {
+		byPath[p.Path] = p
+	}
+	ssd := byPath["repro/internal/ssd"]
+	if ssd == nil {
+		t.Fatalf("repro/internal/ssd not loaded: %v", byPath)
+	}
+	// The Graph.rev field must resolve to a sync/atomic type: atomiccheck
+	// keys on exactly this.
+	g := ssd.Types.Scope().Lookup("Graph")
+	if g == nil {
+		t.Fatal("ssd.Graph not found")
+	}
+	st, ok := g.Type().Underlying().(*types.Struct)
+	if !ok {
+		t.Fatalf("ssd.Graph is %T, want struct", g.Type().Underlying())
+	}
+	found := false
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		if f.Name() != "rev" {
+			continue
+		}
+		found = true
+		if name, ok := namedOf(f.Type()); !ok || name != "sync/atomic.Pointer" {
+			t.Errorf("Graph.rev resolved to %q, want sync/atomic.Pointer", name)
+		}
+	}
+	if !found {
+		t.Error("Graph.rev field not found")
+	}
+
+	// mutate imports ssd and storage: a selector into an imported package
+	// must carry a resolved *types.Func.
+	mut := byPath["repro/internal/mutate"]
+	if mut == nil {
+		t.Fatal("repro/internal/mutate not loaded")
+	}
+	foundCall := false
+	for _, f := range mut.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if fn := calleeFunc(mut.Info, call); fn != nil && fn.Pkg() != nil &&
+				fn.Pkg().Path() == "repro/internal/storage" {
+				foundCall = true
+			}
+			return true
+		})
+	}
+	if !foundCall {
+		t.Error("no resolved call into repro/internal/storage found in mutate")
+	}
+}

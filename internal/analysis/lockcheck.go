@@ -1,0 +1,220 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// LockCheck enforces the writer-lock protocol:
+//
+//   - A call to a function annotated `//ssd:requires L` is legal only when
+//     the caller is itself annotated `//ssd:requires L`, or the call is
+//     lexically preceded — in the same function literal, with no
+//     non-deferred `L.Unlock()` in between — by an `L.Lock()` call, or the
+//     call site carries a `//ssd:nolock L: reason` waiver (single-threaded
+//     construction/recovery phases).
+//   - A function annotated `//ssd:locks L` must actually contain an
+//     `L.Lock()` call: the annotation documents "takes the lock itself",
+//     and a stale one would launder unguarded callees.
+//   - A function annotated `//ssd:requires L` must not itself call
+//     `L.Lock()` (outside nested function literals): sync.Mutex is not
+//     reentrant, so that is a guaranteed self-deadlock.
+//
+// The lock analysis is lexical, not flow-sensitive: it tracks Lock/Unlock
+// selector calls whose final receiver component is named L. That is exactly
+// the discipline this codebase's write path follows (Lock at the top,
+// deferred or tail Unlock), and the approximation fails safe — a path that
+// confuses it produces a diagnostic to rewrite more plainly, not silence.
+var LockCheck = &Analyzer{
+	Name: "lockcheck",
+	Doc:  "calls into //ssd:requires-annotated functions must hold the named lock",
+	Run:  runLockCheck,
+}
+
+func runLockCheck(pass *Pass) {
+	for _, file := range pass.Pkg.Files {
+		waivers := fileWaivers(pass, file)
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkLockDecl(pass, fd, waivers)
+		}
+	}
+}
+
+// waiver is one //ssd:nolock comment, keyed by the line it ends on.
+type waiver struct {
+	lock   string
+	reason string
+}
+
+func fileWaivers(pass *Pass, file *ast.File) map[int]*waiver {
+	out := make(map[int]*waiver)
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			d, ok := parseDirective(c)
+			if !ok || d.Verb != "nolock" {
+				continue
+			}
+			arg := strings.Join(d.Args, " ")
+			lock, reason, found := strings.Cut(arg, ":")
+			if !found || strings.TrimSpace(reason) == "" {
+				pass.Reportf(c.Pos(), "ssd:nolock needs a reason: //ssd:nolock <lock>: <why this phase is single-threaded>")
+				continue
+			}
+			line := pass.Fset().Position(c.End()).Line
+			out[line] = &waiver{lock: strings.TrimSpace(lock), reason: strings.TrimSpace(reason)}
+		}
+	}
+	return out
+}
+
+// lockEvent is one Lock or Unlock call on a named mutex.
+type lockEvent struct {
+	pos    token.Pos
+	lock   string
+	unlock bool
+	defers bool // deferred Unlock releases at return, not at its position
+}
+
+func checkLockDecl(pass *Pass, fd *ast.FuncDecl, waivers map[int]*waiver) {
+	ds := declDirectives(pass.Pkg, pass.Index, fd)
+	held := make(map[string]bool) // locks the function is annotated to hold
+	for _, args := range argsOf(ds, "requires") {
+		if len(args) == 1 {
+			held[args[0]] = true
+		}
+	}
+
+	// Each function literal is its own lock scope: a lock taken outside a
+	// closure does not guard calls inside it — the closure may run on
+	// another goroutine. Scope 0 is the declaration body.
+	var declEvents []lockEvent // scope-0 events, kept for the checks below
+
+	var walkScope func(body ast.Node, depth int, events *[]lockEvent)
+	walkScope = func(body ast.Node, depth int, events *[]lockEvent) {
+		ast.Inspect(body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncLit:
+				var inner []lockEvent
+				walkScope(n.Body, depth+1, &inner)
+				return false
+			case *ast.DeferStmt:
+				if lk, unlock := lockCall(n.Call); lk != "" {
+					*events = append(*events, lockEvent{pos: n.Call.Pos(), lock: lk, unlock: unlock, defers: true})
+					return false
+				}
+			case *ast.CallExpr:
+				if lk, unlock := lockCall(n); lk != "" {
+					*events = append(*events, lockEvent{pos: n.Pos(), lock: lk, unlock: unlock})
+					return true
+				}
+				callee := calleeFunc(pass.Pkg.Info, n)
+				for _, args := range argsOf(pass.Index.FuncDirectives(callee), "requires") {
+					if len(args) != 1 {
+						continue
+					}
+					lock := args[0]
+					if held[lock] && depth == 0 {
+						continue // annotated caller, in its own body
+					}
+					if lockHeldAt(*events, lock, n.Pos()) {
+						continue
+					}
+					if waiverFor(pass, waivers, n.Pos(), lock) != nil {
+						continue
+					}
+					pass.Reportf(n.Pos(),
+						"call to %s requires lock %q: caller neither holds it (no preceding %s.Lock()) nor is annotated //ssd:requires %s",
+						callee.Name(), lock, lock, lock)
+				}
+			}
+			return true
+		})
+	}
+	walkScope(fd.Body, 0, &declEvents)
+
+	// locks-annotation validation: the function must take the lock itself.
+	for _, args := range argsOf(ds, "locks") {
+		if len(args) != 1 {
+			continue
+		}
+		found := false
+		for _, ev := range declEvents {
+			if ev.lock == args[0] && !ev.unlock {
+				found = true
+			}
+		}
+		if !found {
+			pass.Reportf(fd.Name.Pos(), "%s is annotated //ssd:locks %s but never calls %s.Lock()",
+				fd.Name.Name, args[0], args[0])
+		}
+	}
+
+	// requires-annotation validation: taking the lock you already hold is a
+	// self-deadlock (sync.Mutex is not reentrant).
+	for lock := range held {
+		for _, ev := range declEvents {
+			if ev.lock == lock && !ev.unlock {
+				pass.Reportf(ev.pos, "%s holds %s by contract (//ssd:requires %s) but locks it again: self-deadlock",
+					fd.Name.Name, lock, lock)
+			}
+		}
+	}
+}
+
+// lockHeldAt reports whether, lexically before pos in this scope's event
+// list, lock was taken and not released by a non-deferred Unlock.
+func lockHeldAt(events []lockEvent, lock string, pos token.Pos) bool {
+	held := false
+	for _, ev := range events {
+		if ev.lock != lock || ev.pos >= pos {
+			continue
+		}
+		if ev.unlock {
+			if !ev.defers {
+				held = false
+			}
+			continue
+		}
+		held = true
+	}
+	return held
+}
+
+// lockCall matches `<chain>.L.Lock()` / `.Unlock()` / `.RLock()` /
+// `.RUnlock()` and returns the mutex component name L.
+func lockCall(call *ast.CallExpr) (lock string, unlock bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	switch sel.Sel.Name {
+	case "Lock", "RLock":
+		unlock = false
+	case "Unlock", "RUnlock":
+		unlock = true
+	default:
+		return "", false
+	}
+	switch x := ast.Unparen(sel.X).(type) {
+	case *ast.SelectorExpr:
+		return x.Sel.Name, unlock
+	case *ast.Ident:
+		return x.Name, unlock
+	}
+	return "", false
+}
+
+func waiverFor(pass *Pass, waivers map[int]*waiver, pos token.Pos, lock string) *waiver {
+	line := pass.Fset().Position(pos).Line
+	for _, l := range []int{line, line - 1} {
+		if w, ok := waivers[l]; ok && w.lock == lock {
+			return w
+		}
+	}
+	return nil
+}

@@ -1,0 +1,229 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// RevCacheCheck enforces the derived-cache discipline on structs annotated
+// with //ssd:cache / //ssd:cachedby field pairs (Graph.rev caching reverse
+// adjacency derived from Graph.out):
+//
+//   - A method that writes a //ssd:cachedby data field in place must be
+//     annotated `//ssd:invalidates <name>` and must drop the cache — a
+//     `<cacheField>.Store(...)` on the receiver — lexically BEFORE the first
+//     write. Invalidate-after-write leaves a window where a concurrent
+//     reader snapshots a reverse index inconsistent with the forward edges.
+//   - `//ssd:preserves <name>` waives the check for methods that provably
+//     leave the derived view consistent (copy-on-write privatization).
+//   - An `//ssd:invalidates` annotation with no invalidating store is stale
+//     and reported: it would launder real writers added later.
+//
+// Writes are tracked through aliases with reference semantics: a local
+// bound to `g.out` or a range row over it mutates the same backing array.
+var RevCacheCheck = &Analyzer{
+	Name: "revcachecheck",
+	Doc:  "in-place writes to //ssd:cachedby fields must invalidate the cache first",
+	Run:  runRevCacheCheck,
+}
+
+func runRevCacheCheck(pass *Pass) {
+	for _, file := range pass.Pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || fd.Recv == nil {
+				continue
+			}
+			owner := recvOwner(pass.Pkg, fd)
+			spec := pass.Index.Caches[owner]
+			if spec == nil || spec.CacheField == "" || len(spec.DataFields) == 0 {
+				continue
+			}
+			checkRevCacheDecl(pass, fd, spec)
+		}
+	}
+}
+
+func checkRevCacheDecl(pass *Pass, fd *ast.FuncDecl, spec *CacheSpec) {
+	info := pass.Pkg.Info
+	recv := recvObject(pass.Pkg, fd)
+	if recv == nil {
+		return
+	}
+
+	aliases := make(map[types.Object]bool) // locals sharing the data field's backing store
+	firstWrite := token.NoPos
+	firstInvalidate := token.NoPos
+
+	// rooted reports whether e reaches a data field of the receiver (or an
+	// alias of one) through any chain of index/slice/star/paren.
+	var rooted func(e ast.Expr) bool
+	rooted = func(e ast.Expr) bool {
+		switch e := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			return aliases[info.Uses[e]]
+		case *ast.SelectorExpr:
+			if id, ok := ast.Unparen(e.X).(*ast.Ident); ok && info.Uses[id] == recv {
+				return spec.DataFields[e.Sel.Name]
+			}
+			return rooted(e.X)
+		case *ast.IndexExpr:
+			return rooted(e.X)
+		case *ast.SliceExpr:
+			return rooted(e.X)
+		case *ast.StarExpr:
+			return rooted(e.X)
+		}
+		return false
+	}
+	// refSemantics reports whether copying e shares mutable backing store.
+	refSemantics := func(e ast.Expr) bool {
+		tv, ok := info.Types[e]
+		if !ok {
+			return false
+		}
+		switch tv.Type.Underlying().(type) {
+		case *types.Slice, *types.Pointer, *types.Map:
+			return true
+		}
+		return false
+	}
+	noteWrite := func(pos token.Pos) {
+		if firstWrite == token.NoPos || pos < firstWrite {
+			firstWrite = pos
+		}
+	}
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				if rooted(lhs) {
+					noteWrite(lhs.Pos())
+				}
+			}
+			// Alias creation: h := g.out (or = ), only for reference types.
+			if n.Tok == token.ASSIGN || n.Tok == token.DEFINE {
+				for i, lhs := range n.Lhs {
+					if i >= len(n.Rhs) {
+						break
+					}
+					id, ok := ast.Unparen(lhs).(*ast.Ident)
+					if !ok {
+						continue
+					}
+					if rooted(n.Rhs[i]) && refSemantics(n.Rhs[i]) {
+						if obj := info.Defs[id]; obj != nil {
+							aliases[obj] = true
+						} else if obj := info.Uses[id]; obj != nil {
+							aliases[obj] = true
+						}
+					}
+				}
+			}
+		case *ast.RangeStmt:
+			// for i, row := range g.out — row shares backing store with out[i].
+			// Range-var idents are definitions, absent from info.Types, so
+			// reference semantics is judged from the object's own type.
+			if rooted(n.X) {
+				if id, ok := n.Value.(*ast.Ident); ok && id.Name != "_" {
+					obj := info.Defs[id]
+					if obj == nil {
+						obj = info.Uses[id]
+					}
+					if obj != nil {
+						switch obj.Type().Underlying().(type) {
+						case *types.Slice, *types.Pointer, *types.Map:
+							aliases[obj] = true
+						}
+					}
+				}
+			}
+		case *ast.IncDecStmt:
+			if rooted(n.X) {
+				noteWrite(n.X.Pos())
+			}
+		case *ast.CallExpr:
+			// recv.<cacheField>.Store(...) / .CompareAndSwap(...) invalidates.
+			if sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr); ok {
+				if sel.Sel.Name == "Store" || sel.Sel.Name == "CompareAndSwap" {
+					if inner, ok := ast.Unparen(sel.X).(*ast.SelectorExpr); ok && inner.Sel.Name == spec.CacheField {
+						if id, ok := ast.Unparen(inner.X).(*ast.Ident); ok && info.Uses[id] == recv {
+							if firstInvalidate == token.NoPos || n.Pos() < firstInvalidate {
+								firstInvalidate = n.Pos()
+							}
+							return true
+						}
+					}
+				}
+			}
+			// A rooted argument handed to an arbitrary function may be
+			// mutated there. Builtins that cannot write through their
+			// argument are exempt; copy writes only its destination.
+			if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok {
+				switch id.Name {
+				case "len", "cap", "append", "make", "new":
+					return true
+				case "copy":
+					if len(n.Args) > 0 && rooted(n.Args[0]) {
+						noteWrite(n.Args[0].Pos())
+					}
+					return true
+				}
+			}
+			for _, arg := range n.Args {
+				if rooted(arg) && refSemantics(arg) {
+					noteWrite(arg.Pos())
+				}
+			}
+		}
+		return true
+	})
+
+	ds := declDirectives(pass.Pkg, pass.Index, fd)
+	invalidates := false
+	for _, args := range argsOf(ds, "invalidates") {
+		if len(args) == 1 && args[0] == spec.Name {
+			invalidates = true
+		}
+	}
+	preserves := false
+	for _, args := range argsOf(ds, "preserves") {
+		if len(args) == 1 && args[0] == spec.Name {
+			preserves = true
+		}
+	}
+
+	switch {
+	case preserves:
+		// Trusted: the method guarantees the derived view stays consistent.
+	case firstWrite != token.NoPos && !invalidates:
+		pass.Reportf(firstWrite,
+			"in-place write to %s.%s (//ssd:cachedby %s) in a method not annotated //ssd:invalidates %s: annotate and invalidate, or //ssd:preserves %s with justification",
+			spec.Owner, dataFieldList(spec), spec.Name, spec.Name, spec.Name)
+	case firstWrite != token.NoPos && firstInvalidate == token.NoPos:
+		pass.Reportf(firstWrite,
+			"%s is annotated //ssd:invalidates %s but never stores to %s: readers can observe a stale derived cache",
+			fd.Name.Name, spec.Name, spec.CacheField)
+	case firstWrite != token.NoPos && firstInvalidate > firstWrite:
+		pass.Reportf(firstWrite,
+			"%s writes the //ssd:cachedby data before invalidating %s (the %s.Store comes later): a concurrent reader can derive a cache inconsistent with the new data — invalidate first",
+			fd.Name.Name, spec.Name, spec.CacheField)
+	case firstWrite == token.NoPos && invalidates && firstInvalidate == token.NoPos:
+		pass.Reportf(fd.Name.Pos(),
+			"%s is annotated //ssd:invalidates %s but neither writes the data nor stores to %s: stale annotation",
+			fd.Name.Name, spec.Name, spec.CacheField)
+	}
+}
+
+func dataFieldList(spec *CacheSpec) string {
+	out := ""
+	for f := range spec.DataFields {
+		if out != "" {
+			out += "/"
+		}
+		out += f
+	}
+	return out
+}

@@ -1,0 +1,32 @@
+// Package a is the atomiccheck fixture: a struct mixing sync/atomic-typed
+// fields, an //ssd:atomic plain field, and an unconstrained one.
+package a
+
+import "sync/atomic"
+
+type S struct {
+	p atomic.Pointer[int]
+	//ssd:atomic
+	n     int64
+	plain int
+}
+
+func take(p *atomic.Pointer[int]) { _ = p }
+
+func (s *S) Good() *int {
+	v := atomic.LoadInt64(&s.n)
+	atomic.StoreInt64(&s.n, v+1)
+	s.p.Store(nil)
+	take(&s.p)
+	s.plain = 1 // unconstrained field: plain access is fine
+	return s.p.Load()
+}
+
+func (s *S) Bad() {
+	_ = s.n  // want `plain access`
+	s.n = 4  // want `plain access`
+	q := s.p // want `plain access`
+	_ = q
+	f := &s.n // want `escapes outside sync/atomic`
+	_ = f
+}

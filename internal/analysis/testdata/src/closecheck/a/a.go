@@ -1,0 +1,70 @@
+// Package a is the closecheck fixture: a Rows-shaped handle returned by an
+// //ssd:mustclose constructor.
+package a
+
+type Rows struct{ err error }
+
+func (r *Rows) Next() bool   { return false }
+func (r *Rows) Err() error   { return r.err }
+func (r *Rows) Close() error { return nil }
+
+// open hands out a handle the caller must Close.
+//
+//ssd:mustclose
+func open() (*Rows, error) { return &Rows{}, nil }
+
+func good() error {
+	rows, err := open()
+	if err != nil {
+		return err
+	}
+	defer rows.Close()
+	for rows.Next() {
+	}
+	return rows.Err()
+}
+
+func badNoClose() error {
+	rows, err := open() // want `never closed`
+	if err != nil {
+		return err
+	}
+	for rows.Next() {
+	}
+	return rows.Err()
+}
+
+func badNoErr() error {
+	rows, err := open()
+	if err != nil {
+		return err
+	}
+	defer rows.Close()
+	for rows.Next() { // want `without consulting Err`
+	}
+	return nil
+}
+
+// handOff transfers ownership; the receiver closes.
+func handOff() (*Rows, error) {
+	rows, err := open()
+	return rows, err
+}
+
+// drainBad iterates a handed-in handle but cannot tell exhaustion from
+// failure.
+func drainBad(rows *Rows) int {
+	n := 0
+	for rows.Next() { // want `without consulting Err`
+		n++
+	}
+	return n
+}
+
+func drainGood(rows *Rows) (int, error) {
+	n := 0
+	for rows.Next() {
+		n++
+	}
+	return n, rows.Err()
+}

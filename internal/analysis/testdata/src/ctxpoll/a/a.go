@@ -1,0 +1,75 @@
+// Package a is the ctxpoll fixture: pull-loop shapes that must stay
+// cancellation-responsive.
+package a
+
+import "context"
+
+type T struct {
+	ctx context.Context
+	n   int
+}
+
+// cancelled is the polling helper, like executor.cancelled.
+//
+//ssd:poll
+func (t *T) cancelled() bool { return t.ctx.Err() != nil }
+
+//ssd:ctxpoll
+func (t *T) GoodHelper() {
+	for t.n > 0 {
+		if t.cancelled() {
+			return
+		}
+		t.n--
+	}
+}
+
+//ssd:ctxpoll
+func (t *T) GoodDirect() bool {
+	for t.n > 0 {
+		if t.ctx.Err() != nil {
+			return false
+		}
+		t.n--
+	}
+	return true
+}
+
+//ssd:ctxpoll
+func (t *T) Bad() {
+	for t.n > 0 { // want `no cancellation poll`
+		t.n--
+	}
+}
+
+// GoodNested: the inner loop is bounded by the polled outer iteration.
+//
+//ssd:ctxpoll
+func (t *T) GoodNested() {
+	for t.n > 0 {
+		if t.cancelled() {
+			return
+		}
+		for i := 0; i < 10; i++ {
+			t.n--
+		}
+	}
+}
+
+// BadInRange: a bounded range does not shield an unbounded for inside it.
+//
+//ssd:ctxpoll
+func (t *T) BadInRange(xs []int) {
+	for range xs {
+		for t.n > 0 { // want `no cancellation poll`
+			t.n--
+		}
+	}
+}
+
+// unannotated functions are out of scope however their loops look.
+func unannotated(n int) {
+	for n > 0 {
+		n--
+	}
+}

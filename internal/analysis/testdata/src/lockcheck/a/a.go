@@ -1,0 +1,80 @@
+// Package a is the lockcheck fixture: a miniature Database whose
+// commitLocked contract mirrors the engine's writeMu protocol.
+package a
+
+import "sync"
+
+type DB struct {
+	mu  sync.Mutex
+	val int
+}
+
+// commitLocked mutates under the caller's lock.
+//
+//ssd:requires mu
+func (db *DB) commitLocked() { db.val++ }
+
+// Commit is the compliant caller: takes the lock itself.
+//
+//ssd:locks mu
+func (db *DB) Commit() {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.commitLocked()
+}
+
+// CommitTail releases with a tail Unlock instead of a defer; the call in
+// between is still guarded.
+func (db *DB) CommitTail() {
+	db.mu.Lock()
+	db.commitLocked()
+	db.mu.Unlock()
+}
+
+func (db *DB) Bad() {
+	db.commitLocked() // want `requires lock "mu"`
+}
+
+func (db *DB) BadAfterUnlock() {
+	db.mu.Lock()
+	db.mu.Unlock()
+	db.commitLocked() // want `requires lock "mu"`
+}
+
+// BadRelock holds mu by contract; locking it again is a self-deadlock.
+//
+//ssd:requires mu
+func (db *DB) BadRelock() {
+	db.mu.Lock() // want `self-deadlock`
+	db.commitLocked()
+}
+
+// BadStale claims to take the lock but never does.
+//
+//ssd:locks mu
+func (db *DB) BadStale() { // want `never calls mu.Lock`
+	db.val++
+}
+
+// ChainOK: an annotated intermediary may call down without relocking.
+//
+//ssd:requires mu
+func (db *DB) chainOK() {
+	db.commitLocked()
+}
+
+// Waived: single-threaded construction, documented at the call site.
+func (db *DB) Waived() {
+	//ssd:nolock mu: fixture constructor path, the DB is not yet shared
+	db.commitLocked()
+}
+
+// BadClosure: a lock taken outside a goroutine's closure does not guard
+// calls inside it.
+func (db *DB) BadClosure() {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	go func() {
+		db.commitLocked() // want `requires lock "mu"`
+	}()
+}

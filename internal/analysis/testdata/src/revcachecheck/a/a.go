@@ -1,0 +1,58 @@
+// Package a is the revcachecheck fixture: a graph-shaped struct whose rev
+// field caches a view derived from out.
+package a
+
+import "sync/atomic"
+
+type G struct {
+	//ssd:cachedby rev
+	out [][]int
+	//ssd:cache rev
+	rev atomic.Pointer[[][]int]
+}
+
+// GoodAdd invalidates before the write.
+//
+//ssd:invalidates rev
+func (g *G) GoodAdd() {
+	g.rev.Store(nil)
+	g.out = append(g.out, nil)
+}
+
+// GoodAlias invalidates before writing through a row alias.
+//
+//ssd:invalidates rev
+func (g *G) GoodAlias(n int) {
+	g.rev.Store(nil)
+	row := g.out[n]
+	row[0] = 1
+}
+
+func (g *G) BadUnannotated() {
+	g.out = append(g.out, nil) // want `not annotated`
+}
+
+//ssd:invalidates rev
+func (g *G) BadOrder() {
+	g.out[0] = nil // want `before invalidating`
+	g.rev.Store(nil)
+}
+
+//ssd:invalidates rev
+func (g *G) BadNoStore() {
+	g.out[0] = nil // want `never stores`
+}
+
+// Preserving rebinds a row to an equal copy: the derived view stays
+// consistent, no invalidation needed.
+//
+//ssd:preserves rev
+func (g *G) Preserving(n int) {
+	row := g.out[n]
+	g.out[n] = append([]int(nil), row...)
+}
+
+//ssd:invalidates rev
+func (g *G) BadStale() { // want `stale annotation`
+	_ = len(g.out)
+}

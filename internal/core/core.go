@@ -263,6 +263,8 @@ func (db *Database) Commit(b *mutate.Batch) error { return db.commit(b, true) }
 // batch, logging to the WAL if one is open. The writer lock is held across
 // parse and commit, so the script's node references can never be
 // invalidated by an interleaving writer.
+//
+//ssd:locks writeMu
 func (db *Database) MutateScript(src string) error {
 	db.writeMu.Lock()
 	defer db.writeMu.Unlock()
@@ -273,12 +275,18 @@ func (db *Database) MutateScript(src string) error {
 	return db.commitLocked(b, true)
 }
 
+//ssd:locks writeMu
 func (db *Database) commit(b *mutate.Batch, logIt bool) error {
 	db.writeMu.Lock()
 	defer db.writeMu.Unlock()
 	return db.commitLocked(b, logIt)
 }
 
+// commitLocked applies, logs, and publishes one batch. The caller holds
+// writeMu: the WAL append and the snapshot swap must not interleave with
+// another writer.
+//
+//ssd:requires writeMu
 func (db *Database) commitLocked(b *mutate.Batch, logIt bool) error {
 	start := time.Now()
 	if db.dir != "" && db.wal == nil {
@@ -335,6 +343,8 @@ func (db *Database) commitLocked(b *mutate.Batch, logIt bool) error {
 // against a different snapshot (e.g. left behind by a compaction that
 // crashed after renaming the new snapshot in) is set aside as <path>.stale
 // and a fresh log is started. Subsequent Commits append to the log.
+//
+//ssd:locks writeMu
 func (db *Database) OpenWAL(path string) error {
 	db.writeMu.Lock()
 	defer db.writeMu.Unlock()
@@ -370,6 +380,8 @@ func (db *Database) OpenWAL(path string) error {
 // truncates the open WAL: snapshot + empty log replays to the same state as
 // the old snapshot + full log. On a durable database (OpenPath) use
 // Checkpoint instead — it owns the directory's generation bookkeeping.
+//
+//ssd:locks writeMu
 func (db *Database) CompactWAL(path string) error {
 	db.writeMu.Lock()
 	defer db.writeMu.Unlock()
@@ -385,6 +397,8 @@ func (db *Database) CompactWAL(path string) error {
 // CloseWAL detaches and closes the write-ahead log, if one is open. On a
 // directory-backed database this is the close operation: it also releases
 // the directory lock, letting another process OpenPath it.
+//
+//ssd:locks writeMu
 func (db *Database) CloseWAL() error {
 	db.writeMu.Lock()
 	defer db.writeMu.Unlock()
@@ -570,6 +584,9 @@ func (db *Database) PathQuery(src string) ([]ssd.NodeID, error) {
 			return nil, err
 		}
 		out = append(out, n)
+	}
+	if err := rows.Err(); err != nil {
+		return nil, err
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out, nil

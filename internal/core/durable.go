@@ -198,6 +198,7 @@ func OpenPath(dir string) (*Database, error) {
 			return nil, fmt.Errorf("core: %s: snapshot folds %d batches but log holds %d",
 				dir, snap.Applied, w.Batches())
 		}
+		//ssd:nolock writeMu: OpenPath recovery runs before the Database is published; no other goroutine can hold a reference, so the writer lock does not exist yet
 		if err := w.TruncatePrefix(int(snap.Applied), snap.SelfFP); err != nil {
 			w.Close()
 			return nil, err
@@ -308,6 +309,8 @@ type CheckpointInfo struct {
 // landed during serialization survive in the tail.
 //
 // Checkpoints are serialized with each other; concurrent calls queue.
+//
+//ssd:locks writeMu
 func (db *Database) Checkpoint() (CheckpointInfo, error) {
 	if db.dir == "" {
 		return CheckpointInfo{}, fmt.Errorf("core: database was not opened with OpenPath")

@@ -483,6 +483,8 @@ func (s *Stmt) checkinAutomaton(au *pathexpr.Automaton) {
 //
 // The returned Rows must be Closed to recycle the compiled plan(s). A
 // cancelled ctx stops iteration within one pull; Rows.Err reports it.
+//
+//ssd:mustclose
 func (s *Stmt) Query(ctx context.Context, args ...Param) (*Rows, error) {
 	return s.queryTrace(ctx, nil, args)
 }
@@ -493,6 +495,8 @@ func (s *Stmt) Query(ctx context.Context, args ...Param) (*Rows, error) {
 // after Rows.Close returns (a parallel pool must quiesce first). Tracing
 // adds one ExecTrace allocation and a clock read per atom pull; the untraced
 // Query path stays allocation-free.
+//
+//ssd:mustclose
 func (s *Stmt) QueryTraced(ctx context.Context, tr *QueryTrace, args ...Param) (*Rows, error) {
 	return s.queryTrace(ctx, tr, args)
 }

@@ -206,7 +206,11 @@ func (w *WAL) Replay(apply func(*Batch) error) error {
 	return nil
 }
 
-// Append writes one batch as a new frame and syncs the file.
+// Append writes one batch as a new frame and syncs the file. It must run
+// under the writer lock that serializes commits: frames are appended to a
+// shared file offset, and two interleaved Appends would tear the log.
+//
+//ssd:requires writeMu
 func (w *WAL) Append(b *Batch) error {
 	if err := w.writeFrame(EncodeBatch(b)); err != nil {
 		return err
@@ -254,6 +258,8 @@ func appendFrame(buf, payload []byte) []byte {
 // The caller must hold the writer lock that serializes Append: a commit
 // interleaving with the rewrite would be lost. internal/core enforces this
 // by truncating under the same lock its commits take.
+//
+//ssd:requires writeMu
 func (w *WAL) TruncatePrefix(k int, newFP uint32) error {
 	if w.broken != nil {
 		return w.broken
@@ -332,6 +338,8 @@ func (w *WAL) TruncatePrefix(k int, newFP uint32) error {
 // Like TruncatePrefix, Compact must run under the writer lock that
 // serializes Append: a commit landing between the snapshot rename and the
 // log reset would be truncated away and lost.
+//
+//ssd:requires writeMu
 func (w *WAL) Compact(snapshotPath string, g *ssd.Graph) error {
 	if w.broken != nil {
 		return w.broken

@@ -48,6 +48,8 @@ func (t *Traversal) Err() error { return t.ctxErr }
 
 // cancelled polls the context, one real check per 64 calls (ctx.Err takes a
 // lock; the stride keeps the pull loop's common case branch-only).
+//
+//ssd:poll
 func (t *Traversal) cancelled() bool {
 	if t.ctxErr != nil {
 		return true
@@ -116,6 +118,8 @@ func (t *Traversal) push(n ssd.NodeID, d int) bool {
 // most once per Reset. Cancellation is checked once per pull and strided
 // inside the expansion loop, so a cancelled context stops the traversal
 // within one Next call.
+//
+//ssd:ctxpoll
 func (t *Traversal) Next() (ssd.NodeID, bool) {
 	if t.ctx != nil {
 		if t.ctxErr != nil {

@@ -55,6 +55,8 @@ func (p *Plan) paramVals(params map[string]ssd.Label) ([]ssd.Label, error) {
 // for every $parameter the plan declares (Params); missing or unknown
 // names are an error. ctx cancellation stops iteration within one pull:
 // Next returns false and Err reports the context error.
+//
+//ssd:mustclose
 func (p *Plan) Cursor(ctx context.Context, params map[string]ssd.Label) (*Cursor, error) {
 	vals, err := p.paramVals(params)
 	if err != nil {

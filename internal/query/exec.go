@@ -164,6 +164,8 @@ func (ex *executor) fail(err error) bool {
 // cancelled polls the context: callers at pull granularity pass force=true
 // (one real check per Next call); the inner join loop passes force=false
 // and pays one real check per 64 iterations.
+//
+//ssd:poll
 func (ex *executor) cancelled(force bool) bool {
 	if ex.err != nil {
 		return true
@@ -202,6 +204,10 @@ func (ex *executor) Next() (ok bool) {
 	return ex.next()
 }
 
+// next advances to the next binding row. The pull loop is unbounded over
+// candidate rows, so it must stay cancellation-responsive.
+//
+//ssd:ctxpoll
 func (ex *executor) next() bool {
 	n := len(ex.atoms)
 	var i int

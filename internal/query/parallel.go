@@ -220,6 +220,8 @@ func (sh *parShared) finishSeeding() {
 // plan's cost model for a size (Plan.ParallelHint), falling back to
 // DefaultMorselSize when the model has no estimate. Row order, and therefore
 // the materialized result, is identical to the serial engine's.
+//
+//ssd:mustclose
 func (p *Plan) CursorParallel(ctx context.Context, params map[string]ssd.Label, workers []*Plan, morselSize int) (*Cursor, error) {
 	return p.CursorParallelTrace(ctx, params, workers, morselSize, nil)
 }
@@ -230,6 +232,8 @@ func (p *Plan) CursorParallel(ctx context.Context, params map[string]ssd.Label, 
 // morsels executed, adaptive splits and misses, and consumer merge stalls.
 // The trace is complete only after the cursor is closed (Close waits for
 // the pool to quiesce). A nil tr degrades to CursorParallel exactly.
+//
+//ssd:mustclose
 func (p *Plan) CursorParallelTrace(ctx context.Context, params map[string]ssd.Label, workers []*Plan, morselSize int, tr *ExecTrace) (*Cursor, error) {
 	vals, err := p.paramVals(params)
 	if err != nil {

@@ -75,6 +75,8 @@ func (t *ExecTrace) merge(o *ExecTrace) {
 // operator-level statistics into tr (which is reinitialized for this plan).
 // The trace is complete once the cursor is exhausted or closed. A nil tr
 // degrades to Cursor exactly.
+//
+//ssd:mustclose
 func (p *Plan) CursorTrace(ctx context.Context, params map[string]ssd.Label, tr *ExecTrace) (*Cursor, error) {
 	c, err := p.Cursor(ctx, params)
 	if err != nil {

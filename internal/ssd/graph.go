@@ -30,6 +30,10 @@ type Edge struct {
 //
 // The zero value is not usable; call New.
 type Graph struct {
+	// out is the forward adjacency. In-place writes must drop the reverse
+	// cache first (checked by ssdvet's revcachecheck).
+	//
+	//ssd:cachedby revcache
 	out  [][]Edge
 	root NodeID
 	// oid, when non-nil, assigns OEM-style object identities to nodes.
@@ -40,6 +44,8 @@ type Graph struct {
 	// that concurrent *readers* of an otherwise-immutable graph (the
 	// core.Database contract) may trigger and share the lazy build safely;
 	// mutation remains single-writer, as for the rest of the struct.
+	//
+	//ssd:cache revcache
 	rev atomic.Pointer[[][]Edge]
 }
 
@@ -79,6 +85,8 @@ func (g *Graph) NumEdges() int {
 }
 
 // AddNode allocates a fresh node with no edges and returns its ID.
+//
+//ssd:invalidates revcache
 func (g *Graph) AddNode() NodeID {
 	g.rev.Store(nil)
 	g.out = append(g.out, nil)
@@ -87,6 +95,8 @@ func (g *Graph) AddNode() NodeID {
 
 // AddNodes allocates k fresh nodes and returns the ID of the first; the rest
 // follow consecutively.
+//
+//ssd:invalidates revcache
 func (g *Graph) AddNodes(k int) NodeID {
 	g.rev.Store(nil)
 	first := NodeID(len(g.out))
@@ -98,6 +108,8 @@ func (g *Graph) AddNodes(k int) NodeID {
 
 // AddEdge appends an edge from → (label) → to. Set semantics mean duplicate
 // additions are tolerated; call Dedup to canonicalize.
+//
+//ssd:invalidates revcache
 func (g *Graph) AddEdge(from NodeID, label Label, to NodeID) {
 	g.check(from)
 	g.check(to)
@@ -186,6 +198,8 @@ func (g *Graph) NodeByOID(id string) NodeID {
 // edges in out-slice order, and a cache built before the sort would
 // disagree with one built after — a determinism leak, if not a correctness
 // one.
+//
+//ssd:invalidates revcache
 func (g *Graph) SortEdges() {
 	g.rev.Store(nil)
 	for _, es := range g.out {
@@ -200,6 +214,8 @@ func (g *Graph) SortEdges() {
 
 // Dedup removes duplicate (label, target) edges node by node, enforcing the
 // set semantics of the model. It sorts edge lists as a side effect.
+//
+//ssd:invalidates revcache
 func (g *Graph) Dedup() {
 	g.rev.Store(nil)
 	g.SortEdges()
@@ -329,6 +345,8 @@ func remapOrAdd(g *Graph, n NodeID, remap map[NodeID]NodeID) (NodeID, bool) {
 // Union returns a fresh node of g whose edge set is the union of the edge
 // sets of a and b — the tree-union operation the paper notes is easy in the
 // edge-labeled model and hard in the node-labeled one.
+//
+//ssd:invalidates revcache
 func (g *Graph) Union(a, b NodeID) NodeID {
 	g.check(a)
 	g.check(b)

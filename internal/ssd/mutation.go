@@ -69,6 +69,8 @@ func (d Delta) Normalize() Delta {
 // identical (Go equality, not numeric Equal) to l. It reports whether an
 // edge was removed. The edge slice is edited in place; on a copy-on-write
 // clone the caller must PrivatizeOut(from) first.
+//
+//ssd:invalidates revcache
 func (g *Graph) DeleteEdge(from NodeID, l Label, to NodeID) bool {
 	g.check(from)
 	g.check(to)
@@ -88,6 +90,8 @@ func (g *Graph) DeleteEdge(from NodeID, l Label, to NodeID) bool {
 // identical to old, returning the number of edges rewritten. Like
 // DeleteEdge it edits in place and uses label identity, so Relabel(n,
 // Int(2), …) leaves a Float(2.0) edge alone.
+//
+//ssd:invalidates revcache
 func (g *Graph) Relabel(from NodeID, old, new Label) int {
 	g.check(from)
 	n := 0
@@ -128,7 +132,10 @@ func (g *Graph) CloneShared() *Graph {
 // PrivatizeOut replaces n's edge slice with a freshly allocated copy so
 // subsequent in-place edits and appends cannot touch storage shared with
 // another graph (see CloneShared). Calling it on an already-private slice
-// merely wastes the copy.
+// merely wastes the copy. The row is rebound to an element-wise equal
+// slice, so any reverse cache built from the old row stays consistent.
+//
+//ssd:preserves revcache
 func (g *Graph) PrivatizeOut(n NodeID) {
 	g.check(n)
 	es := g.out[n]
