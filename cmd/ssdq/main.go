@@ -104,6 +104,7 @@ func main() {
 		explain = flag.Bool("explain", false, "query: print the chosen plan before the result")
 		analyze = flag.Bool("analyze", false, "explain: execute the query and annotate the plan with actual row counts")
 		trace   = flag.Bool("trace", false, "run: stream the rows, then print the per-operator execution trace as JSON on stderr")
+		pool    = flag.Int64("pool-bytes", 0, "with -data: read through an on-disk page file with a buffer pool of this many bytes (0 = all in memory)")
 		params  paramFlags
 	)
 	flag.Var(&params, "param", "run: bind a $parameter as name=value (repeatable)")
@@ -136,11 +137,14 @@ func main() {
 		if *dbPath != "" {
 			fatal(fmt.Errorf("-db conflicts with -data: the directory is the database (use `ssdq -db file save <dir>` to seed one)"))
 		}
-		if db, err = core.OpenPath(*dataDir); err != nil {
+		if db, err = core.OpenPathOptions(*dataDir, core.Options{PoolBytes: *pool}); err != nil {
 			fatal(err)
 		}
 		defer db.CloseWAL()
 	default:
+		if *pool > 0 {
+			fatal(fmt.Errorf("-pool-bytes requires -data: the page file lives in the durable directory"))
+		}
 		if db, err = load(*dbPath); err != nil {
 			fatal(err)
 		}

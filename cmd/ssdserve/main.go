@@ -117,6 +117,7 @@ func main() {
 		logLevel     = flag.String("log-level", "info", "structured log level: debug, info, warn or error")
 		slowQuery    = flag.Duration("slow-query", 0, "log queries at or over this latency, with their trace (0 = off)")
 		debugAddr    = flag.String("debug-addr", "", "serve net/http/pprof and expvar on this address (e.g. localhost:6060); empty = off")
+		poolBytes    = flag.Int64("pool-bytes", 0, "with -data: serve reads through an on-disk page file with a buffer pool of this many bytes (0 = all in memory)")
 	)
 	flag.Parse()
 
@@ -125,7 +126,7 @@ func main() {
 		log.Fatalf("ssdserve: %v", err)
 	}
 
-	db, err := openServeDatabase(*dataDir, *dbPath, *text, *walPath, *demo)
+	db, err := openServeDatabase(*dataDir, *dbPath, *text, *walPath, *demo, *poolBytes)
 	if err != nil {
 		log.Fatalf("ssdserve: %v", err)
 	}
@@ -189,8 +190,11 @@ func main() {
 // -data, the directory is authoritative: a fresh one may be seeded from
 // -db/-text/-demo, an initialized one rejects them (serving a file over an
 // existing durable history would silently fork it).
-func openServeDatabase(dataDir, dbPath, text, walPath string, demo int) (*core.Database, error) {
+func openServeDatabase(dataDir, dbPath, text, walPath string, demo int, poolBytes int64) (*core.Database, error) {
 	if dataDir == "" {
+		if poolBytes > 0 {
+			return nil, fmt.Errorf("-pool-bytes requires -data: the page file lives in the durable directory")
+		}
 		db, err := openDatabase(dbPath, text, demo)
 		if err != nil {
 			return nil, err
@@ -223,7 +227,7 @@ func openServeDatabase(dataDir, dbPath, text, walPath string, demo int) (*core.D
 		}
 		log.Printf("ssdserve: seeded %s (%s)", dataDir, seed.Describe())
 	}
-	db, err := core.OpenPath(dataDir)
+	db, err := core.OpenPathOptions(dataDir, core.Options{PoolBytes: poolBytes})
 	if err != nil {
 		return nil, err
 	}

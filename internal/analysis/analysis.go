@@ -6,7 +6,8 @@
 // "invalidate the rev cache before the first in-place write". This package
 // turns those comments into a machine-checked annotation convention plus a
 // suite of project-specific analyzers (lockcheck, atomiccheck, closecheck,
-// revcachecheck, ctxpoll) that cmd/ssdvet runs over the whole module.
+// pincheck, revcachecheck, ctxpoll) that cmd/ssdvet runs over the whole
+// module.
 //
 // The framework is intentionally stdlib-only: packages are enumerated and
 // compiled with `go list -export`, type-checked from source with go/types,
@@ -26,6 +27,8 @@
 //	                           &f arguments to sync/atomic functions
 //	//ssd:mustclose            func: the returned handle must be closed on
 //	                           all paths, and Err consulted after Next
+//	//ssd:mustunpin            func: the returned accessor must be Released
+//	                           on all paths (its pins charge the page pool)
 //	//ssd:cache <name>         field: this atomic field is the cache <name>;
 //	                           storing into it is the invalidation
 //	//ssd:cachedby <name>      field: in-place writes to this field must be
@@ -103,7 +106,7 @@ func (f Finding) String() string {
 // comma-separated subset of names (empty = all). Unknown names error so a
 // typo in CI cannot silently skip a checker.
 func Suite(only string) ([]*Analyzer, error) {
-	all := []*Analyzer{LockCheck, AtomicCheck, CloseCheck, RevCacheCheck, CtxPoll}
+	all := []*Analyzer{LockCheck, AtomicCheck, CloseCheck, PinCheck, RevCacheCheck, CtxPoll}
 	if only == "" {
 		return all, nil
 	}

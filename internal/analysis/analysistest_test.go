@@ -109,6 +109,7 @@ func wantComments(t *testing.T, filename string) map[int]string {
 func TestLockCheck(t *testing.T)     { runAnalyzerTest(t, LockCheck, "lockcheck/a") }
 func TestAtomicCheck(t *testing.T)   { runAnalyzerTest(t, AtomicCheck, "atomiccheck/a") }
 func TestCloseCheck(t *testing.T)    { runAnalyzerTest(t, CloseCheck, "closecheck/a") }
+func TestPinCheck(t *testing.T)      { runAnalyzerTest(t, PinCheck, "pincheck/a") }
 func TestRevCacheCheck(t *testing.T) { runAnalyzerTest(t, RevCacheCheck, "revcachecheck/a") }
 func TestCtxPoll(t *testing.T)       { runAnalyzerTest(t, CtxPoll, "ctxpoll/a") }
 

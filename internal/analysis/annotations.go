@@ -21,6 +21,12 @@ type Index struct {
 	// discipline to parameters of these types.
 	HandleTypes map[string]bool
 
+	// PinTypes maps "pkg.Type" of every mustunpin function's first
+	// handle-shaped result to true: pincheck tracks locals of these types
+	// (page accessors, whose forgotten pins inflate the buffer pool's
+	// pinned set past its budget).
+	PinTypes map[string]bool
+
 	// Caches maps an owner type key "pkg.Type" to its cache contract,
 	// assembled from //ssd:cache and //ssd:cachedby field annotations.
 	Caches map[string]*CacheSpec
@@ -49,6 +55,7 @@ func BuildIndex(pkgs []*Package) *Index {
 		Funcs:       make(map[string][]Directive),
 		Fields:      make(map[string][]Directive),
 		HandleTypes: make(map[string]bool),
+		PinTypes:    make(map[string]bool),
 		Caches:      make(map[string]*CacheSpec),
 	}
 	for _, pkg := range pkgs {
@@ -88,6 +95,11 @@ func (ix *Index) addFunc(pkg *Package, d *ast.FuncDecl) {
 			ix.HandleTypes[ht] = true
 		}
 	}
+	if hasVerb(ds, "mustunpin") {
+		if ht, ok := handleResult(fn); ok {
+			ix.PinTypes[ht] = true
+		}
+	}
 }
 
 // handleResult returns the type key of fn's first pointer-to-named result —
@@ -106,6 +118,10 @@ func handleResult(fn *types.Func) (string, bool) {
 }
 
 func (ix *Index) addType(pkg *Package, ts *ast.TypeSpec) {
+	if it, ok := ts.Type.(*ast.InterfaceType); ok {
+		ix.addInterface(pkg, ts, it)
+		return
+	}
 	st, ok := ts.Type.(*ast.StructType)
 	if !ok || st.Fields == nil {
 		return
@@ -128,6 +144,43 @@ func (ix *Index) addType(pkg *Package, ts *ast.TypeSpec) {
 			for _, args := range argsOf(ds, "cachedby") {
 				if len(args) == 1 {
 					ix.cacheSpec(owner, args[0]).DataFields[nameIdent.Name] = true
+				}
+			}
+		}
+	}
+}
+
+// addInterface collects directives from interface method doc comments, so a
+// contract like //ssd:mustunpin on AccessorProvider.Accessor binds calls
+// made through the interface, not just through a concrete provider. The
+// method's funcKey is "pkg.Iface.Method" — exactly what calleeFunc resolves
+// for an interface-typed call site.
+func (ix *Index) addInterface(pkg *Package, ts *ast.TypeSpec, it *ast.InterfaceType) {
+	if it.Methods == nil {
+		return
+	}
+	owner := pkg.Path + "." + ts.Name.Name
+	for _, m := range it.Methods.List {
+		ds := parseDirectives(m.Doc)
+		ds = append(ds, parseDirectives(m.Comment)...)
+		if len(ds) == 0 {
+			continue
+		}
+		for _, name := range m.Names {
+			key := owner + "." + name.Name
+			ix.Funcs[key] = append(ix.Funcs[key], ds...)
+			fn, ok := pkg.Info.Defs[name].(*types.Func)
+			if !ok {
+				continue
+			}
+			if hasVerb(ds, "mustclose") {
+				if ht, ok := handleResult(fn); ok {
+					ix.HandleTypes[ht] = true
+				}
+			}
+			if hasVerb(ds, "mustunpin") {
+				if ht, ok := handleResult(fn); ok {
+					ix.PinTypes[ht] = true
 				}
 			}
 		}

@@ -1,0 +1,140 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// PinCheck enforces the accessor lifecycle on handles returned by
+// //ssd:mustunpin functions (ssd.AccessorFor, PageStore.Accessor,
+// AccessorProvider.Accessor): a local variable bound to a mustunpin result
+// needs a `.Release()` call (deferred or direct) somewhere in the function,
+// unless the handle escapes — returned, passed to another function, or
+// stored into a struct field — in which case the receiver owns the
+// lifecycle.
+//
+// Unlike a leaked cursor, a leaked accessor is not cleaned up by the
+// garbage collector in any useful sense: the pages it pins stay charged to
+// the buffer pool's pinned set, so a forgotten Release quietly turns the
+// pool's byte budget into a fiction. Release is idempotent and the
+// accessor remains usable afterwards (it re-pins on the next touch), so
+// `defer acc.Release()` is always safe.
+//
+// The escape analysis mirrors closecheck's deliberately coarse rule: any
+// non-method use counts as an escape, trading missed reports for zero
+// false positives on ownership-transfer idioms.
+var PinCheck = &Analyzer{
+	Name: "pincheck",
+	Doc:  "accessors from //ssd:mustunpin functions must be Released",
+	Run:  runPinCheck,
+}
+
+func runPinCheck(pass *Pass) {
+	for _, file := range pass.Pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkPinDecl(pass, fd)
+		}
+	}
+}
+
+// pinState tracks one accessor variable through a function body. Function
+// literals are analyzed together with their enclosing declaration: a
+// closure closing over an accessor is a legitimate place to Release it.
+type pinState struct {
+	obj        types.Object
+	bindPos    token.Pos
+	escaped    bool
+	hasRelease bool
+}
+
+func checkPinDecl(pass *Pass, fd *ast.FuncDecl) {
+	info := pass.Pkg.Info
+	pins := make(map[types.Object]*pinState)
+
+	// Pass 1: find accessor bindings — `acc := mustUnpinCall(...)` and
+	// `acc = mustUnpinCall(...)`. Parameters are not tracked: an accessor
+	// handed into a helper is released by its creator.
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Rhs) != 1 {
+			return true
+		}
+		call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if !hasVerb(pass.Index.FuncDirectives(calleeFunc(info, call)), "mustunpin") {
+			return true
+		}
+		for _, lhs := range as.Lhs {
+			id, ok := ast.Unparen(lhs).(*ast.Ident)
+			if !ok || id.Name == "_" {
+				continue
+			}
+			obj := info.Defs[id]
+			if obj == nil {
+				obj = info.Uses[id]
+			}
+			if obj == nil {
+				continue
+			}
+			if tn, ok := namedOf(obj.Type()); ok && pass.Index.PinTypes[tn] {
+				if pins[obj] == nil {
+					pins[obj] = &pinState{obj: obj, bindPos: call.Pos()}
+				}
+			}
+		}
+		return true
+	})
+	if len(pins) == 0 {
+		return
+	}
+
+	// Pass 2: classify every use of each accessor.
+	inspectStack(fd.Body, func(n ast.Node, stack []ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := info.Uses[id]
+		if obj == nil {
+			return true
+		}
+		p, ok := pins[obj]
+		if !ok {
+			return true
+		}
+		if len(stack) > 0 {
+			switch parent := stack[len(stack)-1].(type) {
+			case *ast.SelectorExpr:
+				if parent.X == id {
+					if parent.Sel.Name == "Release" {
+						p.hasRelease = true
+					}
+					return true // method/field access, not an escape
+				}
+			case *ast.AssignStmt:
+				// The binding assignment's own LHS mention is not a use.
+				for _, lhs := range parent.Lhs {
+					if lhs == ast.Expr(id) {
+						return true
+					}
+				}
+			}
+		}
+		p.escaped = true
+		return true
+	})
+
+	for _, p := range pins {
+		if !p.escaped && !p.hasRelease {
+			pass.Reportf(p.bindPos,
+				"result of //ssd:mustunpin call is never released: its pinned pages stay charged to the buffer pool — call Release on every path (defer it) or hand the accessor off")
+		}
+	}
+}

@@ -1,0 +1,79 @@
+// Package a is the pincheck fixture: an accessor-shaped handle returned by
+// //ssd:mustunpin functions, both concrete and through an interface.
+package a
+
+type Accessor interface {
+	Out(n int) []int
+	Release()
+}
+
+type acc struct{}
+
+func (acc) Out(n int) []int { return nil }
+func (acc) Release()        {}
+
+type Store struct{}
+
+// Accessor hands out a pinning handle the caller must Release.
+//
+//ssd:mustunpin
+func (*Store) Accessor() Accessor { return acc{} }
+
+type Provider interface {
+	// Accessor returns a fresh pinning read handle.
+	//
+	//ssd:mustunpin
+	Accessor() Accessor
+}
+
+// AccessorFor is the free-function flavor.
+//
+//ssd:mustunpin
+func AccessorFor(s *Store) Accessor { return s.Accessor() }
+
+func good(s *Store) int {
+	a := s.Accessor()
+	defer a.Release()
+	return len(a.Out(0))
+}
+
+func goodDirect(s *Store) int {
+	a := AccessorFor(s)
+	n := len(a.Out(0))
+	a.Release()
+	return n
+}
+
+func goodViaInterface(p Provider) int {
+	a := p.Accessor()
+	defer a.Release()
+	return len(a.Out(0))
+}
+
+func bad(s *Store) int {
+	a := s.Accessor() // want `never released`
+	return len(a.Out(0))
+}
+
+func badViaInterface(p Provider) int {
+	a := p.Accessor() // want `never released`
+	return len(a.Out(0))
+}
+
+func badFree(s *Store) int {
+	a := AccessorFor(s) // want `never released`
+	return len(a.Out(0))
+}
+
+// handOff transfers ownership; the receiver releases.
+func handOff(s *Store) Accessor {
+	a := s.Accessor()
+	return a
+}
+
+// closureRelease is fine: the closure closes over the accessor and releases
+// it there.
+func closureRelease(s *Store) func() {
+	a := s.Accessor()
+	return func() { a.Release() }
+}

@@ -89,6 +89,14 @@ type Database struct {
 	recovery RecoveryInfo
 	dirLock  *os.File
 	ckptMu   sync.Mutex
+
+	// Out-of-core mode (OpenPathOptions with PoolBytes > 0). poolBytes is the
+	// buffer-pool budget every opened page store gets; pageStores tracks every
+	// store opened over the handle's life (guarded by writeMu) so CloseWAL can
+	// release their file handles — superseded stores stay open until then
+	// because in-flight Rows may still read through them.
+	poolBytes  int64
+	pageStores []*storage.PageStore
 }
 
 // stmtCacheMax bounds the statement cache.
@@ -188,11 +196,34 @@ func (db *Database) Parallelism() int { return int(db.parallelism.Load()) }
 type snapshot struct {
 	g *ssd.Graph
 
+	// paged, when non-nil, is the out-of-core page store this snapshot's
+	// read paths go through instead of g. It is bound at snapshot
+	// construction only (OpenPath recovery, or the post-checkpoint republish)
+	// and never mutated afterwards — a snapshot is either page-backed for its
+	// whole life or not at all, so plan pools keyed by snapshot pointer can
+	// never mix stores. Snapshots published by commits start un-paged (the
+	// page image on disk describes the previous generation) and fall back to
+	// g until the next checkpoint cuts a matching page file. Result
+	// materialization (select instantiation, transforms) always uses g: the
+	// in-memory graph is retained alongside the page store in this design —
+	// the pool bounds hot-path working memory, not total residency.
+	paged *storage.PageStore
+
 	mu      sync.Mutex
 	labelIx *index.LabelIndex
 	valueIx *index.ValueIndex
 	guide   *dataguide.Guide
 	stats   *stats.Stats
+}
+
+// store returns the snapshot's read store: the paged store when this
+// generation is page-backed, the in-memory graph otherwise. Query planning,
+// traversal, index builds and datalog EDB extraction all go through it.
+func (s *snapshot) store() ssd.GraphStore {
+	if s.paged != nil {
+		return s.paged
+	}
+	return s.g
 }
 
 // FromGraph wraps an existing graph. The graph must not be mutated directly
@@ -406,6 +437,10 @@ func (db *Database) CloseWAL() error {
 		db.dirLock.Close() // releases the advisory lock
 		db.dirLock = nil
 	}
+	for _, ps := range db.pageStores {
+		ps.Close()
+	}
+	db.pageStores = nil
 	if db.wal == nil {
 		return nil
 	}
@@ -413,6 +448,17 @@ func (db *Database) CloseWAL() error {
 	db.wal = nil
 	db.walRO.Store(nil)
 	return err
+}
+
+// PagePoolStats returns the buffer-pool counters of the current snapshot's
+// page store: hits, misses, evictions, resident and pinned bytes. ok=false
+// when the current snapshot is not page-backed (in-memory database, paging
+// disabled, or a post-commit snapshot awaiting its next checkpoint).
+func (db *Database) PagePoolStats() (storage.PoolStats, bool) {
+	if ps := db.snapshot().paged; ps != nil {
+		return ps.Stats(), true
+	}
+	return storage.PoolStats{}, false
 }
 
 // ---------------------------------------------------------------------------
@@ -628,7 +674,7 @@ func (db *Database) Datalog(src string) (map[string]*datalog.Relation, error) {
 	if s.lang != LangDatalog {
 		return nil, fmt.Errorf("core: %q is a %s statement, not datalog", src, s.lang)
 	}
-	return datalog.NewEngine(db.snapshot().g).Run(s.dl, datalog.SemiNaive)
+	return datalog.NewEngine(db.snapshot().store()).Run(s.dl, datalog.SemiNaive)
 }
 
 // ---------------------------------------------------------------------------

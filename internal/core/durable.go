@@ -44,6 +44,7 @@ const (
 	walFile    = "wal.log"
 	lockFile   = "LOCK"
 	snapSuffix = ".ssds"
+	pageSuffix = ".ssdp"
 )
 
 // lockDir takes the directory's advisory lock (flock on dir/LOCK,
@@ -66,6 +67,10 @@ func lockDir(dir string) (*os.File, error) {
 }
 
 func snapName(seq uint64) string { return fmt.Sprintf("snap-%016d%s", seq, snapSuffix) }
+
+// pageName is the DFS-clustered page image derived from snap-<seq>.ssds —
+// same sequence number, page-store format (see storage.WritePageFile).
+func pageName(seq uint64) string { return fmt.Sprintf("pages-%016d%s", seq, pageSuffix) }
 
 // snapFile is one snapshot generation found on disk.
 type snapFile struct {
@@ -128,6 +133,16 @@ type RecoveryInfo struct {
 	Replayed     int // batches applied on top of the snapshot
 }
 
+// Options configures OpenPathOptions.
+type Options struct {
+	// PoolBytes > 0 opens the database out-of-core: read paths go through a
+	// paged store over the generation's DFS-clustered page file
+	// (pages-<seq>.ssdp, rebuilt from the recovered graph when missing or
+	// torn), with a buffer pool holding at most about PoolBytes of decoded
+	// pages. 0 keeps the classic all-in-memory read path.
+	PoolBytes int64
+}
+
 // OpenPath opens (creating if necessary) a durable database directory. It
 // loads the newest snapshot generation that decodes cleanly — falling back
 // past torn or corrupt files to the previous generation — then opens the
@@ -138,7 +153,17 @@ type RecoveryInfo struct {
 // The returned database logs every Commit to the directory's WAL; call
 // Checkpoint (or let a serving layer's background checkpointer do it) to
 // bound the log and the next open's replay work.
-func OpenPath(dir string) (*Database, error) {
+func OpenPath(dir string) (*Database, error) { return OpenPathOptions(dir, Options{}) }
+
+// OpenPathOptions is OpenPath with explicit options (see Options).
+//
+// With PoolBytes set, the recovered state must coincide with an on-disk
+// generation before the page file can serve reads: when the WAL replayed a
+// tail (or the directory had no generation yet), a checkpoint is cut first,
+// which also writes the matching page image. Page images follow checkpoints
+// from then on — a commit publishes an un-paged snapshot (its reads fall
+// back to the in-memory graph), and the next Checkpoint re-binds.
+func OpenPathOptions(dir string, opts Options) (*Database, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
 	}
@@ -243,7 +268,7 @@ func OpenPath(dir string) (*Database, error) {
 		}
 	}
 
-	db := &Database{dir: dir, dirLock: lock}
+	db := &Database{dir: dir, dirLock: lock, poolBytes: opts.PoolBytes}
 	db.snapSeq.Store(loaded.seq)
 	db.snap.Store(&snapshot{g: g, labelIx: labelIx, valueIx: valueIx, guide: guide, stats: st})
 	db.wal = w
@@ -258,7 +283,45 @@ func OpenPath(dir string) (*Database, error) {
 	obsRecoveryReplayed.Set(int64(replayed))
 	obsRecoverySkipped.Set(int64(skipped))
 	obsCkptGen.Set(int64(loaded.seq))
+
+	if opts.PoolBytes > 0 {
+		if replayed > 0 || loaded.seq == 0 {
+			// The recovered state is ahead of (or absent from) every on-disk
+			// generation, so no page image can describe it. Cut a generation
+			// now; its page-image hook binds the store.
+			if _, err := db.Checkpoint(); err != nil {
+				db.CloseWAL()
+				return nil, err
+			}
+		} else if err := db.bindPageStore(db.snapshot(), loaded.seq); err != nil {
+			db.CloseWAL()
+			return nil, err
+		}
+	}
 	return db, nil
+}
+
+// bindPageStore opens (rebuilding when missing or torn) the page image of
+// generation seq and binds it to snap. snap must not be published to readers
+// yet, or must be republished by the caller — the field is construction-only.
+func (db *Database) bindPageStore(snap *snapshot, seq uint64) error {
+	path := filepath.Join(db.dir, pageName(seq))
+	ps, err := storage.OpenPageFile(path, db.poolBytes)
+	if err != nil {
+		// Missing or damaged page image (older directory layout, torn write):
+		// it derives deterministically from the snapshot, so rebuild it.
+		if err := storage.WritePageFile(path, snap.g, storage.ClusterDFS, storage.DefaultPageSize); err != nil {
+			return fmt.Errorf("core: rebuilding page image %s: %w", path, err)
+		}
+		if ps, err = storage.OpenPageFile(path, db.poolBytes); err != nil {
+			return err
+		}
+	}
+	snap.paged = ps
+	db.writeMu.Lock()
+	db.pageStores = append(db.pageStores, ps)
+	db.writeMu.Unlock()
+	return nil
 }
 
 // LastRecovery reports what OpenPath recovered. Zero for databases not
@@ -380,7 +443,55 @@ func (db *Database) Checkpoint() (CheckpointInfo, error) {
 	obsCkptDur.Observe(time.Since(start))
 	obsCkpts.Inc()
 	obsCkptGen.Set(int64(seq))
-	return CheckpointInfo{Path: path, Seq: seq, Bytes: n, Truncated: folded}, nil
+	info := CheckpointInfo{Path: path, Seq: seq, Bytes: n, Truncated: folded}
+	if db.poolBytes > 0 {
+		// Out-of-core mode: derive the generation's page image and rebind the
+		// read path to it. The checkpoint itself is already durable; a page-
+		// image failure is reported but costs only the paged read path until
+		// the next checkpoint.
+		if err := db.republishPaged(snap, seq); err != nil {
+			return info, fmt.Errorf("core: checkpoint %s written but page image failed: %w", path, err)
+		}
+	}
+	return info, nil
+}
+
+// republishPaged writes generation seq's page image from the pinned
+// checkpoint snapshot, opens a page store over it, and republishes the
+// snapshot page-backed. Publishing a NEW snapshot (same graph and derived
+// structures, store bound at construction) rather than mutating the old one
+// keeps snapshots immutable: plan pools are keyed by snapshot pointer, so no
+// pool can ever hold plans compiled against two different stores for one
+// snapshot. Skipped without error when writers advanced past the pinned
+// snapshot — the image would describe a superseded state; the next
+// checkpoint tries again.
+func (db *Database) republishPaged(snap *snapshot, seq uint64) error {
+	if db.snapshot() != snap {
+		return nil // cheap early-out before paying the file write
+	}
+	path := filepath.Join(db.dir, pageName(seq))
+	if err := storage.WritePageFile(path, snap.g, storage.ClusterDFS, storage.DefaultPageSize); err != nil {
+		return err
+	}
+	ps, err := storage.OpenPageFile(path, db.poolBytes)
+	if err != nil {
+		return err
+	}
+	db.writeMu.Lock()
+	if db.snapshot() != snap {
+		db.writeMu.Unlock()
+		ps.Close() // a commit won the race; its state is ahead of this image
+		return nil
+	}
+	ns := &snapshot{g: snap.g, paged: ps}
+	snap.mu.Lock()
+	ns.labelIx, ns.valueIx, ns.guide, ns.stats = snap.labelIx, snap.valueIx, snap.guide, snap.stats
+	snap.mu.Unlock()
+	db.pageStores = append(db.pageStores, ps)
+	db.snap.Store(ns)
+	db.writeMu.Unlock()
+	db.invalidateStmtPlans()
+	return nil
 }
 
 // pruneSnapshots removes generations older than the previous one. The
@@ -388,15 +499,31 @@ func (db *Database) Checkpoint() (CheckpointInfo, error) {
 // anything older can never be chosen by OpenPath while a newer valid one
 // exists. Best-effort: a prune failure only costs disk.
 func (db *Database) pruneSnapshots(cur uint64) {
-	cands, err := snapshotFiles(db.dir)
+	ents, err := os.ReadDir(db.dir)
 	if err != nil {
 		return
 	}
-	for _, c := range cands {
-		if c.seq+1 < cur {
-			os.Remove(c.path)
+	for _, e := range ents {
+		name := e.Name()
+		var seq uint64
+		switch {
+		case scanSeq(name, "snap-%d"+snapSuffix, &seq) && name == snapName(seq):
+		case scanSeq(name, "pages-%d"+pageSuffix, &seq) && name == pageName(seq):
+			// Page images prune on the same schedule as their snapshots. An
+			// open PageStore over a removed file keeps working (the inode
+			// lives until the handle closes); only the directory entry goes.
+		default:
+			continue
+		}
+		if seq+1 < cur {
+			os.Remove(filepath.Join(db.dir, name))
 		}
 	}
+}
+
+func scanSeq(name, format string, seq *uint64) bool {
+	n, err := fmt.Sscanf(name, format, seq)
+	return n == 1 && err == nil
 }
 
 // SavePath exports the database's current snapshot as the first generation

@@ -26,6 +26,7 @@ import (
 	"repro/internal/pathexpr"
 	"repro/internal/query"
 	"repro/internal/ssd"
+	"repro/internal/storage"
 	"repro/internal/unql"
 )
 
@@ -312,7 +313,7 @@ func (s *Stmt) Explain() (string, error) {
 	switch s.lang {
 	case LangQuery:
 		snap := s.db.snapshot()
-		p, err := query.NewPlan(s.q, snap.g, snap.planOptions())
+		p, err := query.NewPlan(s.q, snap.store(), snap.planOptions())
 		if err != nil {
 			return "", err
 		}
@@ -345,7 +346,18 @@ func (s *Stmt) ExplainAnalyze(ctx context.Context, args ...Param) (string, error
 		return "", err
 	}
 	defer s.checkinPlan(snap, p)
-	return p.ExplainAnalyze(ctx, vals)
+	ps := snap.paged
+	var before storage.PoolStats
+	if ps != nil {
+		before = ps.Stats()
+	}
+	out, err := p.ExplainAnalyze(ctx, vals)
+	if err != nil || ps == nil {
+		return out, err
+	}
+	after := ps.Stats()
+	return out + fmt.Sprintf("page pool: %d hits, %d misses, %d evictions\n",
+		after.Hits-before.Hits, after.Misses-before.Misses, after.Evictions-before.Evictions), nil
 }
 
 // bindArgs validates args against the statement's declared parameters and
@@ -391,7 +403,7 @@ func (s *Stmt) checkoutPlan(snap *snapshot) (p *query.Plan, pooled bool, err err
 	}
 	s.mu.Unlock()
 	obsPlansBuilt.Inc()
-	p, err = query.NewPlan(s.q, snap.g, snap.planOptions())
+	p, err = query.NewPlan(s.q, snap.store(), snap.planOptions())
 	return p, false, err
 }
 
@@ -508,8 +520,13 @@ func (s *Stmt) queryTrace(ctx context.Context, tr *QueryTrace, args []Param) (*R
 		return nil, err
 	}
 	snap := s.db.snapshot()
+	var pool *storage.PageStore
+	var poolStart storage.PoolStats
 	if tr != nil {
 		tr.Lang = s.lang.String()
+		if ps := snap.paged; ps != nil {
+			pool, poolStart = ps, ps.Stats()
+		}
 	}
 	switch s.lang {
 	case LangQuery:
@@ -555,29 +572,29 @@ func (s *Stmt) queryTrace(ctx context.Context, tr *QueryTrace, args []Param) (*R
 			s.checkinPlans(snap, workers)
 			return nil, err
 		}
-		return &Rows{stmt: s, cols: s.cols, g: snap.g, start: start, trace: tr, et: et, qb: &queryBackend{cur: cur, plan: p, workers: workers, snap: snap}}, nil
+		return &Rows{stmt: s, cols: s.cols, g: snap.g, start: start, trace: tr, et: et, pool: pool, poolStart: poolStart, qb: &queryBackend{cur: cur, plan: p, workers: workers, snap: snap}}, nil
 	case LangPath:
 		au, pooled, err := s.checkoutAutomaton(vals)
 		if err != nil {
 			return nil, err
 		}
-		trav := au.NewTraversal(snap.g)
+		trav := au.NewTraversal(snap.store())
 		if ctx != nil {
 			trav.SetContext(ctx)
 		}
-		trav.Reset(snap.g.Root())
-		return &Rows{stmt: s, cols: s.cols, g: snap.g, start: start, trace: tr, pb: &pathBackend{trav: trav, au: au, pooled: pooled}}, nil
+		trav.Reset(snap.store().Root())
+		return &Rows{stmt: s, cols: s.cols, g: snap.g, start: start, trace: tr, pool: pool, poolStart: poolStart, pb: &pathBackend{trav: trav, au: au, pooled: pooled}}, nil
 	case LangDatalog:
 		if ctx != nil {
 			if err := ctx.Err(); err != nil {
 				return nil, err
 			}
 		}
-		rels, err := datalog.NewEngine(snap.g).Run(s.dl, datalog.SemiNaive)
+		rels, err := datalog.NewEngine(snap.store()).Run(s.dl, datalog.SemiNaive)
 		if err != nil {
 			return nil, err
 		}
-		return &Rows{stmt: s, cols: s.cols, g: snap.g, start: start, trace: tr, db2: newDatalogBackend(rels)}, nil
+		return &Rows{stmt: s, cols: s.cols, g: snap.g, start: start, trace: tr, pool: pool, poolStart: poolStart, db2: newDatalogBackend(rels)}, nil
 	default:
 		return nil, fmt.Errorf("core: transform statements produce no rows; use Exec")
 	}
@@ -654,6 +671,11 @@ type Rows struct {
 	n     int64
 	trace *QueryTrace
 	et    *query.ExecTrace
+
+	// Buffer-pool attribution for the trace: the page store serving the
+	// snapshot (nil when in-memory or untraced) and its counters at start.
+	pool      *storage.PageStore
+	poolStart storage.PoolStats
 
 	shared query.Env // Env()'s reusable row; see Env
 }
@@ -907,6 +929,12 @@ func (r *Rows) finish() {
 	}
 	if et := r.et; et != nil && r.qb != nil {
 		tr.fillExec(r.qb.plan, et)
+	}
+	if r.pool != nil {
+		st := r.pool.Stats()
+		tr.PoolHits = st.Hits - r.poolStart.Hits
+		tr.PoolMisses = st.Misses - r.poolStart.Misses
+		tr.PoolEvictions = st.Evictions - r.poolStart.Evictions
 	}
 }
 

@@ -39,6 +39,14 @@ type QueryTrace struct {
 	SplitMisses int64 `json:"split_misses,omitempty"`
 	MergeStalls int64 `json:"merge_stalls,omitempty"`
 
+	// Paged-store buffer pool activity over this execution's lifetime,
+	// present only when the snapshot is page-backed. The counters are
+	// store-wide deltas, so concurrent queries on the same pool bleed into
+	// each other's numbers — treat them as attribution, not accounting.
+	PoolHits      int64 `json:"pool_hits,omitempty"`
+	PoolMisses    int64 `json:"pool_misses,omitempty"`
+	PoolEvictions int64 `json:"pool_evictions,omitempty"`
+
 	Rows      int64  `json:"rows"`
 	ElapsedUS int64  `json:"elapsed_us"`
 	Error     string `json:"error,omitempty"`

@@ -29,7 +29,7 @@ type Guide struct {
 	// that reach the guide node.
 	Extent [][]ssd.NodeID
 
-	source *ssd.Graph
+	source ssd.GraphStore
 	// tbl is the construction-side state (extent interning and membership),
 	// carried along so incremental maintenance (ApplyDelta) does not pay an
 	// O(guide) rebuild per batch. Only the table's current owner may extend
@@ -63,8 +63,9 @@ func (t *internTable) addMember(target []ssd.NodeID, gn ssd.NodeID) {
 
 // Build constructs the strong DataGuide of the part of g accessible from
 // the root. The maxNodes cap (0 = unlimited) guards against the exponential
-// worst case; Build returns ok=false if the cap is hit.
-func Build(g *ssd.Graph, maxNodes int) (*Guide, bool) {
+// worst case; Build returns ok=false if the cap is hit. Any GraphStore
+// works as the source — subset construction only reads Root and Out.
+func Build(g ssd.GraphStore, maxNodes int) (*Guide, bool) {
 	guide := &Guide{G: ssd.New(), source: g}
 	rootSet := []ssd.NodeID{g.Root()}
 	tbl := &internTable{
@@ -94,7 +95,7 @@ type task struct {
 // ApplyDelta: it expands pending guide nodes over the source graph,
 // interning extent sets so every distinct set occurs once.
 type builder struct {
-	src      *ssd.Graph
+	src      ssd.GraphStore
 	guide    *Guide
 	tbl      *internTable
 	maxNodes int
@@ -151,7 +152,7 @@ func (b *builder) run(queue []task) bool {
 }
 
 // MustBuild builds with no node cap.
-func MustBuild(g *ssd.Graph) *Guide {
+func MustBuild(g ssd.GraphStore) *Guide {
 	guide, _ := Build(g, 0)
 	return guide
 }

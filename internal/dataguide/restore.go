@@ -12,7 +12,7 @@ import (
 // extents, so a restored guide supports ApplyDelta exactly like a freshly
 // built one: recovery does not pay a subset construction, only a linear
 // pass over the extents.
-func Restore(guideGraph *ssd.Graph, extents [][]ssd.NodeID, source *ssd.Graph) (*Guide, error) {
+func Restore(guideGraph *ssd.Graph, extents [][]ssd.NodeID, source ssd.GraphStore) (*Guide, error) {
 	if guideGraph.NumNodes() != len(extents) {
 		return nil, fmt.Errorf("dataguide: %d extents for %d guide nodes",
 			len(extents), guideGraph.NumNodes())

@@ -75,7 +75,7 @@ func (r *Relation) lookup(pos int, v Value) []int {
 
 // Engine evaluates programs against one graph.
 type Engine struct {
-	g   *ssd.Graph
+	g   ssd.GraphStore
 	edb map[string]*Relation
 
 	// Joins counts tuple-match attempts during Run — the work metric
@@ -84,7 +84,9 @@ type Engine struct {
 }
 
 // NewEngine materializes the graph's EDB: edge/3 over all edges and root/1.
-func NewEngine(g *ssd.Graph) *Engine {
+// Any GraphStore works — the engine is bottom-up, so the store is read once
+// here and only Root is consulted later.
+func NewEngine(g ssd.GraphStore) *Engine {
 	edge := NewRelation(3)
 	for v := 0; v < g.NumNodes(); v++ {
 		for _, e := range g.Out(ssd.NodeID(v)) {
@@ -312,7 +314,7 @@ func (e *Engine) relationOf(pred string, idb map[string]*Relation) *Relation {
 	return idb[pred]
 }
 
-func resolveTerm(t Term, env map[string]Value, g *ssd.Graph) Value {
+func resolveTerm(t Term, env map[string]Value, g ssd.GraphStore) Value {
 	if t.IsVar() {
 		return env[t.Var]
 	}

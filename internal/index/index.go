@@ -27,7 +27,9 @@ type LabelIndex struct {
 }
 
 // BuildLabelIndex scans g once and indexes every edge by its exact label.
-func BuildLabelIndex(g *ssd.Graph) *LabelIndex {
+// Any GraphStore works; on a paged store the id-order scan reads each page
+// about once per run it appears in.
+func BuildLabelIndex(g ssd.GraphStore) *LabelIndex {
 	ix := &LabelIndex{occ: make(map[ssd.Label][]EdgeRef)}
 	for v := 0; v < g.NumNodes(); v++ {
 		for _, e := range g.Out(ssd.NodeID(v)) {
@@ -97,7 +99,7 @@ type valueEntry struct {
 }
 
 // BuildValueIndex scans g once and builds the ordered index.
-func BuildValueIndex(g *ssd.Graph) *ValueIndex {
+func BuildValueIndex(g ssd.GraphStore) *ValueIndex {
 	ix := &ValueIndex{}
 	for v := 0; v < g.NumNodes(); v++ {
 		for _, e := range g.Out(ssd.NodeID(v)) {
@@ -261,7 +263,7 @@ func payload(l ssd.Label) string {
 
 // ScanGraph evaluates a predicate over every edge of g without any index —
 // the true full-scan baseline (no presorted entry array).
-func ScanGraph(g *ssd.Graph, pred pathexpr.Pred) []EdgeRef {
+func ScanGraph(g ssd.GraphStore, pred pathexpr.Pred) []EdgeRef {
 	var out []EdgeRef
 	for v := 0; v < g.NumNodes(); v++ {
 		for _, e := range g.Out(ssd.NodeID(v)) {

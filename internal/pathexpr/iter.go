@@ -19,7 +19,7 @@ import (
 // use of one Automaton.
 type Traversal struct {
 	au *Automaton
-	g  *ssd.Graph
+	g  ssd.GraphStore
 
 	stack []prodItem
 	// visited[d] is a generation-stamped bitmap per dstate: visited[d][n] ==
@@ -68,9 +68,10 @@ func (t *Traversal) cancelled() bool {
 	return false
 }
 
-// NewTraversal prepares a reusable traversal of g. Call Reset before the
-// first Next.
-func (au *Automaton) NewTraversal(g *ssd.Graph) *Traversal {
+// NewTraversal prepares a reusable traversal of g — any GraphStore: the
+// in-memory graph or a paged store (typically its pinning accessor).
+// Call Reset before the first Next.
+func (au *Automaton) NewTraversal(g ssd.GraphStore) *Traversal {
 	return &Traversal{
 		au:      au,
 		g:       g,

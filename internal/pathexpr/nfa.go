@@ -216,7 +216,7 @@ func (au *Automaton) Accepting(set []int) bool {
 // pairs and returns the sorted set of nodes reachable from start over a
 // matching path. This is the paper's basic strategy — "model the graph as a
 // relational database" of edges and search — and the E3 baseline.
-func (au *Automaton) EvalNFA(g *ssd.Graph, start ssd.NodeID) []ssd.NodeID {
+func (au *Automaton) EvalNFA(g ssd.GraphStore, start ssd.NodeID) []ssd.NodeID {
 	n := g.NumNodes()
 	S := len(au.arcs)
 	visited := make([]bool, n*S)
@@ -257,7 +257,7 @@ func (au *Automaton) EvalNFA(g *ssd.Graph, start ssd.NodeID) []ssd.NodeID {
 // pairs, with per-subset transition results memoized by concrete label. On
 // graphs with repeated labels this does each (subset, label) predicate
 // evaluation once instead of once per edge.
-func (au *Automaton) Eval(g *ssd.Graph, start ssd.NodeID) []ssd.NodeID {
+func (au *Automaton) Eval(g ssd.GraphStore, start ssd.NodeID) []ssd.NodeID {
 	d0 := au.dstateOf(au.closure[au.start])
 	type item struct {
 		node   ssd.NodeID
@@ -354,7 +354,7 @@ func sortedNodes(set map[ssd.NodeID]bool) []ssd.NodeID {
 
 // Matches reports whether any path from start matches the expression (i.e.
 // Eval is non-empty), short-circuiting on the first accepting pair.
-func (au *Automaton) Matches(g *ssd.Graph, start ssd.NodeID) bool {
+func (au *Automaton) Matches(g ssd.GraphStore, start ssd.NodeID) bool {
 	d0 := au.dstateOf(au.closure[au.start])
 	type item struct {
 		node   ssd.NodeID
@@ -397,7 +397,7 @@ type prodCrumb struct {
 
 // EvalWithPaths returns, for every result node, one witness path of labels
 // (a shortest one in edge count). It uses BFS so the witness is minimal.
-func (au *Automaton) EvalWithPaths(g *ssd.Graph, start ssd.NodeID) map[ssd.NodeID][]ssd.Label {
+func (au *Automaton) EvalWithPaths(g ssd.GraphStore, start ssd.NodeID) map[ssd.NodeID][]ssd.Label {
 	d0 := au.dstateOf(au.closure[au.start])
 	trail := map[prodItem]prodCrumb{}
 	first := prodItem{start, d0}

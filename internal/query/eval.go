@@ -113,7 +113,7 @@ func (o Options) validate() error {
 // graph). The result follows UnQL union semantics and is minimized to its
 // canonical form. Evaluation plans the query and runs the iterator executor;
 // see EvalNaive for the reference tree-walking evaluator.
-func Eval(q *Query, g *ssd.Graph) (*ssd.Graph, error) {
+func Eval(q *Query, g ssd.GraphStore) (*ssd.Graph, error) {
 	return EvalOpts(q, g, Options{Minimize: true})
 }
 
@@ -124,19 +124,25 @@ func EvalNaive(q *Query, g *ssd.Graph) (*ssd.Graph, error) {
 	return EvalOpts(q, g, Options{Minimize: true, Engine: EngineNaive})
 }
 
-// EvalOpts evaluates with explicit options.
-func EvalOpts(q *Query, g *ssd.Graph, opts Options) (*ssd.Graph, error) {
+// EvalOpts evaluates with explicit options. Any GraphStore works for the
+// planned engine; the naive reference evaluator walks concrete graphs only
+// and errors on other stores.
+func EvalOpts(q *Query, g ssd.GraphStore, opts Options) (*ssd.Graph, error) {
 	if err := opts.validate(); err != nil {
 		return nil, err
 	}
 	if opts.Engine == EngineNaive {
+		mg, ok := g.(*ssd.Graph)
+		if !ok {
+			return nil, fmt.Errorf("query: the naive engine requires an in-memory graph, got %T", g)
+		}
 		if len(q.Params) > 0 {
 			var err error
 			if q, err = q.SubstParams(opts.Params); err != nil {
 				return nil, err
 			}
 		}
-		rows, err := EvalRows(q, g, opts.MaxRows)
+		rows, err := EvalRows(q, mg, opts.MaxRows)
 		if err != nil {
 			return nil, err
 		}
@@ -561,7 +567,7 @@ func (ev *evaluator) values(t Term, env Env) ([]ssd.Label, error) {
 // instantiate adds the instantiation of template t under env as edges of
 // `at` in res. Union semantics: every tuple's instantiation merges into the
 // same top-level node.
-func instantiate(res *ssd.Graph, at ssd.NodeID, t Template, env Env, src *ssd.Graph, graftCache map[ssd.NodeID]ssd.NodeID) error {
+func instantiate(res *ssd.Graph, at ssd.NodeID, t Template, env Env, src ssd.GraphStore, graftCache map[ssd.NodeID]ssd.NodeID) error {
 	switch tt := t.(type) {
 	case VarRef:
 		n, ok := env.Trees[tt.Name]
@@ -618,13 +624,13 @@ func instantiate(res *ssd.Graph, at ssd.NodeID, t Template, env Env, src *ssd.Gr
 // copyEdges merges the out-edges of src:n into res:at, grafting each child
 // subtree. The graft cache keeps one result node per source node so shared
 // and cyclic structure stays shared.
-func copyEdges(res *ssd.Graph, at ssd.NodeID, src *ssd.Graph, n ssd.NodeID, cache map[ssd.NodeID]ssd.NodeID) {
+func copyEdges(res *ssd.Graph, at ssd.NodeID, src ssd.GraphStore, n ssd.NodeID, cache map[ssd.NodeID]ssd.NodeID) {
 	for _, e := range src.Out(n) {
 		res.AddEdge(at, e.Label, graftNode(res, src, e.To, cache))
 	}
 }
 
-func graftNode(res *ssd.Graph, src *ssd.Graph, n ssd.NodeID, cache map[ssd.NodeID]ssd.NodeID) ssd.NodeID {
+func graftNode(res *ssd.Graph, src ssd.GraphStore, n ssd.NodeID, cache map[ssd.NodeID]ssd.NodeID) ssd.NodeID {
 	if rn, ok := cache[n]; ok {
 		return rn
 	}

@@ -32,8 +32,14 @@ type regs struct {
 // executor evaluates a Plan. Obtain one through Plan.Cursor; drive it with
 // Next and read bindings through Env or the slot accessors.
 type executor struct {
-	p      *Plan
-	g      *ssd.Graph
+	p *Plan
+	// g is the executor's read view of the plan's store: the store's
+	// pinning accessor when it has one (paged stores), so every adjacency
+	// read on the hot path goes through a small ring of pinned pages. acc
+	// is the same object, typed for Release — pins drop at cursor close
+	// (serial) or morsel handoff (parallel workers).
+	g      ssd.GraphStore
+	acc    ssd.StoreAccessor
 	regs   regs
 	params []ssd.Label // one value per plan parameter slot
 
@@ -81,9 +87,11 @@ func (p *Plan) exec(ctx context.Context, params []ssd.Label) *executor {
 		ex.reset(ctx, params)
 		return ex
 	}
+	acc := ssd.AccessorFor(p.g)
 	ex := &executor{
 		p:      p,
-		g:      p.g,
+		g:      acc,
+		acc:    acc,
 		ctx:    ctx,
 		params: params,
 		regs: regs{
@@ -120,8 +128,14 @@ func (ex *executor) reset(ctx context.Context, params []ssd.Label) {
 	}
 }
 
-// release hands the executor back to its plan's idle slot for reuse.
-func (ex *executor) release() { ex.p.idleEx = ex }
+// release unpins whatever pages the executor's accessor holds and hands
+// the executor back to its plan's idle slot for reuse. The accessor itself
+// is retained — it is reusable after Release — so recycled executions keep
+// their ring.
+func (ex *executor) release() {
+	ex.acc.Release()
+	ex.p.idleEx = ex
+}
 
 func (ex *executor) trav(st *planStep) *pathexpr.Traversal {
 	t := ex.travs[st.id]
@@ -552,14 +566,21 @@ func (c *stepCursor) advance(ex *executor) bool {
 // reverse edges, then walk the suffix forward.
 func (as *atomState) backwardScan(ex *executor) {
 	a := as.a
-	ex.g.EnsureReverse()
+	// The planner only chooses AccessIndexBackward when the plan's store
+	// has the reverse capability (see chooseAccess); the assertion is on
+	// the raw store, not the accessor view.
+	rs, ok := ex.p.g.(ssd.ReverseStore)
+	if !ok {
+		panic("query: backward index access on a forward-only store")
+	}
+	rs.EnsureReverse()
 	cur := ex.p.opts.Label.Seek(a.chain[a.chainIdx])
 	for {
 		ref, ok := cur.Next()
 		if !ok {
 			return
 		}
-		if !ex.verifyBackward(ref.From, a.chain, a.chainIdx-1) {
+		if !ex.verifyBackward(rs, ref.From, a.chain, a.chainIdx-1) {
 			continue
 		}
 		as.forwardSuffix(ex, ref.To, a.chain, a.chainIdx+1)
@@ -568,15 +589,15 @@ func (as *atomState) backwardScan(ex *executor) {
 
 // verifyBackward checks that some path root --chain[0]--> … --chain[j]-->
 // node exists, walking reverse edges.
-func (ex *executor) verifyBackward(node ssd.NodeID, chain []ssd.Label, j int) bool {
+func (ex *executor) verifyBackward(rs ssd.ReverseStore, node ssd.NodeID, chain []ssd.Label, j int) bool {
 	if j < 0 {
 		return node == ex.g.Root()
 	}
-	for _, in := range ex.g.In(node) {
+	for _, in := range rs.In(node) {
 		if !in.Label.Equal(chain[j]) {
 			continue
 		}
-		if ex.verifyBackward(in.To, chain, j-1) { // in.To holds the source
+		if ex.verifyBackward(rs, in.To, chain, j-1) { // in.To holds the source
 			return true
 		}
 	}

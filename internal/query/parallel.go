@@ -500,6 +500,10 @@ func runWorker(ctx context.Context, wp *Plan, vals []ssd.Label, ls leadSlots, mo
 			continue
 		}
 		alive := workMorsel(ctx, ex, wp, ls, m, sh)
+		// Morsel boundary: drop page pins accumulated on the hot path so a
+		// paged store can evict between morsels. The accessor stays usable —
+		// the next morsel simply re-pins on first touch.
+		ex.acc.Release()
 		sh.morselDone()
 		if !alive {
 			return // work context cancelled mid-send: the consumer is gone

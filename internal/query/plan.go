@@ -119,7 +119,7 @@ type planAtom struct {
 // cached traversals refer to it) and must not outlive mutations of it.
 type Plan struct {
 	q *Query
-	g *ssd.Graph
+	g ssd.GraphStore
 
 	atoms []*planAtom
 
@@ -273,7 +273,7 @@ type planner struct {
 // NewPlan compiles q against g. The query must already have passed Parse's
 // static resolution (MustParse/Parse guarantee this); NewPlan re-checks only
 // what it needs to stay panic-free.
-func NewPlan(q *Query, g *ssd.Graph, opts PlanOptions) (*Plan, error) {
+func NewPlan(q *Query, g ssd.GraphStore, opts PlanOptions) (*Plan, error) {
 	p := &Plan{
 		q:         q,
 		g:         g,
@@ -428,7 +428,7 @@ func NewPlan(q *Query, g *ssd.Graph, opts PlanOptions) (*Plan, error) {
 	// needs the reachable set once.
 	for _, a := range p.atoms {
 		if a.access == AccessIndexSeek {
-			p.reach = g.Reachable(g.Root())
+			p.reach = ssd.ReachableFrom(g, g.Root())
 			break
 		}
 	}
@@ -890,8 +890,11 @@ func (pl *planner) chooseAccess(a *planAtom) {
 			return
 		}
 		// Exact chain with a rare interior label: seek the rarest posting
-		// list and verify the prefix backward over reverse edges.
-		if chain, ok := exactChain(parts); ok && len(chain) >= 2 {
+		// list and verify the prefix backward over reverse edges. Backward
+		// verification needs In(), which only reverse-capable stores offer
+		// (the paged store is forward-only), so gate on the capability.
+		_, reversible := pl.p.g.(ssd.ReverseStore)
+		if chain, ok := exactChain(parts); ok && len(chain) >= 2 && reversible {
 			minIdx := 0
 			for i, l := range chain {
 				if pl.countOf(l) < pl.countOf(chain[minIdx]) {

@@ -544,7 +544,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	draining := s.draining
 	s.gateMu.Unlock()
 	w.Header().Set("Content-Type", "application/json")
-	json.NewEncoder(w).Encode(map[string]any{
+	body := map[string]any{
 		"status":          "ok",
 		"nodes":           st.Nodes,
 		"edges":           st.Edges,
@@ -554,7 +554,16 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		"wal_bytes":       s.db.WALSize(),
 		"stmt_cache_size": s.db.StmtCacheLen(),
 		"snapshot_seq":    s.db.SnapshotSeq(),
-	})
+	}
+	if ps, ok := s.db.PagePoolStats(); ok {
+		body["paged"] = true
+		body["pagepool_hits"] = ps.Hits
+		body["pagepool_misses"] = ps.Misses
+		body["pagepool_evictions"] = ps.Evictions
+		body["pagepool_resident_bytes"] = ps.ResidentBytes
+		body["pagepool_pinned_pages"] = ps.PinnedPages
+	}
+	json.NewEncoder(w).Encode(body)
 }
 
 // handleMetrics serves the process metrics registry: Prometheus text

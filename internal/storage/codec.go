@@ -1,10 +1,12 @@
 // Package storage addresses §4's second implementation setting: "one is
 // building a data structure to represent semistructured data directly",
 // where "disk layout and clustering, together with appropriate indexing, is
-// also important" [28]. It provides a compact binary codec for graphs, a
-// simulated page store with an LRU buffer pool that counts I/Os, and two
-// clustering policies (DFS-locality vs. random placement) whose page-fault
-// behaviour under path scans is experiment E10.
+// also important" [28]. It provides a compact binary codec for graphs, the
+// durable snapshot container, and a real out-of-core page store: fixed-size
+// pages of DFS-clustered adjacency records served through a byte-budgeted
+// LRU buffer pool (see pagedstore.go), with clustering policies
+// (DFS-locality vs. random placement) whose buffer-pool behaviour under
+// path scans is experiment E10.
 package storage
 
 import (

@@ -2,13 +2,14 @@ package storage
 
 import (
 	"math/rand"
-	"sort"
 
-	"repro/internal/pathexpr"
 	"repro/internal/ssd"
 )
 
-// Clustering decides which page each node's record lives on.
+// Clustering decides which page each node's record lives on. It started
+// life parameterizing an I/O-counting simulation; the layouts now drive
+// the real page file (see WritePageFile), with ssdbench's E10 measuring
+// actual buffer-pool hit rates per policy.
 type Clustering int
 
 // Clustering policies. ClusterDFS places nodes in depth-first order from
@@ -32,145 +33,16 @@ func (c Clustering) String() string {
 	}
 }
 
-// PoolStats counts simulated I/O.
-type PoolStats struct {
-	Hits   int
-	Misses int // page faults = disk reads
-}
-
-// BufferPool is an LRU page cache simulation.
-type BufferPool struct {
-	capacity int
-	stats    PoolStats
-	// LRU via doubly-linked list over resident pages.
-	resident map[int32]*lruNode
-	head     *lruNode // most recent
-	tail     *lruNode // least recent
-}
-
-type lruNode struct {
-	page       int32
-	prev, next *lruNode
-}
-
-// NewBufferPool returns an LRU pool holding up to capacity pages.
-func NewBufferPool(capacity int) *BufferPool {
-	if capacity < 1 {
-		capacity = 1
-	}
-	return &BufferPool{capacity: capacity, resident: make(map[int32]*lruNode, capacity)}
-}
-
-// Touch simulates accessing a page, updating hit/miss counters and LRU
-// state.
-func (bp *BufferPool) Touch(page int32) {
-	if n, ok := bp.resident[page]; ok {
-		bp.stats.Hits++
-		bp.moveToFront(n)
-		return
-	}
-	bp.stats.Misses++
-	n := &lruNode{page: page}
-	bp.resident[page] = n
-	bp.pushFront(n)
-	if len(bp.resident) > bp.capacity {
-		evict := bp.tail
-		bp.unlink(evict)
-		delete(bp.resident, evict.page)
-	}
-}
-
-// Stats returns the counters.
-func (bp *BufferPool) Stats() PoolStats { return bp.stats }
-
-// Reset clears counters and resident pages.
-func (bp *BufferPool) Reset() {
-	bp.stats = PoolStats{}
-	bp.resident = make(map[int32]*lruNode, bp.capacity)
-	bp.head, bp.tail = nil, nil
-}
-
-func (bp *BufferPool) moveToFront(n *lruNode) {
-	if bp.head == n {
-		return
-	}
-	bp.unlink(n)
-	bp.pushFront(n)
-}
-
-func (bp *BufferPool) pushFront(n *lruNode) {
-	n.prev = nil
-	n.next = bp.head
-	if bp.head != nil {
-		bp.head.prev = n
-	}
-	bp.head = n
-	if bp.tail == nil {
-		bp.tail = n
-	}
-}
-
-func (bp *BufferPool) unlink(n *lruNode) {
-	if n.prev != nil {
-		n.prev.next = n.next
-	} else {
-		bp.head = n.next
-	}
-	if n.next != nil {
-		n.next.prev = n.prev
-	} else {
-		bp.tail = n.prev
-	}
-	n.prev, n.next = nil, nil
-}
-
-// PagedGraph overlays a page layout on a graph: each node record (its edge
-// list) lives on one page, and every access to a node's edges touches that
-// page through the buffer pool.
-type PagedGraph struct {
-	G      *ssd.Graph
-	Pool   *BufferPool
-	pageOf []int32
-	pages  int
-}
-
-// NewPaged lays g out with the given clustering, targeting nodesPerPage
-// records per page (a stand-in for a byte budget; edge lists in this model
-// are small and uniform enough that record count is the right first-order
-// knob), and a pool of poolPages resident pages. The rng seed fixes the
-// random layout.
-func NewPaged(g *ssd.Graph, c Clustering, nodesPerPage, poolPages int, seed int64) *PagedGraph {
-	if nodesPerPage < 1 {
-		nodesPerPage = 1
-	}
-	order := layoutOrder(g, c, seed)
-	pageOf := make([]int32, g.NumNodes())
-	for i, n := range order {
-		pageOf[n] = int32(i / nodesPerPage)
-	}
-	pages := (len(order) + nodesPerPage - 1) / nodesPerPage
-	return &PagedGraph{
-		G:      g,
-		Pool:   NewBufferPool(poolPages),
-		pageOf: pageOf,
-		pages:  pages,
-	}
-}
-
-// NumPages returns the number of pages in the layout.
-func (pg *PagedGraph) NumPages() int { return pg.pages }
-
-// Out returns the edges of n, charging the owning page.
-func (pg *PagedGraph) Out(n ssd.NodeID) []ssd.Edge {
-	pg.Pool.Touch(pg.pageOf[n])
-	return pg.G.Out(n)
-}
-
 // layoutOrder returns the node placement order for a clustering policy.
 // Unreachable nodes are appended in id order.
 func layoutOrder(g *ssd.Graph, c Clustering, seed int64) []ssd.NodeID {
 	n := g.NumNodes()
 	order := make([]ssd.NodeID, 0, n)
+	if n == 0 {
+		// A node-less graph has no root to start from; indexing seen by
+		// g.Root() would be out of range.
+		return order
+	}
 	seen := make([]bool, n)
 	switch c {
 	case ClusterDFS:
@@ -216,74 +88,4 @@ func layoutOrder(g *ssd.Graph, c Clustering, seed int64) []ssd.NodeID {
 		}
 	}
 	return order
-}
-
-// EvalPath evaluates a compiled path expression over the paged graph,
-// charging page touches for every node expansion — the workload of
-// experiment E10. Results match au.Eval on the in-memory graph.
-func (pg *PagedGraph) EvalPath(au *pathexpr.Automaton) []ssd.NodeID {
-	type item struct {
-		node  ssd.NodeID
-		state int
-	}
-	S := au.NumStates()
-	visited := make([]bool, pg.G.NumNodes()*S)
-	var queue []item
-	push := func(n ssd.NodeID, q int) {
-		for _, c := range au.Closure(q) {
-			idx := int(n)*S + c
-			if !visited[idx] {
-				visited[idx] = true
-				queue = append(queue, item{n, c})
-			}
-		}
-	}
-	push(pg.G.Root(), au.Start())
-	resultSet := map[ssd.NodeID]bool{}
-	for len(queue) > 0 {
-		it := queue[len(queue)-1]
-		queue = queue[:len(queue)-1]
-		if it.state == au.Accept() {
-			resultSet[it.node] = true
-		}
-		es := pg.Out(it.node)
-		for _, arc := range au.Arcs(it.state) {
-			for _, e := range es {
-				if arc.Pred.Match(e.Label) {
-					push(e.To, arc.To)
-				}
-			}
-		}
-	}
-	out := make([]ssd.NodeID, 0, len(resultSet))
-	for n := range resultSet {
-		out = append(out, n)
-	}
-	sortNodeIDs(out)
-	return out
-}
-
-// ScanDFS walks the whole reachable graph depth-first, charging pages — the
-// sequential-scan workload.
-func (pg *PagedGraph) ScanDFS() int {
-	seen := make([]bool, pg.G.NumNodes())
-	stack := []ssd.NodeID{pg.G.Root()}
-	seen[pg.G.Root()] = true
-	visited := 0
-	for len(stack) > 0 {
-		v := stack[len(stack)-1]
-		stack = stack[:len(stack)-1]
-		visited++
-		for _, e := range pg.Out(v) {
-			if !seen[e.To] {
-				seen[e.To] = true
-				stack = append(stack, e.To)
-			}
-		}
-	}
-	return visited
-}
-
-func sortNodeIDs(ns []ssd.NodeID) {
-	sort.Slice(ns, func(i, j int) bool { return ns[i] < ns[j] })
 }

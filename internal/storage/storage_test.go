@@ -2,6 +2,7 @@ package storage
 
 import (
 	"math/rand"
+	"os"
 	"path/filepath"
 	"reflect"
 	"testing"
@@ -116,24 +117,6 @@ func TestFileRoundTrip(t *testing.T) {
 	}
 }
 
-func TestBufferPoolLRU(t *testing.T) {
-	bp := NewBufferPool(2)
-	bp.Touch(1) // miss
-	bp.Touch(2) // miss
-	bp.Touch(1) // hit
-	bp.Touch(3) // miss, evicts 2 (LRU)
-	bp.Touch(1) // hit
-	bp.Touch(2) // miss (was evicted)
-	s := bp.Stats()
-	if s.Hits != 2 || s.Misses != 4 {
-		t.Errorf("stats = %+v, want 2 hits 4 misses", s)
-	}
-	bp.Reset()
-	if bp.Stats() != (PoolStats{}) {
-		t.Error("reset failed")
-	}
-}
-
 func chainGraph(n int) *ssd.Graph {
 	g := ssd.New()
 	cur := g.Root()
@@ -143,21 +126,71 @@ func chainGraph(n int) *ssd.Graph {
 	return g
 }
 
-func TestPagedEvalMatchesInMemory(t *testing.T) {
-	rng := rand.New(rand.NewSource(5))
+// openPaged writes g as a page file and opens it, cleaning up at test end.
+func openPaged(t *testing.T, g *ssd.Graph, c Clustering, pageSize int, poolBytes int64) *PageStore {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "pages.ssdp")
+	if err := WritePageFile(path, g, c, pageSize); err != nil {
+		t.Fatal(err)
+	}
+	ps, err := OpenPageFile(path, poolBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ps.Close() })
+	return ps
+}
+
+func randomGraph(t *testing.T, seed int64) *ssd.Graph {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
 	g := ssd.New()
 	ids := []ssd.NodeID{g.Root()}
 	for i := 0; i < 50; i++ {
 		ids = append(ids, g.AddNode())
 	}
+	labels := []ssd.Label{ssd.Sym("a"), ssd.Sym("b"), ssd.Str("s"), ssd.Int(7), ssd.Float(2.5), ssd.Bool(true)}
 	for i := 0; i < 140; i++ {
-		g.AddEdge(ids[rng.Intn(len(ids))], ssd.Sym([]string{"a", "b"}[rng.Intn(2)]), ids[rng.Intn(len(ids))])
+		g.AddEdge(ids[rng.Intn(len(ids))], labels[rng.Intn(len(labels))], ids[rng.Intn(len(ids))])
 	}
+	return g
+}
+
+func TestPageFileRoundTrip(t *testing.T) {
+	g := randomGraph(t, 5)
 	for _, c := range []Clustering{ClusterDFS, ClusterBFS, ClusterRandom} {
-		pg := NewPaged(g, c, 8, 4, 1)
+		for _, pageSize := range []int{MinPageSize, 256, DefaultPageSize} {
+			ps := openPaged(t, g, c, pageSize, 0)
+			if ps.Root() != g.Root() || ps.NumNodes() != g.NumNodes() {
+				t.Fatalf("%s/%d: root/nodes = %d/%d, want %d/%d",
+					c, pageSize, ps.Root(), ps.NumNodes(), g.Root(), g.NumNodes())
+			}
+			for v := 0; v < g.NumNodes(); v++ {
+				n := ssd.NodeID(v)
+				if !reflect.DeepEqual(ps.Out(n), g.Out(n)) {
+					t.Fatalf("%s/%d: Out(%d) = %v, want %v", c, pageSize, n, ps.Out(n), g.Out(n))
+				}
+				if ps.OutDegree(n) != g.OutDegree(n) {
+					t.Fatalf("%s/%d: OutDegree(%d) mismatch", c, pageSize, n)
+				}
+				if !reflect.DeepEqual(ps.Labels(n), g.Labels(n)) {
+					t.Fatalf("%s/%d: Labels(%d) mismatch", c, pageSize, n)
+				}
+				if !reflect.DeepEqual(ps.Lookup(n, ssd.Sym("a")), g.Lookup(n, ssd.Sym("a"))) {
+					t.Fatalf("%s/%d: Lookup(%d) mismatch", c, pageSize, n)
+				}
+			}
+		}
+	}
+}
+
+func TestPagedEvalMatchesInMemory(t *testing.T) {
+	g := randomGraph(t, 5)
+	for _, c := range []Clustering{ClusterDFS, ClusterBFS, ClusterRandom} {
+		ps := openPaged(t, g, c, 128, 512)
 		for _, src := range []string{"a*", "(a|b)._", "_*"} {
 			want := pathexpr.MustCompile(src).Eval(g, g.Root())
-			got := pg.EvalPath(pathexpr.MustCompile(src))
+			got := pathexpr.MustCompile(src).Eval(ps, ps.Root())
 			if !reflect.DeepEqual(want, got) {
 				t.Errorf("%s clustering %s: %v != %v", c, src, got, want)
 			}
@@ -169,29 +202,123 @@ func TestClusteringLocality(t *testing.T) {
 	// On a deep chain with a small pool, DFS clustering faults once per
 	// page; random placement faults nearly once per node.
 	g := chainGraph(2000)
-	dfs := NewPaged(g, ClusterDFS, 50, 4, 1)
-	rnd := NewPaged(g, ClusterRandom, 50, 4, 1)
-	dfs.ScanDFS()
-	rnd.ScanDFS()
-	dm := dfs.Pool.Stats().Misses
-	rm := rnd.Pool.Stats().Misses
+	dfs := openPaged(t, g, ClusterDFS, 256, 4*256)
+	rnd := openPaged(t, g, ClusterRandom, 256, 4*256)
+	ssd.ReachableFrom(dfs, dfs.Root())
+	ssd.ReachableFrom(rnd, rnd.Root())
+	dm := dfs.Stats().Misses
+	rm := rnd.Stats().Misses
 	if dm*5 >= rm {
 		t.Errorf("DFS clustering should fault ≫ less: dfs=%d random=%d", dm, rm)
 	}
 }
 
-func TestScanDFSVisitsAll(t *testing.T) {
+func TestPageStoreScanVisitsAll(t *testing.T) {
 	g := chainGraph(100)
-	pg := NewPaged(g, ClusterDFS, 10, 100, 0)
-	if got := pg.ScanDFS(); got != 101 {
-		t.Errorf("visited = %d, want 101", got)
+	ps := openPaged(t, g, ClusterDFS, 128, 0)
+	seen := ssd.ReachableFrom(ps, ps.Root())
+	visited := 0
+	for _, ok := range seen {
+		if ok {
+			visited++
+		}
+	}
+	if visited != 101 {
+		t.Errorf("visited = %d, want 101", visited)
 	}
 }
 
-func TestNumPages(t *testing.T) {
-	g := chainGraph(99) // 100 nodes
-	pg := NewPaged(g, ClusterDFS, 10, 10, 0)
-	if pg.NumPages() != 10 {
-		t.Errorf("pages = %d, want 10", pg.NumPages())
+func TestPageStoreEvictionBudget(t *testing.T) {
+	g := chainGraph(500)
+	ps := openPaged(t, g, ClusterDFS, 128, 2*128) // 2-page pool
+	ssd.ReachableFrom(ps, ps.Root())
+	s := ps.Stats()
+	if s.Evictions == 0 {
+		t.Error("tiny pool scan should evict")
+	}
+	if s.ResidentBytes > 2*128 {
+		t.Errorf("resident %d bytes exceeds 2-page budget with nothing pinned", s.ResidentBytes)
+	}
+	if s.PinnedPages != 0 {
+		t.Errorf("pinned = %d after scan, want 0", s.PinnedPages)
+	}
+}
+
+func TestPageStoreAccessorPins(t *testing.T) {
+	g := chainGraph(500)
+	ps := openPaged(t, g, ClusterDFS, 128, 2*128)
+	acc := ps.Accessor()
+	cur := ps.Root()
+	for {
+		es := acc.Out(cur)
+		if len(es) == 0 {
+			break
+		}
+		cur = es[0].To
+	}
+	if got := ps.Stats().PinnedPages; got == 0 {
+		t.Error("accessor should hold pinned pages mid-iteration")
+	}
+	acc.Release()
+	acc.Release() // idempotent
+	if got := ps.Stats().PinnedPages; got != 0 {
+		t.Errorf("pinned = %d after Release, want 0", got)
+	}
+	if s := ps.Stats(); s.ResidentBytes > 2*128 {
+		t.Errorf("resident %d bytes exceeds budget after release", s.ResidentBytes)
+	}
+}
+
+// Regression: layoutOrder (and hence WritePageFile) must not index
+// seen[g.Root()] on a graph with zero nodes.
+func TestLayoutOrderEmptyGraph(t *testing.T) {
+	var g ssd.Graph // zero value: no nodes at all
+	for _, c := range []Clustering{ClusterDFS, ClusterBFS, ClusterRandom} {
+		if got := layoutOrder(&g, c, 1); len(got) != 0 {
+			t.Errorf("%s: layoutOrder on empty graph = %v, want empty", c, got)
+		}
+	}
+	if err := WritePageFile(filepath.Join(t.TempDir(), "p.ssdp"), &g, ClusterDFS, 128); err == nil {
+		t.Error("WritePageFile on empty graph should error, not panic")
+	}
+}
+
+func TestOpenPageFileErrors(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := OpenPageFile(filepath.Join(dir, "missing"), 0); err == nil {
+		t.Error("missing file should error")
+	}
+	bad := filepath.Join(dir, "bad")
+	if err := os.WriteFile(bad, []byte("XXXXnot a page file"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenPageFile(bad, 0); err == nil {
+		t.Error("bad magic should error")
+	}
+
+	g := chainGraph(50)
+	path := filepath.Join(dir, "pages.ssdp")
+	if err := WritePageFile(path, g, ClusterDFS, 128); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Truncation: the size check must reject a torn file.
+	if err := os.WriteFile(path, data[:len(data)-64], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenPageFile(path, 0); err == nil {
+		t.Error("truncated page file should error")
+	}
+	// Header corruption: flip a directory byte.
+	corrupt := append([]byte(nil), data...)
+	corrupt[fileHdrLen+1] ^= 0xff
+	if err := os.WriteFile(path, corrupt, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenPageFile(path, 0); err == nil {
+		t.Error("corrupted directory should fail the checksum")
 	}
 }
