@@ -7,6 +7,7 @@
 //	ssdserve -data dbdir -demo 5000           # seed a fresh dbdir, then serve it
 //	ssdserve -db movie.ssdg [-wal movie.wal] [-addr :8080] [-parallelism 4]
 //	ssdserve -demo 5000                       # serve a generated movie DB (volatile)
+//	ssdserve -data repdir -follow http://leader:8080   # read-only follower replica
 //
 // Endpoints (see internal/server):
 //
@@ -38,6 +39,15 @@
 // one is written. Seeding: if dbdir is empty and -db/-text/-demo names a
 // source, the source becomes generation 1; once initialized, the directory
 // itself is the single source of truth and the seed flags are rejected.
+//
+// With -follow the process runs as a read-only replica of another ssdserve:
+// an uninitialized -data directory bootstraps itself from the leader's
+// newest snapshot, then the follower applies the leader's committed WAL
+// frames live (streamed over GET /replicate/wal), maintaining its own WAL,
+// checkpoints and indexes. /query works (including X-SSD-Seq read-your-
+// writes tokens — a tokened read waits for the replica to catch up or
+// returns 503); /mutate and /checkpoint return 403 pointing at the leader.
+// Any durable ssdserve is a leader: the /replicate endpoints are always on.
 //
 // SIGINT/SIGTERM triggers graceful shutdown: new requests get 503, the
 // process exits once every in-flight cursor drains (bounded by -grace),
@@ -118,12 +128,29 @@ func main() {
 		slowQuery    = flag.Duration("slow-query", 0, "log queries at or over this latency, with their trace (0 = off)")
 		debugAddr    = flag.String("debug-addr", "", "serve net/http/pprof and expvar on this address (e.g. localhost:6060); empty = off")
 		poolBytes    = flag.Int64("pool-bytes", 0, "with -data: serve reads through an on-disk page file with a buffer pool of this many bytes (0 = all in memory)")
+		follow       = flag.String("follow", "", "run as a read-only follower replicating from this leader base URL (requires -data)")
+		replWait     = flag.Duration("repl-wait", server.DefaultReplWait, "how long a tokened read (X-SSD-Seq) waits for the replica to catch up before 503")
 	)
 	flag.Parse()
 
 	logger, err := buildLogger(*logLevel)
 	if err != nil {
 		log.Fatalf("ssdserve: %v", err)
+	}
+
+	if *follow != "" {
+		if *dataDir == "" {
+			log.Fatalf("ssdserve: -follow requires -data: the replica needs a durable directory to bootstrap into")
+		}
+		if *dbPath != "" || *text != "" || *demo > 0 {
+			log.Fatalf("ssdserve: -follow conflicts with -db/-text/-demo: a follower's state comes from its leader")
+		}
+		// First start of a fresh replica: seed the directory from the
+		// leader's newest snapshot. An initialized directory resumes from
+		// its own durable position instead.
+		if err := server.BootstrapFollower(context.Background(), nil, *follow, *dataDir); err != nil {
+			log.Fatalf("ssdserve: bootstrapping from %s: %v", *follow, err)
+		}
 	}
 
 	db, err := openServeDatabase(*dataDir, *dbPath, *text, *walPath, *demo, *poolBytes)
@@ -139,12 +166,29 @@ func main() {
 		MaxRows:        *maxRows,
 		Logger:         logger,
 		SlowQuery:      *slowQuery,
+		ReplWait:       *replWait,
 	}
 	if db.Durable() {
 		cfg.CheckpointInterval = *ckptInterval
 		cfg.CheckpointMaxWAL = *ckptMaxWAL
+		cfg.Role = "leader"
+	} else {
+		cfg.Role = "single"
+	}
+	var follower *server.Follower
+	followCtx, stopFollower := context.WithCancel(context.Background())
+	defer stopFollower()
+	if *follow != "" {
+		follower = server.NewFollower(db, *follow, logger)
+		cfg.ReadOnly = true
+		cfg.Role = "follower"
+		cfg.LeaderURL = *follow
+		cfg.Follower = follower
 	}
 	srv := server.New(db, cfg)
+	if follower != nil {
+		go follower.Run(followCtx)
+	}
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
 
 	if *debugAddr != "" {
@@ -160,7 +204,10 @@ func main() {
 		log.Printf("ssdserve: shutting down (grace %s)", *grace)
 		ctx, cancel := context.WithTimeout(context.Background(), *grace)
 		defer cancel()
-		// Stop admitting and drain cursors first, then close connections.
+		// Stop replicating first so the final checkpoint folds a position
+		// that will not advance again, then drain cursors, then close
+		// connections.
+		stopFollower()
 		if err := srv.Shutdown(ctx); err != nil {
 			log.Printf("ssdserve: drain: %v", err)
 		}

@@ -90,6 +90,17 @@ type Database struct {
 	dirLock  *os.File
 	ckptMu   sync.Mutex
 
+	// Replication position (see repl.go). replSeq counts batches committed
+	// since the durable directory's birth (or since handle creation for
+	// non-durable databases); checkpoints persist it and recovery restores
+	// it, so it is comparable across restarts and across the replicas that
+	// boot from this database's snapshots. seqCh is the broadcast channel
+	// commit closes so read-your-writes waiters and replication streams
+	// wake promptly; seqMu guards its swap.
+	replSeq atomic.Uint64
+	seqMu   sync.Mutex
+	seqCh   chan struct{}
+
 	// Out-of-core mode (OpenPathOptions with PoolBytes > 0). poolBytes is the
 	// buffer-pool budget every opened page store gets; pageStores tracks every
 	// store opened over the handle's life (guarded by writeMu) so CloseWAL can
@@ -362,6 +373,13 @@ func (db *Database) commitLocked(b *mutate.Batch, logIt bool) error {
 	}
 	db.snap.Store(ns)
 	db.invalidateStmtPlans()
+	if logIt || db.wal == nil {
+		// The replication sequence counts exactly the batches a follower can
+		// obtain: logged commits. An unlogged Apply on a WAL-backed database
+		// is invisible to the log, so advancing the sequence for it would
+		// break the seq↔frame correspondence replication cursors rely on.
+		db.advanceSeq(1)
+	}
 	obsCommitDur.Observe(time.Since(start))
 	obsCommits.Inc()
 	return nil

@@ -269,6 +269,11 @@ func OpenPathOptions(dir string, opts Options) (*Database, error) {
 	}
 
 	db := &Database{dir: dir, dirLock: lock, poolBytes: opts.PoolBytes}
+	// Restore the replication position: the snapshot's persisted commit
+	// count plus the tail replayed on top of it. Skipped batches are already
+	// inside snap.CommitSeq — they were folded before the crash.
+	db.replSeq.Store(snap.CommitSeq + uint64(replayed))
+	obsCommitSeq.Set(int64(snap.CommitSeq + uint64(replayed)))
 	db.snapSeq.Store(loaded.seq)
 	db.snap.Store(&snapshot{g: g, labelIx: labelIx, valueIx: valueIx, guide: guide, stats: st})
 	db.wal = w
@@ -389,6 +394,9 @@ func (db *Database) Checkpoint() (CheckpointInfo, error) {
 	snap := db.snapshot()
 	folded := db.wal.Batches()
 	baseFP := db.wal.BaseFingerprint()
+	// Under the writer lock, every logged batch is in the log: the pinned
+	// snapshot's replication position is exactly the current commit count.
+	commitSeq := db.replSeq.Load()
 	db.writeMu.Unlock()
 
 	if cur := db.snapSeq.Load(); folded == 0 && cur > 0 {
@@ -423,6 +431,7 @@ func (db *Database) Checkpoint() (CheckpointInfo, error) {
 		Stats:     st,
 		WALBaseFP: baseFP,
 		Applied:   uint64(folded),
+		CommitSeq: commitSeq,
 	}
 	n, err := storage.WriteSnapshotFile(path, s)
 	if err != nil {

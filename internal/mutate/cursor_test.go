@@ -1,0 +1,365 @@
+package mutate
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"repro/internal/ssd"
+)
+
+// cursorTestLog writes a WAL with n chain-batches and returns the log path,
+// the open WAL, and each batch's encoded payload in append order.
+func cursorTestLog(t *testing.T, dir string, n int) (string, *WAL, [][]byte) {
+	t.Helper()
+	g := fig1Fragment()
+	logPath := filepath.Join(dir, "wal")
+	w, err := OpenWAL(logPath, Fingerprint(fig1Fragment()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var payloads [][]byte
+	for i := 0; i < n; i++ {
+		b := NewBatch(g)
+		prev := g.Root()
+		for j := 0; j <= i%3; j++ { // vary batch sizes
+			nn := b.AddNode()
+			if err := b.AddEdge(prev, ssd.Sym("chain"), nn); err != nil {
+				t.Fatal(err)
+			}
+			prev = nn
+		}
+		if _, err := ApplyInPlace(g, b); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Append(b); err != nil {
+			t.Fatal(err)
+		}
+		payloads = append(payloads, EncodeBatch(b))
+	}
+	return logPath, w, payloads
+}
+
+// TestCursorReadsCommittedFrames drains a finished log and then hits
+// ErrNoFrame at the clean tail.
+func TestCursorReadsCommittedFrames(t *testing.T) {
+	path, w, payloads := cursorTestLog(t, t.TempDir(), 5)
+	defer w.Close()
+	c, err := OpenCursor(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if c.BaseFingerprint() != w.BaseFingerprint() {
+		t.Fatalf("cursor fp %#x, WAL fp %#x", c.BaseFingerprint(), w.BaseFingerprint())
+	}
+	for i, want := range payloads {
+		got, err := c.Next()
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("frame %d: payload differs from appended batch", i)
+		}
+	}
+	if _, err := c.Next(); !errors.Is(err, ErrNoFrame) {
+		t.Fatalf("at clean tail: err = %v, want ErrNoFrame", err)
+	}
+}
+
+// TestCursorSkipPositions skips k frames and resumes exactly at frame k.
+func TestCursorSkipPositions(t *testing.T) {
+	path, w, payloads := cursorTestLog(t, t.TempDir(), 6)
+	defer w.Close()
+	for k := 0; k <= len(payloads); k++ {
+		c, err := OpenCursor(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Skip(k); err != nil {
+			t.Fatalf("skip %d: %v", k, err)
+		}
+		got, err := c.Next()
+		if k == len(payloads) {
+			if !errors.Is(err, ErrNoFrame) {
+				t.Fatalf("skip-all: err = %v, want ErrNoFrame", err)
+			}
+		} else if err != nil || !bytes.Equal(got, payloads[k]) {
+			t.Fatalf("after skip %d: err=%v, payload match=%v", k, err, bytes.Equal(got, payloads[k]))
+		}
+		c.Close()
+	}
+}
+
+// TestCursorNeverObservesTornTail is the replication-safety regression test:
+// for every cut position that tears the final frame — inside the length
+// varint, inside the CRC word, one byte short of complete — a cursor over
+// the torn file yields exactly the complete frames and then ErrNoFrame. A
+// torn frame must be indistinguishable from "not yet written": surfacing it
+// would replicate an uncommitted batch. Appending the missing bytes (the
+// writer finishing its in-flight write) must then surface the frame.
+func TestCursorNeverObservesTornTail(t *testing.T) {
+	dir := t.TempDir()
+	path, w, payloads := cursorTestLog(t, dir, 3)
+	w.Close()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ends := frameEnds(t, data)
+
+	check := func(name string, cut, wantFrames int) {
+		t.Helper()
+		torn := filepath.Join(dir, "torn-"+name)
+		if err := os.WriteFile(torn, data[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		c, err := OpenCursor(torn)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		defer c.Close()
+		for i := 0; i < wantFrames; i++ {
+			got, err := c.Next()
+			if err != nil {
+				t.Fatalf("%s: complete frame %d: %v", name, i, err)
+			}
+			if !bytes.Equal(got, payloads[i]) {
+				t.Fatalf("%s: frame %d payload differs", name, i)
+			}
+		}
+		// The torn remainder must read as "no frame yet", repeatedly.
+		for i := 0; i < 2; i++ {
+			if _, err := c.Next(); !errors.Is(err, ErrNoFrame) {
+				t.Fatalf("%s: torn tail surfaced as %v, want ErrNoFrame", name, err)
+			}
+		}
+		// Writer completes the frame: the cursor now sees it without reopening.
+		if err := os.WriteFile(torn, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if wantFrames < len(payloads) {
+			got, err := c.Next()
+			if err != nil || !bytes.Equal(got, payloads[wantFrames]) {
+				t.Fatalf("%s: completed frame: err=%v", name, err)
+			}
+		}
+	}
+
+	// ends[0] is the header end; batch frame i spans ends[i]..ends[i+1].
+	for i := 0; i < len(ends)-1; i++ {
+		used, _ := uvarintLen(data[ends[i]:])
+		check(fmt.Sprintf("varint-split-%d", i), ends[i]+1, i)
+		check(fmt.Sprintf("crc-split-%d", i), ends[i]+used+2, i)
+		check(fmt.Sprintf("payload-split-%d", i), ends[i+1]-1, i)
+	}
+}
+
+// TestCursorConcurrentWriter races a cursor tailing the log against the
+// writer appending to it: the reader must see every batch, in order, byte
+// for byte, and must never surface an error other than ErrNoFrame. Run
+// under -race this also checks the no-shared-state claim of the design (the
+// cursor reads through its own fd; the only coupling is the file).
+func TestCursorConcurrentWriter(t *testing.T) {
+	dir := t.TempDir()
+	g := fig1Fragment()
+	path := filepath.Join(dir, "wal")
+	w, err := OpenWAL(path, Fingerprint(fig1Fragment()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+
+	const batches = 40
+	var (
+		mu       sync.Mutex
+		appended [][]byte
+	)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < batches; i++ {
+			b := NewBatch(g)
+			n := b.AddNode()
+			if err := b.AddEdge(g.Root(), ssd.Sym("r"), n); err != nil {
+				t.Error(err)
+				return
+			}
+			enc := EncodeBatch(b)
+			mu.Lock()
+			// Under the same ordering a real commit has: the payload is
+			// recorded before Append makes it visible to the reader.
+			appended = append(appended, enc)
+			if _, err := ApplyInPlace(g, b); err != nil {
+				mu.Unlock()
+				t.Error(err)
+				return
+			}
+			if err := w.Append(b); err != nil {
+				mu.Unlock()
+				t.Error(err)
+				return
+			}
+			mu.Unlock()
+		}
+	}()
+
+	c, err := OpenCursor(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	read := 0
+	for read < batches {
+		frame, err := c.Next()
+		if errors.Is(err, ErrNoFrame) {
+			continue // writer hasn't committed the next batch yet
+		}
+		if err != nil {
+			t.Fatalf("frame %d: %v", read, err)
+		}
+		mu.Lock()
+		if read >= len(appended) {
+			mu.Unlock()
+			t.Fatalf("cursor read frame %d before the writer recorded it", read)
+		}
+		ok := bytes.Equal(frame, appended[read])
+		mu.Unlock()
+		if !ok {
+			t.Fatalf("frame %d differs from the appended batch", read)
+		}
+		read++
+	}
+	<-done
+	if _, err := c.Next(); !errors.Is(err, ErrNoFrame) {
+		t.Fatalf("after all batches: err = %v, want ErrNoFrame", err)
+	}
+}
+
+// TestCursorReboundOnTruncatePrefix: a checkpoint's prefix truncation swaps
+// the log file by rename; a cursor parked at the old tail must report
+// ErrCursorRebound, not silently misread the new file through stale offsets.
+func TestCursorReboundOnTruncatePrefix(t *testing.T) {
+	path, w, payloads := cursorTestLog(t, t.TempDir(), 4)
+	defer w.Close()
+	c, err := OpenCursor(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	for range payloads {
+		if _, err := c.Next(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.TruncatePrefix(3, 0xfeed); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Next(); !errors.Is(err, ErrCursorRebound) {
+		t.Fatalf("after TruncatePrefix: err = %v, want ErrCursorRebound", err)
+	}
+	// A fresh cursor over the truncated log sees the surviving suffix.
+	c2, err := OpenCursor(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	got, err := c2.Next()
+	if err != nil || !bytes.Equal(got, payloads[3]) {
+		t.Fatalf("fresh cursor after truncation: err=%v", err)
+	}
+}
+
+// TestCursorReboundOnCompact: compaction truncates the log in place (same
+// inode), so rebind detection must catch the size shrinking below the
+// cursor's offset even though the inode is unchanged.
+func TestCursorReboundOnCompact(t *testing.T) {
+	dir := t.TempDir()
+	g := fig1Fragment()
+	path := filepath.Join(dir, "wal")
+	w, err := OpenWAL(path, Fingerprint(fig1Fragment()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	for i := 0; i < 3; i++ {
+		b := NewBatch(g)
+		n := b.AddNode()
+		if err := b.AddEdge(g.Root(), ssd.Sym("r"), n); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := ApplyInPlace(g, b); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Append(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c, err := OpenCursor(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	for i := 0; i < 3; i++ {
+		if _, err := c.Next(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Compact(filepath.Join(dir, "snap"), g); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Next(); !errors.Is(err, ErrCursorRebound) {
+		t.Fatalf("after Compact: err = %v, want ErrCursorRebound", err)
+	}
+}
+
+// TestStreamFrameRoundTrip pins the wire framing replication streams use:
+// WriteFrameTo/ReadFrameFrom round-trip payloads, a clean end is io.EOF,
+// and any mid-frame truncation is an error — never a short frame.
+func TestStreamFrameRoundTrip(t *testing.T) {
+	payloads := [][]byte{{}, {1}, bytes.Repeat([]byte{7}, 300)}
+	var buf bytes.Buffer
+	for _, p := range payloads {
+		if err := WriteFrameTo(&buf, p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wire := buf.Bytes()
+	r := bufio.NewReader(bytes.NewReader(wire))
+	for i, want := range payloads {
+		got, err := ReadFrameFrom(r)
+		if err != nil || !bytes.Equal(got, want) {
+			t.Fatalf("frame %d: err=%v", i, err)
+		}
+	}
+	if _, err := ReadFrameFrom(r); err != io.EOF {
+		t.Fatalf("clean end: err = %v, want io.EOF", err)
+	}
+	for cut := 1; cut < len(wire); cut++ {
+		r := bufio.NewReader(bytes.NewReader(wire[:cut]))
+		var err error
+		for err == nil {
+			_, err = ReadFrameFrom(r)
+		}
+		if err == io.EOF {
+			// io.EOF is only legal exactly at a frame boundary.
+			atBoundary := false
+			pos := 0
+			for _, p := range payloads {
+				pos += len(appendFrame(nil, p))
+				if cut == pos {
+					atBoundary = true
+				}
+			}
+			if !atBoundary {
+				t.Fatalf("cut %d: truncation inside a frame read as clean EOF", cut)
+			}
+		}
+	}
+}

@@ -1,0 +1,253 @@
+// Follower: the replica side of the serving tier. A follower database is an
+// ordinary durable database whose only writer is the replication loop here —
+// it connects to its leader's /replicate/wal stream at its own commit
+// position, applies each frame through the normal commit path (so its WAL,
+// checkpoints, indexes, DataGuide and statistics are maintained exactly as a
+// writer's would be), and exposes the graph read-only over /query.
+//
+// Recovery is position-based and self-healing: every (re)connect resumes
+// from the follower's own durable CommitSeq, so a crash or network cut costs
+// only the frames not yet applied. When the leader has checkpointed past the
+// follower's position (HTTP 410) — or an apply diverges — the follower
+// re-bootstraps: it downloads the leader's newest snapshot and rebinds its
+// local directory to it, superseding the local log.
+package server
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"log/slog"
+
+	"repro/internal/core"
+	"repro/internal/mutate"
+	"repro/internal/storage"
+)
+
+// followerBackoffMax caps the reconnect backoff: a follower probes a dead
+// leader at least this often, so recovery after a leader restart is prompt.
+const followerBackoffMax = 5 * time.Second
+
+// Follower drives replication from a leader into a local database. Create
+// with NewFollower, start Run in a goroutine, and stop it by cancelling the
+// context; the accessors feed /healthz.
+type Follower struct {
+	db     *core.Database
+	leader string // base URL, e.g. http://127.0.0.1:8080
+	client *http.Client
+	log    *slog.Logger
+
+	connected  atomic.Bool
+	leaderSeq  atomic.Uint64 // leader position from the last stream header
+	reconnects atomic.Uint64
+	bootstraps atomic.Uint64
+	applied    atomic.Uint64 // frames applied over this follower's lifetime
+}
+
+// NewFollower wires a replication loop from leader (base URL) into db.
+func NewFollower(db *core.Database, leader string, logger *slog.Logger) *Follower {
+	if logger == nil {
+		logger = slog.Default()
+	}
+	return &Follower{
+		db:     db,
+		leader: leader,
+		// No overall timeout: /replicate/wal is a deliberately endless
+		// response. Disconnects surface as read errors; ctx ends the rest.
+		client: &http.Client{},
+		log:    logger,
+	}
+}
+
+// LeaderURL returns the leader base URL this follower replicates from.
+func (f *Follower) LeaderURL() string { return f.leader }
+
+// Connected reports whether a replication stream is currently established.
+func (f *Follower) Connected() bool { return f.connected.Load() }
+
+// LeaderSeq returns the leader's commit position as of the last stream
+// (re)connect — the reference point for Lag.
+func (f *Follower) LeaderSeq() uint64 { return f.leaderSeq.Load() }
+
+// Lag returns how many commits behind the last-known leader position this
+// follower is. It can only overstate briefly after a reconnect; a connected,
+// caught-up follower reports 0.
+func (f *Follower) Lag() uint64 {
+	ls, own := f.leaderSeq.Load(), f.db.CommitSeq()
+	if own >= ls {
+		return 0
+	}
+	return ls - own
+}
+
+// Reconnects returns how many times the stream had to be re-established.
+func (f *Follower) Reconnects() uint64 { return f.reconnects.Load() }
+
+// Bootstraps returns how many times this process fell back to a full
+// snapshot download (leader truncated past our position, or divergence).
+func (f *Follower) Bootstraps() uint64 { return f.bootstraps.Load() }
+
+// Run drives the replication loop until ctx ends: connect, stream, apply;
+// on any failure, back off (exponentially, capped) and reconnect from the
+// database's own durable position. Run returns only when ctx is done.
+//
+//ssd:ctxpoll
+func (f *Follower) Run(ctx context.Context) {
+	backoff := 250 * time.Millisecond
+	for ctx.Err() == nil {
+		start := f.db.CommitSeq()
+		err := f.stream(ctx)
+		f.connected.Store(false)
+		obsReplConnected.Set(0)
+		if ctx.Err() != nil {
+			return
+		}
+		if f.db.CommitSeq() > start {
+			backoff = 250 * time.Millisecond // made progress; probe eagerly
+		}
+		f.log.Warn("replication stream ended; reconnecting",
+			"leader", f.leader, "pos", f.db.CommitSeq(), "backoff", backoff, "err", err)
+		f.reconnects.Add(1)
+		obsReplReconnects.Inc()
+		select {
+		case <-ctx.Done():
+			return
+		case <-time.After(backoff):
+		}
+		if backoff *= 2; backoff > followerBackoffMax {
+			backoff = followerBackoffMax
+		}
+	}
+}
+
+// stream establishes one /replicate/wal connection and applies frames until
+// it breaks. A 410 (position truncated away) triggers a snapshot
+// re-bootstrap and then returns so Run reconnects from the new position.
+func (f *Follower) stream(ctx context.Context) error {
+	pos := f.db.CommitSeq()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		fmt.Sprintf("%s/replicate/wal?from=%d", f.leader, pos), nil)
+	if err != nil {
+		return err
+	}
+	resp, err := f.client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusOK:
+	case http.StatusGone:
+		f.log.Info("position truncated on leader; bootstrapping from snapshot",
+			"leader", f.leader, "pos", pos)
+		return f.rebootstrap(ctx)
+	default:
+		return fmt.Errorf("server: leader %s: /replicate/wal: %s", f.leader, resp.Status)
+	}
+	if ls, err := strconv.ParseUint(resp.Header.Get(seqHeader), 10, 64); err == nil {
+		f.leaderSeq.Store(ls)
+		obsReplLag.Set(int64(f.Lag()))
+	}
+	f.connected.Store(true)
+	obsReplConnected.Set(1)
+	f.log.Info("replication stream established", "leader", f.leader, "from", pos)
+
+	br := bufio.NewReaderSize(resp.Body, 1<<16)
+	for {
+		frame, err := mutate.ReadFrameFrom(br)
+		if err != nil {
+			if errors.Is(err, io.EOF) {
+				return nil // leader closed the stream cleanly (shutdown)
+			}
+			return err
+		}
+		seq, err := f.db.ApplyReplicated(frame)
+		if err != nil {
+			// A frame that does not extend our state means divergence —
+			// fall back to a full snapshot rather than forking silently.
+			f.log.Error("replicated frame failed to apply; re-bootstrapping",
+				"pos", f.db.CommitSeq(), "err", err)
+			if berr := f.rebootstrap(ctx); berr != nil {
+				return fmt.Errorf("apply failed (%v) and bootstrap failed: %w", err, berr)
+			}
+			return nil
+		}
+		f.applied.Add(1)
+		obsReplFramesApplied.Inc()
+		if ls := f.leaderSeq.Load(); seq > ls {
+			f.leaderSeq.Store(seq) // live stream carries us past the connect-time header
+		}
+		obsReplLag.Set(int64(f.Lag()))
+	}
+}
+
+// rebootstrap downloads the leader's newest snapshot and rebinds the local
+// database to it, adopting the snapshot's commit position.
+func (f *Follower) rebootstrap(ctx context.Context) error {
+	data, _, err := fetchSnapshot(ctx, f.client, f.leader)
+	if err != nil {
+		return err
+	}
+	s, err := storage.DecodeSnapshot(data)
+	if err != nil {
+		return fmt.Errorf("server: leader snapshot does not decode: %w", err)
+	}
+	if err := f.db.ReplaceFromSnapshot(s); err != nil {
+		return err
+	}
+	f.bootstraps.Add(1)
+	obsReplBootstraps.Inc()
+	f.log.Info("bootstrapped from leader snapshot", "leader", f.leader, "seq", s.CommitSeq)
+	return nil
+}
+
+// fetchSnapshot downloads the leader's newest snapshot generation, raw.
+func fetchSnapshot(ctx context.Context, client *http.Client, leader string) ([]byte, uint64, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, leader+"/replicate/snapshot", nil)
+	if err != nil {
+		return nil, 0, err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, 0, fmt.Errorf("server: leader %s: /replicate/snapshot: %s", leader, resp.Status)
+	}
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, 0, err
+	}
+	gen, _ := strconv.ParseUint(resp.Header.Get("X-SSD-Generation"), 10, 64)
+	return data, gen, nil
+}
+
+// BootstrapFollower initializes dir as a follower data directory seeded from
+// the leader's newest snapshot — the very first start of a new replica, when
+// there is no local state to resume from. An already-initialized directory
+// is left untouched (the caller resumes from it instead).
+func BootstrapFollower(ctx context.Context, client *http.Client, leader, dir string) error {
+	if client == nil {
+		client = http.DefaultClient
+	}
+	initialized, err := core.PathInitialized(dir)
+	if err != nil {
+		return err
+	}
+	if initialized {
+		return nil
+	}
+	data, _, err := fetchSnapshot(ctx, client, leader)
+	if err != nil {
+		return err
+	}
+	return core.SeedPathSnapshot(dir, data)
+}

@@ -21,6 +21,33 @@ var (
 		"Queries at or over the configured slow-query threshold.")
 )
 
+// Replication metrics — leader stream side, follower apply side, and the
+// read-your-writes wait path.
+var (
+	obsReplWaits = obs.Default.Counter("ssd_repl_token_waits_total",
+		"Tokened reads that had to wait for the replica to catch up.")
+	obsReplWaitTimeouts = obs.Default.Counter("ssd_repl_token_wait_timeouts_total",
+		"Tokened reads rejected 503 because the replica never caught up in time.")
+	obsReplStreams = obs.Default.Gauge("ssd_repl_streams",
+		"Replication WAL streams currently open to followers.")
+	obsReplFramesShipped = obs.Default.Counter("ssd_repl_frames_shipped_total",
+		"WAL frames shipped to followers across all streams.")
+	obsReplSnapshotsShipped = obs.Default.Counter("ssd_repl_snapshots_shipped_total",
+		"Bootstrap snapshots served to followers.")
+	obsReplSnapshotBytes = obs.Default.Counter("ssd_repl_snapshot_bytes_total",
+		"Bytes of bootstrap snapshot data served to followers.")
+	obsReplFramesApplied = obs.Default.Counter("ssd_repl_frames_applied_total",
+		"Replicated WAL frames applied by this follower.")
+	obsReplConnected = obs.Default.Gauge("ssd_repl_connected",
+		"1 while this follower has a live stream to its leader, else 0.")
+	obsReplLag = obs.Default.Gauge("ssd_repl_lag",
+		"Commits between the last-known leader position and this follower.")
+	obsReplReconnects = obs.Default.Counter("ssd_repl_reconnects_total",
+		"Times this follower's replication stream had to be re-established.")
+	obsReplBootstraps = obs.Default.Counter("ssd_repl_bootstraps_total",
+		"Times this follower fell back to a full snapshot bootstrap.")
+)
+
 // endpointMetrics is the per-endpoint series triple. Each endpoint gets its
 // own constant-labeled series (e.g. ssd_http_requests_total{endpoint="query"});
 // the encoder groups them back into one family per metric name.

@@ -77,9 +77,31 @@ type Config struct {
 	// shape, row count and operator trace. Zero disables the log.
 	SlowQuery time.Duration
 
+	// ReadOnly rejects /mutate and /checkpoint with 403: the posture of a
+	// follower replica, whose state is owned by its replication stream.
+	ReadOnly bool
+	// Role is reported in /healthz ("leader", "follower"); empty reports
+	// "single".
+	Role string
+	// LeaderURL, on a follower, is reported in /healthz and named in the
+	// /mutate rejection so a client learns where writes go.
+	LeaderURL string
+	// ReplWait bounds how long a /query carrying an X-SSD-Seq token ahead
+	// of this database's position is held before answering 503 with
+	// Retry-After. Zero uses DefaultReplWait. A read-your-writes token is
+	// never silently ignored: the read either waits into freshness or
+	// fails loudly.
+	ReplWait time.Duration
+	// Follower, when set, is the replication client feeding this server's
+	// database; /healthz reports its lag, connection state and counters.
+	Follower *Follower
+
 	// pollOverride shortens the checkpointer loop cadence in tests.
 	pollOverride time.Duration
 }
+
+// DefaultReplWait bounds tokened-read waits when Config.ReplWait is zero.
+const DefaultReplWait = 2 * time.Second
 
 // Server serves one core.Database over HTTP. Safe for concurrent use.
 type Server struct {
@@ -99,6 +121,11 @@ type Server struct {
 	// Background checkpointer lifecycle (nil stop channel = not running).
 	ckptStop chan struct{}
 	ckptDone sync.WaitGroup
+
+	// replStop ends long-lived /replicate/wal streams at shutdown. Streams
+	// are deliberately outside the drain gate: a follower tailing the log
+	// would otherwise hold Shutdown to its deadline every time.
+	replStop chan struct{}
 }
 
 // New builds a Server over db, applying cfg.Parallelism to the database
@@ -112,11 +139,18 @@ func New(db *core.Database, cfg Config) *Server {
 	if s.log == nil {
 		s.log = slog.New(slog.NewTextHandler(io.Discard, nil))
 	}
+	s.replStop = make(chan struct{})
 	s.mux.HandleFunc("POST /query", instrument("query", s.handleQuery))
 	s.mux.HandleFunc("POST /mutate", instrument("mutate", s.handleMutate))
 	s.mux.HandleFunc("POST /checkpoint", instrument("checkpoint", s.handleCheckpoint))
 	s.mux.HandleFunc("GET /healthz", instrument("healthz", s.handleHealthz))
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	if db.Durable() {
+		// Any durable database can lead: followers (which are durable by
+		// construction) expose the same endpoints, so replicas can chain.
+		s.mux.HandleFunc("GET /replicate/snapshot", instrument("replicate_snapshot", s.handleReplSnapshot))
+		s.mux.HandleFunc("GET /replicate/wal", instrument("replicate_wal", s.handleReplWAL))
+	}
 	if db.Durable() && (cfg.CheckpointInterval > 0 || cfg.CheckpointMaxWAL > 0) {
 		s.startCheckpointer()
 	}
@@ -183,10 +217,16 @@ func (s *Server) Handler() http.Handler { return s.mux }
 // http.Server.Shutdown, which handles the connection side.
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.gateMu.Lock()
+	wasDraining := s.draining
 	s.draining = true
 	stop := s.ckptStop
 	s.ckptStop = nil
 	s.gateMu.Unlock()
+	if !wasDraining {
+		// End long-lived replication streams; followers reconnect to the
+		// restarted process (or a promoted leader) with their position.
+		close(s.replStop)
+	}
 	if stop != nil {
 		close(stop)
 		s.ckptDone.Wait()
@@ -301,6 +341,30 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		defer cancel()
 	}
 
+	// Read-your-writes: a request carrying an X-SSD-Seq token demands state
+	// at least as new as that commit position. Wait briefly for the
+	// replication stream to apply it; never serve older data silently.
+	if tok, err := readSeqToken(r); err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	} else if tok > 0 && s.db.CommitSeq() < tok {
+		obsReplWaits.Inc()
+		wait := s.cfg.ReplWait
+		if wait <= 0 {
+			wait = DefaultReplWait
+		}
+		wctx, cancel := context.WithTimeout(ctx, wait)
+		err := s.db.WaitForSeq(wctx, tok)
+		cancel()
+		if err != nil {
+			obsReplWaitTimeouts.Inc()
+			w.Header().Set("Retry-After", "1")
+			httpError(w, http.StatusServiceUnavailable,
+				fmt.Errorf("server: replica at commit %d has not reached read token %d", s.db.CommitSeq(), tok))
+			return
+		}
+	}
+
 	stmt, err := s.db.PrepareCached(req.Query)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, err)
@@ -321,6 +385,10 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		qtr = new(core.QueryTrace)
 	}
 	start := time.Now()
+	// The accountable log position: captured before the query pins its
+	// snapshot, so it can only understate what the read actually saw — a
+	// token built from it is always satisfiable by this state or newer.
+	pos := s.db.CommitSeq()
 	var rows *core.Rows
 	if qtr != nil {
 		rows, err = stmt.QueryTraced(ctx, qtr, params...)
@@ -339,6 +407,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 
 	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set(seqHeader, fmt.Sprint(pos))
 	w.WriteHeader(http.StatusOK)
 	flusher, _ := w.(http.Flusher)
 	enc := json.NewEncoder(w)
@@ -467,11 +536,14 @@ func decodeParams(raw map[string]json.RawMessage) ([]core.Param, error) {
 	return params, nil
 }
 
-// mutateResponse is the POST /mutate reply.
+// mutateResponse is the POST /mutate reply. Seq is the replication position
+// the commit landed at — the X-SSD-Seq read-your-writes token (also sent as
+// a response header of that name).
 type mutateResponse struct {
-	Applied bool `json:"applied"`
-	Nodes   int  `json:"nodes"`
-	Edges   int  `json:"edges"`
+	Applied bool   `json:"applied"`
+	Nodes   int    `json:"nodes"`
+	Edges   int    `json:"edges"`
+	Seq     uint64 `json:"seq"`
 }
 
 // handleMutate applies one mutation script (the ssdq script format, see
@@ -485,18 +557,34 @@ func (s *Server) handleMutate(w http.ResponseWriter, r *http.Request) {
 	}
 	defer s.inflight.Done()
 
+	if s.cfg.ReadOnly {
+		s.rejectReadOnly(w, "mutations")
+		return
+	}
 	src, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
 	if err != nil {
 		httpError(w, http.StatusBadRequest, err)
 		return
 	}
-	if err := s.db.MutateScript(string(src)); err != nil {
+	seq, err := s.db.MutateScriptSeq(string(src))
+	if err != nil {
 		httpError(w, http.StatusConflict, err)
 		return
 	}
 	st := s.db.Stats()
 	w.Header().Set("Content-Type", "application/json")
-	json.NewEncoder(w).Encode(mutateResponse{Applied: true, Nodes: st.Nodes, Edges: st.Edges})
+	w.Header().Set(seqHeader, fmt.Sprint(seq))
+	json.NewEncoder(w).Encode(mutateResponse{Applied: true, Nodes: st.Nodes, Edges: st.Edges, Seq: seq})
+}
+
+// rejectReadOnly answers 403 for write-shaped requests on a follower,
+// naming the leader when configured so the client can redirect itself.
+func (s *Server) rejectReadOnly(w http.ResponseWriter, what string) {
+	msg := fmt.Sprintf("server: read-only replica does not accept %s", what)
+	if s.cfg.LeaderURL != "" {
+		msg += "; send them to the leader at " + s.cfg.LeaderURL
+	}
+	httpError(w, http.StatusForbidden, fmt.Errorf("%s", msg))
 }
 
 // checkpointResponse is the POST /checkpoint reply.
@@ -518,6 +606,10 @@ func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer s.inflight.Done()
+	if s.cfg.ReadOnly {
+		s.rejectReadOnly(w, "checkpoint requests")
+		return
+	}
 	if !s.db.Durable() {
 		httpError(w, http.StatusConflict,
 			fmt.Errorf("server: database has no durable directory (start with -data)"))
@@ -543,6 +635,10 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	s.gateMu.Lock()
 	draining := s.draining
 	s.gateMu.Unlock()
+	role := s.cfg.Role
+	if role == "" {
+		role = "single"
+	}
 	w.Header().Set("Content-Type", "application/json")
 	body := map[string]any{
 		"status":          "ok",
@@ -554,6 +650,17 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		"wal_bytes":       s.db.WALSize(),
 		"stmt_cache_size": s.db.StmtCacheLen(),
 		"snapshot_seq":    s.db.SnapshotSeq(),
+		"role":            role,
+		"read_only":       s.cfg.ReadOnly,
+		"commit_seq":      s.db.CommitSeq(),
+	}
+	if f := s.cfg.Follower; f != nil {
+		body["repl_leader"] = f.LeaderURL()
+		body["repl_connected"] = f.Connected()
+		body["repl_leader_seq"] = f.LeaderSeq()
+		body["repl_lag"] = f.Lag()
+		body["repl_reconnects"] = f.Reconnects()
+		body["repl_bootstraps"] = f.Bootstraps()
 	}
 	if ps, ok := s.db.PagePoolStats(); ok {
 		body["paged"] = true

@@ -26,6 +26,8 @@ import (
 // Section kinds:
 //
 //	meta   (1)  selfFP u32 LE | walBaseFP u32 LE | applied uvarint
+//	            | commitSeq uvarint (optional trailing field; absent in
+//	              files written before replication, decoding as 0)
 //	graph  (2)  the SSDG graph encoding (Encode)
 //	labels (3)  nLabels uvarint; per label: label, nRefs uvarint, (from, to uvarint)*
 //	values (4)  nEntries uvarint; per entry: label, from uvarint, to uvarint
@@ -94,6 +96,13 @@ type Snapshot struct {
 	// already folded into Graph.
 	WALBaseFP uint32
 	Applied   uint64
+
+	// CommitSeq is the global replication position folded into Graph: the
+	// total number of batches committed since the durable directory's
+	// birth. It is the meaning of an X-SSD-Seq token and the base a
+	// follower resumes streaming from. Encoded as a trailing optional meta
+	// field, so snapshots written before replication decode with 0.
+	CommitSeq uint64
 }
 
 func appendSection(buf []byte, kind byte, payload []byte) []byte {
@@ -111,6 +120,7 @@ func EncodeSnapshot(s *Snapshot) []byte {
 	meta := binary.LittleEndian.AppendUint32(nil, s.SelfFP)
 	meta = binary.LittleEndian.AppendUint32(meta, s.WALBaseFP)
 	meta = binary.AppendUvarint(meta, s.Applied)
+	meta = binary.AppendUvarint(meta, s.CommitSeq)
 
 	buf := append([]byte(snapMagic), snapVersion)
 	buf = appendSection(buf, secMeta, meta)
@@ -262,11 +272,18 @@ func DecodeSnapshot(data []byte) (*Snapshot, error) {
 	}
 	s.SelfFP = binary.LittleEndian.Uint32(meta)
 	s.WALBaseFP = binary.LittleEndian.Uint32(meta[4:])
-	applied, _, err := ReadUvarint(meta, 8)
+	applied, metaPos, err := ReadUvarint(meta, 8)
 	if err != nil {
 		return nil, fmt.Errorf("storage: snapshot meta: %w", err)
 	}
 	s.Applied = applied
+	if metaPos < len(meta) {
+		// Optional trailing field (replication position); files written
+		// before it exist simply end here and decode as CommitSeq 0.
+		if s.CommitSeq, _, err = ReadUvarint(meta, metaPos); err != nil {
+			return nil, fmt.Errorf("storage: snapshot meta: %w", err)
+		}
+	}
 	if fp := crc32.ChecksumIEEE(graphPayload); fp != s.SelfFP {
 		// The sections are individually intact but do not belong together
 		// (e.g. a graph section spliced from another file).
